@@ -1,0 +1,108 @@
+// Experiments E1 + E11 — the cost of Universal Layout Emulation.
+// §2 of the paper argues ULE "obviates the need for emulating a full
+// DBMS... queries can be executed at bare-metal performance" and the only
+// emulation cost is paid by the decoders at restore time. This bench
+// quantifies the three execution tiers on the same workload (LZAC
+// decompression by DBDecode) plus raw instruction throughput:
+//   native C++ decoder -> DynaRisc emulator -> DynaRisc-on-VeRisc (nested).
+
+#include <chrono>
+#include <cstdio>
+
+#include "dbcoder/dbcoder.h"
+#include "decoders/dbdecode.h"
+#include "dynarisc/assembler.h"
+#include "dynarisc/machine.h"
+#include "olonys/dynarisc_in_verisc.h"
+#include "support/random.h"
+
+using namespace ule;
+using Clock = std::chrono::steady_clock;
+
+int main() {
+  std::printf("=== E11: emulation tiers (LZAC decode of the same payload) "
+              "===\n");
+  Rng rng(11);
+  std::string text;
+  while (text.size() < 64 * 1024) {
+    text += "the quick brown fox jumps over the lazy archival database ";
+    text += std::to_string(rng.Below(1000));
+    text.push_back('\n');
+  }
+  const Bytes raw = ToBytes(text);
+  auto container = dbcoder::Encode(raw, dbcoder::Scheme::kLzac);
+  if (!container.ok()) return 1;
+
+  std::printf("payload: %zu bytes (LZAC container %zu bytes)\n\n", raw.size(),
+              container.value().size());
+  std::printf("%-34s %12s %14s %10s\n", "tier", "seconds", "KB/s", "slowdown");
+
+  // Tier 0: native C++.
+  const auto t0 = Clock::now();
+  auto native = dbcoder::Decode(container.value());
+  const auto t1 = Clock::now();
+  const double native_s = std::chrono::duration<double>(t1 - t0).count();
+  if (!native.ok() || native.value() != raw) return 1;
+  std::printf("%-34s %12.4f %14.0f %9.1fx\n", "native C++ decoder", native_s,
+              raw.size() / 1000.0 / native_s, 1.0);
+
+  // Tier 1: archived DBDecode on the DynaRisc emulator.
+  const auto t2 = Clock::now();
+  auto emu = dynarisc::RunProgram(decoders::DbDecodeProgram(),
+                                  container.value());
+  const auto t3 = Clock::now();
+  const double emu_s = std::chrono::duration<double>(t3 - t2).count();
+  if (!emu.ok() || emu.value() != raw) return 1;
+  std::printf("%-34s %12.4f %14.0f %9.1fx\n", "DBDecode on DynaRisc", emu_s,
+              raw.size() / 1000.0 / emu_s, emu_s / native_s);
+
+  // Tier 2: nested (VeRisc hosting the DynaRisc interpreter), smaller
+  // payload, throughput extrapolated.
+  const Bytes small(raw.begin(), raw.begin() + 4096);
+  auto small_container = dbcoder::Encode(small, dbcoder::Scheme::kLzac);
+  const auto t4 = Clock::now();
+  auto nested = olonys::RunNested(decoders::DbDecodeProgram(),
+                                  small_container.value());
+  const auto t5 = Clock::now();
+  const double nested_s = std::chrono::duration<double>(t5 - t4).count();
+  if (!nested.ok() || nested.value() != small) return 1;
+  const double nested_kbs = small.size() / 1000.0 / nested_s;
+  std::printf("%-34s %12.4f %14.0f %9.1fx\n",
+              "DBDecode nested (VeRisc, 4 KB)", nested_s, nested_kbs,
+              (raw.size() / 1000.0 / nested_kbs) / native_s);
+
+  // Raw instruction throughput of both emulators on a busy loop.
+  // Endless ALU loop; both runs stop at their step limits and report
+  // steps/second from the harness counters.
+  const char* kLoop =
+      "LDI R0,#0\nLDI R1,#1\nLDI R2,#0\n"
+      "loop: ADD R0,R1\nXOR R2,R0\nLSR R2,#1\nADD R2,R1\nJUMP loop\n";
+  auto loop_prog = dynarisc::Assemble(kLoop);
+  if (!loop_prog.ok()) return 1;
+  {
+    const auto a = Clock::now();
+    dynarisc::Machine m(loop_prog.value(), {});
+    dynarisc::RunOptions opts;
+    opts.max_steps = 30'000'000;
+    auto r = m.Run(opts);
+    const auto b = Clock::now();
+    const double s = std::chrono::duration<double>(b - a).count();
+    std::printf("\nDynaRisc emulator:        %7.1f M guest instructions/s\n",
+                r.steps / 1e6 / s);
+  }
+  {
+    const auto a = Clock::now();
+    verisc::RunOptions opts;
+    opts.max_steps = 120'000'000;
+    auto r = verisc::Run(olonys::DynaRiscInterpreter(),
+                         olonys::PackNestedInput(loop_prog.value(), {}), opts);
+    const auto b = Clock::now();
+    if (!r.ok()) return 1;
+    const double s = std::chrono::duration<double>(b - a).count();
+    std::printf("VeRisc emulator:          %7.1f M VeRisc instructions/s\n",
+                r.value().steps / 1e6 / s);
+  }
+  std::printf("\nshape check: emulation cost confined to restore-time "
+              "decoding; each tier trades portability for speed.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Google-benchmark microbenchmarks for the primitives every experiment
+// rests on: GF(256) RS coding, differential-Manchester emblem building,
+// range coding, LZ77 parsing and the two emulators. Complements the
+// table-style experiment benches with statistically solid numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "dbcoder/dbcoder.h"
+#include "dbcoder/lz77.h"
+#include "dbcoder/rangecoder.h"
+#include "dynarisc/assembler.h"
+#include "dynarisc/machine.h"
+#include "mocoder/emblem.h"
+#include "olonys/dynarisc_in_verisc.h"
+#include "rs/reed_solomon.h"
+#include "support/crc32.h"
+#include "support/random.h"
+
+namespace ule {
+namespace {
+
+Bytes RandomBytes(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<uint8_t>(rng.Below(256));
+  return out;
+}
+
+void BM_RsEncode255(benchmark::State& state) {
+  static const rs::Codec codec(255, 223);
+  const Bytes data = RandomBytes(1, 223);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Encode(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 223);
+}
+BENCHMARK(BM_RsEncode255);
+
+void BM_RsDecodeClean(benchmark::State& state) {
+  static const rs::Codec codec(255, 223);
+  const Bytes cw = codec.Encode(RandomBytes(2, 223)).TakeValue();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Decode(cw));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 223);
+}
+BENCHMARK(BM_RsDecodeClean);
+
+void BM_RsDecodeErrors(benchmark::State& state) {
+  static const rs::Codec codec(255, 223);
+  Bytes cw = codec.Encode(RandomBytes(3, 223)).TakeValue();
+  Rng rng(4);
+  for (int i = 0; i < state.range(0); ++i) {
+    cw[rng.Below(255)] ^= static_cast<uint8_t>(1 + rng.Below(255));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Decode(cw));
+  }
+}
+BENCHMARK(BM_RsDecodeErrors)->Arg(1)->Arg(8)->Arg(16);
+
+void BM_EmblemBuild(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Bytes payload = RandomBytes(5, static_cast<size_t>(
+                                           mocoder::EmblemCapacity(n)));
+  mocoder::EmblemHeader h;
+  h.payload_crc = Crc32(payload);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mocoder::BuildEmblem(h, payload, n));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          mocoder::EmblemCapacity(n));
+}
+BENCHMARK(BM_EmblemBuild)->Arg(65)->Arg(128)->Arg(256);
+
+void BM_RangeCoderBit(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<int> bits(4096);
+  for (auto& b : bits) b = rng.Chance(0.8) ? 0 : 1;
+  for (auto _ : state) {
+    dbcoder::RangeEncoder enc;
+    uint8_t p = dbcoder::kProbInit;
+    for (int b : bits) enc.EncodeBit(&p, b);
+    benchmark::DoNotOptimize(enc.Finish());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_RangeCoderBit);
+
+void BM_Lz77Parse(benchmark::State& state) {
+  Rng rng(7);
+  std::string s;
+  while (s.size() < 64 * 1024) {
+    s += "lineitem|1995-03-15|TRUCK|";
+    s += std::to_string(rng.Below(100000));
+  }
+  const Bytes data = ToBytes(s);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dbcoder::Parse(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Lz77Parse);
+
+const dynarisc::Program& LoopProgram() {
+  static const dynarisc::Program kProgram = [] {
+    return dynarisc::Assemble(
+               "LDI R0,#0\nLDI R1,#1\nloop: ADD R0,R1\nXOR R2,R0\n"
+               "LSR R2,#1\nJUMP loop\n")
+        .TakeValue();
+  }();
+  return kProgram;
+}
+
+void BM_DynaRiscEmulator(benchmark::State& state) {
+  for (auto _ : state) {
+    dynarisc::Machine m(LoopProgram(), {});
+    dynarisc::RunOptions opts;
+    opts.max_steps = 100000;
+    benchmark::DoNotOptimize(m.Run(opts));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_DynaRiscEmulator);
+
+void BM_NestedEmulator(benchmark::State& state) {
+  const Bytes packed = olonys::PackNestedInput(LoopProgram(), {});
+  for (auto _ : state) {
+    verisc::RunOptions opts;
+    opts.max_steps = 100000;
+    benchmark::DoNotOptimize(verisc::Run(olonys::DynaRiscInterpreter(),
+                                         packed, opts));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_NestedEmulator);
+
+}  // namespace
+}  // namespace ule
+
+BENCHMARK_MAIN();

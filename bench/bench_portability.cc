@@ -1,0 +1,66 @@
+// Experiment E7 — portability and user friendliness (paper §4).
+// The paper had students, CNES engineers and EURECOM researchers write
+// VeRisc emulators from the Bootstrap alone (JavaScript, Python, C++, C#,
+// all working "in under a week"), and ported Olonys to Z80/ARM/68k
+// machines. Our reproduction: several independently written in-tree
+// implementations are measured for size (LoC), conformance on the archived
+// workload, and speed; the claim under test is that they all agree.
+
+#include <chrono>
+#include <cstdio>
+
+#include "dbcoder/dbcoder.h"
+#include "decoders/dbdecode.h"
+#include "olonys/bootstrap.h"
+#include "olonys/dynarisc_in_verisc.h"
+#include "support/random.h"
+#include "verisc/implementations.h"
+
+using namespace ule;
+using Clock = std::chrono::steady_clock;
+
+int main() {
+  std::printf("=== E7: independent VeRisc implementations ===\n");
+  // The conformance workload is the real archived decoder: DBDecode
+  // decompressing an LZAC container under nested emulation.
+  Rng rng(7);
+  std::string text;
+  while (text.size() < 3000) {
+    text += "portability is the product of a small specification ";
+    text += std::to_string(rng.Below(100));
+  }
+  const Bytes raw = ToBytes(text);
+  auto container = dbcoder::Encode(raw, dbcoder::Scheme::kLzac);
+  if (!container.ok()) return 1;
+
+  std::printf("workload: nested LZAC decode of %zu bytes\n", raw.size());
+  std::printf("Bootstrap Part I pseudocode: %d lines (paper: < 300 to "
+              "bootstrap, < 500 total)\n\n",
+              olonys::PseudocodeLineCount());
+  std::printf("%-12s %6s %10s %12s %10s\n", "author", "LoC", "conforms",
+              "seconds", "M instr/s");
+
+  bool all_ok = true;
+  for (const auto& impl : verisc::AllImplementations()) {
+    const auto t0 = Clock::now();
+    verisc::RunOptions opts;
+    opts.max_steps = 100'000'000'000ull;
+    const Bytes packed =
+        olonys::PackNestedInput(decoders::DbDecodeProgram(), container.value());
+    auto r = impl.run(olonys::DynaRiscInterpreter(), packed, opts);
+    const auto t1 = Clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    const bool ok = r.ok() &&
+                    r.value().reason == verisc::StopReason::kHalted &&
+                    r.value().output == raw;
+    all_ok &= ok;
+    std::printf("%-12s %6d %10s %12.3f %10.1f\n", impl.name.c_str(),
+                impl.lines_of_code, ok ? "yes" : "NO", s,
+                ok ? r.value().steps / 1e6 / s : 0.0);
+  }
+  std::printf("\nshape check: every implementation (written independently "
+              "against the Bootstrap spec) restores identical bytes — the "
+              "paper's portability claim. LoC is afternoon-sized, far under "
+              "the \"one week\" budget.\n");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+// Experiments E8 + E9 — the two quantitative ECC claims of §3.1:
+//   E8 (inner code): "automatically correct up to 7.2% damaged data within
+//       a single emblem" — RS(255,223): 16 of 223+32 bytes = 7.2% per block.
+//   E9 (outer code): "full bit-for-bit restoration of ... a series of 20
+//       emblems in which any three are missing altogether."
+// Both are swept past their budgets so the failure cliff is visible.
+
+#include <cstdio>
+#include <map>
+
+#include "mocoder/emblem.h"
+#include "mocoder/outer.h"
+#include "support/crc32.h"
+#include "support/random.h"
+
+using namespace ule;
+using namespace ule::mocoder;
+
+namespace {
+
+Bytes RandomPayload(Rng* rng, int n) {
+  Bytes out(static_cast<size_t>(n));
+  for (auto& b : out) b = static_cast<uint8_t>(rng->Below(256));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E8: intra-emblem damage sweep (inner RS code) ===\n");
+  const int n = 128;
+  const int blocks = EmblemBlocks(n);
+  const int coded_bytes = blocks * 255;
+  std::printf("emblem: %d x %d cells, %d RS(255,223) blocks\n", n, n, blocks);
+  std::printf("%-18s %10s %10s %12s\n", "damaged bytes", "% of emblem",
+              "trials ok", "paper");
+  bool cliff_ok = true;
+  for (double frac : {0.00, 0.02, 0.04, 0.06, 0.07, 0.08, 0.10}) {
+    const int damaged = static_cast<int>(frac * coded_bytes);
+    int ok = 0;
+    const int trials = 10;
+    for (int trial = 0; trial < trials; ++trial) {
+      Rng rng(static_cast<uint64_t>(damaged) * 131 + trial);
+      const Bytes payload = RandomPayload(&rng, EmblemCapacity(n));
+      EmblemHeader h;
+      h.stream_len = static_cast<uint32_t>(payload.size());
+      h.payload_crc = Crc32(payload);
+      auto grid = BuildEmblem(h, payload, n);
+      if (!grid.ok()) return 1;
+      // Destroy `damaged` coded bytes' worth of cells: each coded byte is
+      // 8 bits = 16 cells; wipe a contiguous band (interleaving spreads it).
+      Bytes cells(static_cast<size_t>(n) * n);
+      const int o = kFrameCells;
+      for (int y = 0; y < n; ++y) {
+        for (int x = 0; x < n; ++x) {
+          cells[static_cast<size_t>(y) * n + x] =
+              grid.value().at(o + x, o + y) ? 10 : 245;
+        }
+      }
+      const size_t wiped_cells = static_cast<size_t>(damaged) * 16;
+      const size_t start = n + rng.Below(cells.size() - wiped_cells - n);
+      for (size_t i = 0; i < wiped_cells; ++i) {
+        cells[start + i] = static_cast<uint8_t>(rng.Below(256));
+      }
+      auto back = DecodeEmblemIntensities(cells, n, nullptr);
+      if (back.ok() && back.value() == payload) ++ok;
+    }
+    std::printf("%-18d %9.1f%% %7d/%d %12s\n", damaged,
+                100.0 * damaged / coded_bytes, ok, trials,
+                frac <= 0.062 ? "recovers" : (frac >= 0.08 ? "fails" : "edge"));
+    if (frac <= 0.04 && ok != trials) cliff_ok = false;
+    if (frac >= 0.10 && ok == trials) cliff_ok = false;
+  }
+
+  std::printf("\n=== E9: whole-emblem loss sweep (outer 17+3 code) ===\n");
+  std::printf("%-18s %10s %12s\n", "lost per group", "restored", "paper");
+  const int cap = 64;
+  for (int losses = 0; losses <= 5; ++losses) {
+    Rng rng(static_cast<uint64_t>(losses) + 999);
+    const Bytes stream = RandomPayload(&rng, 34 * cap);  // 2 groups
+    auto payloads = BuildGroupPayloads(stream, cap);
+    std::map<uint16_t, Bytes> present;
+    for (size_t i = 0; i < payloads.size(); ++i) {
+      if (payloads[i]) present[static_cast<uint16_t>(i)] = *payloads[i];
+    }
+    const int groups = static_cast<int>(payloads.size()) / kGroupSize;
+    for (int g = 0; g < groups; ++g) {
+      int dropped = 0;
+      while (dropped < losses) {
+        const uint16_t seq = static_cast<uint16_t>(
+            g * kGroupSize + static_cast<int>(rng.Below(kGroupSize)));
+        if (present.erase(seq)) ++dropped;
+      }
+    }
+    auto back = ReassembleStream(present, stream.size(), cap);
+    const bool ok = back.ok() && back.value() == stream;
+    std::printf("%-18d %10s %12s\n", losses, ok ? "yes" : "no",
+                losses <= 3 ? "yes (any 3 of 20)" : "no");
+    if ((losses <= 3) != ok) cliff_ok = false;
+  }
+  std::printf("\nshape check: inner code cliff at ~7%%, outer code cliff at "
+              "exactly 3 lost emblems: %s\n",
+              cliff_ok ? "holds" : "VIOLATED");
+  return cliff_ok ? 0 : 1;
+}

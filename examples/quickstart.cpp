@@ -1,0 +1,64 @@
+// Quickstart: archive a small database to emblems and restore it.
+//
+// Demonstrates the whole public API surface in ~60 lines: build a database,
+// dump it (db_dump), archive the dump (DBCoder + MOCoder + Bootstrap),
+// pretend decades pass, then restore and reload it.
+
+#include <cstdio>
+
+#include "core/micr_olonys.h"
+#include "minidb/database.h"
+#include "minidb/sqldump.h"
+
+using namespace ule;
+
+int main() {
+  // 1. A database worth keeping for 50 years.
+  minidb::Database db;
+  minidb::Schema schema;
+  schema.columns = {{"id", minidb::Type::kInt, 0},
+                    {"name", minidb::Type::kText, 0},
+                    {"balance", minidb::Type::kDecimal, 2}};
+  minidb::Table* accounts = db.CreateTable("accounts", schema).TakeValue();
+  accounts->Insert({minidb::Value::Int(1), minidb::Value::Text("CODD"),
+                    minidb::Value::Decimal(1000)}).ok();
+  accounts->Insert({minidb::Value::Int(2), minidb::Value::Text("GRAY"),
+                    minidb::Value::Decimal(2000)}).ok();
+
+  // 2. db_dump: the software-independent textual archive.
+  const std::string dump = minidb::DumpSql(db);
+  std::printf("dump: %zu bytes\n%s\n", dump.size(), dump.c_str());
+
+  // 3. Archive: compress, encode to emblems, generate the Bootstrap.
+  core::ArchiveOptions options;
+  options.emblem.data_side = 65;  // small emblems for a small database
+  auto archive = core::ArchiveDump(dump, options);
+  if (!archive.ok()) {
+    std::printf("archive failed: %s\n", archive.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("archived: %zu data emblem(s), %zu system emblem(s), "
+              "Bootstrap of %zu characters\n",
+              archive.value().data_emblems.size(),
+              archive.value().system_emblems.size(),
+              archive.value().bootstrap_text.size());
+
+  // 4. Decades later: restore from the rendered frames.
+  auto restored = core::RestoreNative(archive.value().data_images,
+                                      archive.value().system_images,
+                                      archive.value().emblem_options);
+  if (!restored.ok()) {
+    std::printf("restore failed: %s\n", restored.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("restored dump matches: %s\n",
+              restored.value() == dump ? "yes" : "NO");
+
+  // 5. db_load into a future DBMS.
+  auto reloaded = minidb::LoadSql(restored.value());
+  if (!reloaded.ok()) return 1;
+  auto sum = reloaded.value().GetTable("accounts")->SumWhere("balance", nullptr);
+  std::printf("sum(balance) after restoration: %.2f\n",
+              static_cast<double>(sum.value()) / 100.0);
+  return restored.value() == dump ? 0 : 1;
+}

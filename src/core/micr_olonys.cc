@@ -1,0 +1,194 @@
+#include "core/micr_olonys.h"
+
+#include <map>
+
+#include "decoders/dbdecode.h"
+#include "decoders/modecode.h"
+#include "mocoder/detect.h"
+#include "mocoder/outer.h"
+#include "olonys/bootstrap.h"
+#include "olonys/dynarisc_in_verisc.h"
+#include "support/crc32.h"
+
+namespace ule {
+namespace core {
+
+Result<Archive> ArchiveDump(const std::string& sql_dump,
+                            const ArchiveOptions& options) {
+  Archive archive;
+  archive.emblem_options = options.emblem;
+  archive.dump_bytes = sql_dump.size();
+
+  // Step 2: DBCoder.
+  ULE_ASSIGN_OR_RETURN(Bytes container,
+                       dbcoder::Encode(ToBytes(sql_dump), options.scheme));
+  archive.compressed_bytes = container.size();
+
+  // Step 3: data emblems.
+  ULE_ASSIGN_OR_RETURN(
+      archive.data_emblems,
+      mocoder::EncodeStream(container, mocoder::StreamId::kData,
+                            options.emblem));
+
+  // Steps 4-5: the DBDecode instruction stream becomes system emblems.
+  const Bytes dbdecode_stream = decoders::DbDecodeProgram().Serialize();
+  ULE_ASSIGN_OR_RETURN(
+      archive.system_emblems,
+      mocoder::EncodeStream(dbdecode_stream, mocoder::StreamId::kSystem,
+                            options.emblem));
+
+  // Step 6: Bootstrap document (MODecode + the DynaRisc emulator as text).
+  archive.bootstrap_text = olonys::GenerateBootstrapText(
+      olonys::DynaRiscInterpreter(), decoders::ModecodeProgram());
+
+  // Step 7: render frames.
+  if (options.render_images) {
+    for (const auto& e : archive.data_emblems) {
+      archive.data_images.push_back(mocoder::Render(e, options.emblem));
+    }
+    for (const auto& e : archive.system_emblems) {
+      archive.system_images.push_back(mocoder::Render(e, options.emblem));
+    }
+  }
+  return archive;
+}
+
+Result<std::string> RestoreNative(const std::vector<media::Image>& data_scans,
+                                  const std::vector<media::Image>& system_scans,
+                                  const mocoder::Options& emblem_options,
+                                  RestoreStats* stats) {
+  RestoreStats local;
+  // The system stream is decoded too (it must match the in-tree decoder,
+  // which the emulated path actually runs).
+  if (!system_scans.empty()) {
+    auto system = mocoder::DecodeImages(system_scans, mocoder::StreamId::kSystem,
+                                        emblem_options, &local.system_stream);
+    ULE_RETURN_IF_ERROR(system.status());
+  }
+  ULE_ASSIGN_OR_RETURN(
+      Bytes container,
+      mocoder::DecodeImages(data_scans, mocoder::StreamId::kData,
+                            emblem_options, &local.data_stream));
+  ULE_ASSIGN_OR_RETURN(Bytes dump, dbcoder::Decode(container));
+  if (stats) *stats = local;
+  return ToString(dump);
+}
+
+namespace {
+
+/// Runs a DynaRisc program under nested emulation via the *parsed
+/// Bootstrap* interpreter (not the in-tree one), accumulating step counts.
+Result<Bytes> RunViaBootstrap(const verisc::Program& interpreter,
+                              const dynarisc::Program& guest, BytesView input,
+                              verisc::VmFunction vm, uint64_t* steps) {
+  const Bytes packed = olonys::PackNestedInput(guest, input);
+  verisc::RunOptions opts;
+  opts.max_steps = 200'000'000'000ull;
+  ULE_ASSIGN_OR_RETURN(verisc::RunResult r, vm(interpreter, packed, opts));
+  if (steps) *steps += r.steps;
+  if (r.reason != verisc::StopReason::kHalted) {
+    return Status::ExecutionFault("nested emulation did not halt cleanly");
+  }
+  return std::move(r.output);
+}
+
+/// Decodes one stream of emblem scans with the archived MODecode program
+/// (under nested emulation), then reassembles it with the outer code.
+Result<Bytes> DecodeStreamEmulated(const std::vector<media::Image>& scans,
+                                   mocoder::StreamId id,
+                                   const mocoder::Options& emblem_options,
+                                   const verisc::Program& interpreter,
+                                   const dynarisc::Program& modecode,
+                                   verisc::VmFunction vm,
+                                   mocoder::DecodeStats* stats,
+                                   uint64_t* steps) {
+  const int n = emblem_options.data_side;
+  const int blocks = mocoder::EmblemBlocks(n);
+  const int capacity = mocoder::EmblemCapacity(n);
+  std::map<uint16_t, Bytes> payloads;
+  uint32_t stream_len = 0;
+  bool have_len = false;
+  mocoder::DecodeStats local;
+  local.emblems_total = static_cast<int>(scans.size());
+
+  for (const media::Image& scan : scans) {
+    // Host-side preprocessing (Bootstrap step 5): sample the cell lattice.
+    auto cells = mocoder::SampleEmblem(scan, n);
+    if (!cells.ok()) continue;
+    // Archived MODecode under nested emulation.
+    const Bytes input = decoders::PackModecodeInput(cells.value(), n);
+    auto container = RunViaBootstrap(interpreter, modecode, input, vm, steps);
+    if (!container.ok()) continue;
+    if (container.value().size() !=
+        static_cast<size_t>(blocks) * 223) {
+      continue;  // MODecode halted early: unrecoverable emblem
+    }
+    // Bootstrap-documented header parse + CRC check.
+    auto header = mocoder::ParseHeader(container.value());
+    if (!header.ok()) continue;
+    if (header.value().stream != id) continue;
+    Bytes payload(container.value().begin() + mocoder::kHeaderSize,
+                  container.value().begin() + mocoder::kHeaderSize + capacity);
+    if (Crc32(payload) != header.value().payload_crc) continue;
+    local.emblems_decoded += 1;
+    stream_len = header.value().stream_len;
+    have_len = true;
+    payloads[header.value().seq] = std::move(payload);
+  }
+  if (!have_len) {
+    return Status::Corruption("no emblem of the requested stream decoded");
+  }
+  const int data_count = mocoder::DataEmblemCount(stream_len, capacity);
+  int present = 0;
+  for (const auto& [seq, payload] : payloads) {
+    if (!mocoder::IsParitySlot(seq) && mocoder::DataIndexOf(seq) < data_count) {
+      ++present;
+    }
+  }
+  ULE_ASSIGN_OR_RETURN(
+      Bytes stream, mocoder::ReassembleStream(payloads, stream_len, capacity));
+  local.emblems_recovered = data_count - present;
+  if (stats) *stats = local;
+  return stream;
+}
+
+}  // namespace
+
+Result<std::string> RestoreEmulated(
+    const std::vector<media::Image>& data_scans,
+    const std::vector<media::Image>& system_scans,
+    const std::string& bootstrap_text, const mocoder::Options& emblem_options,
+    RestoreStats* stats, verisc::VmFunction vm) {
+  RestoreStats local;
+
+  // Step 1-2 (Fig. 2b): parse the Bootstrap; it yields the DynaRisc
+  // emulator (a VeRisc program) and the MODecode program.
+  ULE_ASSIGN_OR_RETURN(olonys::ParsedBootstrap bootstrap,
+                       olonys::ParseBootstrapText(bootstrap_text));
+
+  // Step 4: system emblems -> the DBDecode program.
+  ULE_ASSIGN_OR_RETURN(
+      Bytes dbdecode_stream,
+      DecodeStreamEmulated(system_scans, mocoder::StreamId::kSystem,
+                           emblem_options, bootstrap.dynarisc_emulator,
+                           bootstrap.mocoder, vm, &local.system_stream,
+                           &local.emulated_steps));
+  ULE_ASSIGN_OR_RETURN(dynarisc::Program dbdecode,
+                       dynarisc::Program::Deserialize(dbdecode_stream));
+
+  // Step 5: data emblems -> DBCoder container -> DBDecode -> SQL text.
+  ULE_ASSIGN_OR_RETURN(
+      Bytes container,
+      DecodeStreamEmulated(data_scans, mocoder::StreamId::kData,
+                           emblem_options, bootstrap.dynarisc_emulator,
+                           bootstrap.mocoder, vm, &local.data_stream,
+                           &local.emulated_steps));
+  ULE_ASSIGN_OR_RETURN(Bytes dump,
+                       RunViaBootstrap(bootstrap.dynarisc_emulator, dbdecode,
+                                       container, vm, &local.emulated_steps));
+  if (stats) *stats = local;
+  return ToString(dump);
+}
+
+}  // namespace core
+}  // namespace ule

@@ -1,0 +1,90 @@
+/// \file micr_olonys.h
+/// \brief Micr'Olonys: the end-to-end ULE archival system (paper §3.3).
+///
+/// Archival (Fig. 2a):
+///   1. db_dump extracts the database as text        (minidb::DumpSql)
+///   2. DBCoder compresses it                        (dbcoder::Encode)
+///   3. MOCoder turns it into data emblems           (mocoder)
+///   4. the decoders are written in DynaRisc         (src/decoders)
+///   5. DBDecode's instruction stream becomes system emblems
+///   6. MODecode + the DynaRisc emulator become the Bootstrap letters
+///   7. everything is rendered to media frames       (media)
+///
+/// Restoration (Fig. 2b) — two paths through the same scanned frames:
+///   * RestoreNative: contemporary C++ decoders (the archival-time check);
+///   * RestoreEmulated: the future user's path — only the Bootstrap
+///     document and the scans are used: the VeRisc emulator is
+///     instantiated, the DynaRisc emulator is loaded from the Bootstrap
+///     letters, MODecode decodes the system emblems to recover DBDecode,
+///     and DBDecode decodes the data stream back into the SQL dump.
+
+#ifndef ULE_CORE_MICR_OLONYS_H_
+#define ULE_CORE_MICR_OLONYS_H_
+
+#include <string>
+#include <vector>
+
+#include "dbcoder/dbcoder.h"
+#include "media/image.h"
+#include "media/profiles.h"
+#include "mocoder/mocoder.h"
+#include "support/status.h"
+#include "verisc/verisc.h"
+
+namespace ule {
+namespace core {
+
+/// Archival parameters.
+struct ArchiveOptions {
+  dbcoder::Scheme scheme = dbcoder::Scheme::kLzac;  ///< DBCoder scheme
+  mocoder::Options emblem;                          ///< emblem geometry
+  bool render_images = true;  ///< produce printable frames (else grids only)
+};
+
+/// A complete physical archive: what gets written to the analog medium.
+struct Archive {
+  std::vector<mocoder::EncodedEmblem> data_emblems;
+  std::vector<mocoder::EncodedEmblem> system_emblems;
+  std::string bootstrap_text;            ///< the seven-page document
+  std::vector<media::Image> data_images;    ///< rendered frames
+  std::vector<media::Image> system_images;
+  mocoder::Options emblem_options;       ///< recorded for restoration
+  size_t dump_bytes = 0;                 ///< size of the textual archive
+  size_t compressed_bytes = 0;           ///< DBCoder container size
+};
+
+/// Steps 1-7: archives a textual database dump.
+Result<Archive> ArchiveDump(const std::string& sql_dump,
+                            const ArchiveOptions& options);
+
+/// Restoration statistics (reported by the benches).
+struct RestoreStats {
+  mocoder::DecodeStats data_stream;
+  mocoder::DecodeStats system_stream;
+  uint64_t emulated_steps = 0;  ///< VeRisc instructions (emulated path)
+};
+
+/// Fast restoration path with contemporary (C++) decoders.
+Result<std::string> RestoreNative(const std::vector<media::Image>& data_scans,
+                                  const std::vector<media::Image>& system_scans,
+                                  const mocoder::Options& emblem_options,
+                                  RestoreStats* stats = nullptr);
+
+/// \brief The full ULE path: restores using ONLY the Bootstrap text and the
+/// scans. `vm` is the user's VeRisc implementation (any of
+/// verisc::AllImplementations, default the reference).
+///
+/// The system emblems are decoded by the archived MODecode running under
+/// nested emulation, which recovers the archived DBDecode program; DBDecode
+/// (again under nested emulation) then decompresses the data stream.
+Result<std::string> RestoreEmulated(
+    const std::vector<media::Image>& data_scans,
+    const std::vector<media::Image>& system_scans,
+    const std::string& bootstrap_text, const mocoder::Options& emblem_options,
+    RestoreStats* stats = nullptr,
+    verisc::VmFunction vm = &verisc::Run);
+
+}  // namespace core
+}  // namespace ule
+
+#endif  // ULE_CORE_MICR_OLONYS_H_

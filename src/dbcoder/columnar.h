@@ -1,0 +1,43 @@
+/// \file columnar.h
+/// \brief The paper's future-work scheme (§5): "compressed, columnar layout
+/// encoding ... well-known to provide an order of magnitude reduction to
+/// storage utilization over the generic compression support available
+/// today."
+///
+/// The scheme understands the textual SQL-dump format (CREATE TABLE +
+/// `COPY ... FROM stdin;` blocks, tab-separated rows, `\.` terminator —
+/// the format minidb's dump writer and PostgreSQL's pg_dump share). COPY
+/// blocks are split into columns; each column is typed by inference and
+/// encoded as
+///
+///   * int64   — zigzag delta varints
+///   * decimal — scaled int64 delta varints (fixed fraction width)
+///   * date    — days-since-epoch delta varints
+///   * dict    — small-cardinality strings as dictionary + 1-byte codes
+///   * blob    — remaining strings, newline-joined, LZAC-compressed
+///
+/// Non-COPY text between blocks is LZAC-compressed verbatim. Every encoded
+/// block is verified against its source during encoding; any block that
+/// would not reconstruct byte-exactly falls back to the verbatim path, so
+/// ColumnarDecode(ColumnarEncode(x)) == x holds for arbitrary input.
+
+#ifndef ULE_DBCODER_COLUMNAR_H_
+#define ULE_DBCODER_COLUMNAR_H_
+
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace ule {
+namespace dbcoder {
+
+/// Encodes `raw` (typically an SQL dump) into the columnar stream format.
+Result<Bytes> ColumnarEncode(BytesView raw);
+
+/// Decodes a columnar stream back to the original bytes.
+/// \param raw_len expected output size (from the DBCoder container header)
+Result<Bytes> ColumnarDecode(BytesView stream, size_t raw_len);
+
+}  // namespace dbcoder
+}  // namespace ule
+
+#endif  // ULE_DBCODER_COLUMNAR_H_

@@ -1,0 +1,266 @@
+#include "dbcoder/dbcoder.h"
+
+#include "dbcoder/columnar.h"
+#include "dbcoder/lz77.h"
+#include "dbcoder/rangecoder.h"
+#include "support/crc32.h"
+
+namespace ule {
+namespace dbcoder {
+namespace {
+
+constexpr std::string_view kMagic = "UDB1";
+
+// ---- LZSS bit stream: flag bit, then literal byte or 13-bit distance-1 +
+// 5-bit length-kMinMatch. MSB-first. ----
+
+Bytes LzssEncode(BytesView raw) {
+  BitWriter w;
+  for (const Token& t : Parse(raw)) {
+    if (t.is_match) {
+      w.PutBit(1);
+      w.PutBits(t.distance - 1u, kWindowBits);
+      w.PutBits(t.length - kMinMatch, kLengthBits);
+    } else {
+      w.PutBit(0);
+      w.PutBits(t.literal, 8);
+    }
+  }
+  return w.Finish();
+}
+
+Result<Bytes> LzssDecode(BytesView stream, size_t raw_len) {
+  BitReader r(stream);
+  Bytes out;
+  out.reserve(raw_len);
+  while (out.size() < raw_len) {
+    const int flag = r.GetBit();
+    if (flag < 0) return Status::Corruption("LZSS: truncated stream");
+    if (flag == 0) {
+      uint32_t lit;
+      if (!r.GetBits(8, &lit)) return Status::Corruption("LZSS: bad literal");
+      out.push_back(static_cast<uint8_t>(lit));
+    } else {
+      uint32_t dist, len;
+      if (!r.GetBits(kWindowBits, &dist) || !r.GetBits(kLengthBits, &len)) {
+        return Status::Corruption("LZSS: bad match");
+      }
+      dist += 1;
+      len += kMinMatch;
+      if (dist > out.size()) return Status::Corruption("LZSS: bad distance");
+      const size_t start = out.size() - dist;
+      for (uint32_t i = 0; i < len && out.size() < raw_len; ++i) {
+        out.push_back(out[start + i]);
+      }
+    }
+  }
+  return out;
+}
+
+// ---- LZAC: the same token structure, every bit arithmetic-coded. Context
+// layout (mirrored by the DynaRisc decoder, decoders/dbdecode.cc):
+//   [0]         flag (after literal)
+//   [1]         flag (after match)
+//   [2..257]    literal bit-tree (256 nodes)
+//   [258..321]  distance high bit-tree (first 6 of 13 bits, 64 nodes)
+//   [322..353]  length bit-tree (32 nodes)
+//   [354]       direct-bit context (for the low 7 distance bits; fixed use)
+constexpr int kCtxFlagLit = 0;
+constexpr int kCtxFlagMatch = 1;
+constexpr int kCtxLiteral = 2;      // 256
+constexpr int kCtxDistHigh = 258;   // 64
+constexpr int kCtxLength = 322;     // 32
+constexpr int kCtxDirect = 354;     // 1 (re-adapting shared context)
+constexpr int kCtxCount = 355;
+
+class LzacContexts {
+ public:
+  LzacContexts() { probs_.assign(kCtxCount, kProbInit); }
+  uint8_t* at(int i) { return &probs_[static_cast<size_t>(i)]; }
+
+ private:
+  std::vector<uint8_t> probs_;
+};
+
+// Encodes `bits` of `value` MSB-first through a bit tree rooted at `base`
+// with 2^bits-1 usable nodes (classic LZMA bit-tree: node index doubles).
+void TreeEncode(RangeEncoder* enc, LzacContexts* ctx, int base, uint32_t value,
+                int bits) {
+  uint32_t node = 1;
+  for (int i = bits - 1; i >= 0; --i) {
+    const int bit = (value >> i) & 1;
+    enc->EncodeBit(ctx->at(base + static_cast<int>(node) - 1), bit);
+    node = (node << 1) | static_cast<uint32_t>(bit);
+  }
+}
+
+uint32_t TreeDecode(RangeDecoder* dec, LzacContexts* ctx, int base, int bits) {
+  uint32_t node = 1;
+  for (int i = 0; i < bits; ++i) {
+    const int bit = dec->DecodeBit(ctx->at(base + static_cast<int>(node) - 1));
+    node = (node << 1) | static_cast<uint32_t>(bit);
+  }
+  return node - (1u << bits);
+}
+
+Bytes LzacEncode(BytesView raw) {
+  RangeEncoder enc;
+  LzacContexts ctx;
+  bool prev_match = false;
+  for (const Token& t : Parse(raw)) {
+    uint8_t* flag_ctx = ctx.at(prev_match ? kCtxFlagMatch : kCtxFlagLit);
+    if (t.is_match) {
+      enc.EncodeBit(flag_ctx, 1);
+      const uint32_t dist = t.distance - 1u;  // 13 bits
+      TreeEncode(&enc, &ctx, kCtxDistHigh, dist >> 7, 6);
+      for (int i = 6; i >= 0; --i) {
+        enc.EncodeBit(ctx.at(kCtxDirect), (dist >> i) & 1);
+      }
+      TreeEncode(&enc, &ctx, kCtxLength, t.length - kMinMatch, kLengthBits);
+      prev_match = true;
+    } else {
+      enc.EncodeBit(flag_ctx, 0);
+      TreeEncode(&enc, &ctx, kCtxLiteral, t.literal, 8);
+      prev_match = false;
+    }
+  }
+  return enc.Finish();
+}
+
+Result<Bytes> LzacDecode(BytesView stream, size_t raw_len) {
+  RangeDecoder dec(stream);
+  LzacContexts ctx;
+  Bytes out;
+  out.reserve(raw_len);
+  bool prev_match = false;
+  while (out.size() < raw_len) {
+    uint8_t* flag_ctx = ctx.at(prev_match ? kCtxFlagMatch : kCtxFlagLit);
+    if (dec.DecodeBit(flag_ctx) == 0) {
+      out.push_back(static_cast<uint8_t>(TreeDecode(&dec, &ctx, kCtxLiteral, 8)));
+      prev_match = false;
+    } else {
+      uint32_t dist = TreeDecode(&dec, &ctx, kCtxDistHigh, 6);
+      for (int i = 0; i < 7; ++i) {
+        dist = (dist << 1) |
+               static_cast<uint32_t>(dec.DecodeBit(ctx.at(kCtxDirect)));
+      }
+      dist += 1;
+      const uint32_t len = TreeDecode(&dec, &ctx, kCtxLength, kLengthBits) +
+                           kMinMatch;
+      if (dist > out.size()) return Status::Corruption("LZAC: bad distance");
+      const size_t start = out.size() - dist;
+      for (uint32_t i = 0; i < len && out.size() < raw_len; ++i) {
+        out.push_back(out[start + i]);
+      }
+      prev_match = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// Bridges for columnar.cc, which compresses its text sections and string
+// blobs with the same LZAC stream format.
+Result<Bytes> LzacEncodeForColumnar(BytesView raw) { return LzacEncode(raw); }
+Result<Bytes> LzacDecodeForColumnar(BytesView stream, size_t raw_len) {
+  return LzacDecode(stream, raw_len);
+}
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kStore:
+      return "store";
+    case Scheme::kLzss:
+      return "lzss";
+    case Scheme::kLzac:
+      return "lzac";
+    case Scheme::kColumnar:
+      return "columnar";
+  }
+  return "unknown";
+}
+
+Result<Bytes> Encode(BytesView raw, Scheme scheme) {
+  Bytes stream;
+  switch (scheme) {
+    case Scheme::kStore:
+      stream.assign(raw.begin(), raw.end());
+      break;
+    case Scheme::kLzss:
+      stream = LzssEncode(raw);
+      break;
+    case Scheme::kLzac:
+      stream = LzacEncode(raw);
+      break;
+    case Scheme::kColumnar: {
+      ULE_ASSIGN_OR_RETURN(stream, ColumnarEncode(raw));
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown DBCoder scheme");
+  }
+  ByteWriter w;
+  w.PutString(kMagic);
+  w.PutU8(static_cast<uint8_t>(scheme));
+  w.PutU32(static_cast<uint32_t>(raw.size()));
+  w.PutU32(Crc32(raw));
+  w.PutBytes(stream);
+  return w.TakeBytes();
+}
+
+Result<Scheme> PeekScheme(BytesView container) {
+  if (container.size() < 13) return Status::Corruption("DBCoder: too short");
+  if (ToString(BytesView(container.data(), 4)) != kMagic) {
+    return Status::Corruption("DBCoder: bad magic");
+  }
+  return static_cast<Scheme>(container[4]);
+}
+
+Result<Bytes> Decode(BytesView container) {
+  ULE_ASSIGN_OR_RETURN(Scheme scheme, PeekScheme(container));
+  ByteReader r(container);
+  Bytes magic;
+  uint8_t scheme_byte;
+  uint32_t raw_len, crc;
+  ULE_RETURN_IF_ERROR(r.GetBytes(4, &magic));
+  ULE_RETURN_IF_ERROR(r.GetU8(&scheme_byte));
+  ULE_RETURN_IF_ERROR(r.GetU32(&raw_len));
+  ULE_RETURN_IF_ERROR(r.GetU32(&crc));
+  const BytesView stream(container.data() + 13, container.size() - 13);
+
+  Bytes raw;
+  switch (scheme) {
+    case Scheme::kStore:
+      if (stream.size() < raw_len) {
+        return Status::Corruption("store: truncated");
+      }
+      raw.assign(stream.begin(), stream.begin() + raw_len);
+      break;
+    case Scheme::kLzss: {
+      ULE_ASSIGN_OR_RETURN(raw, LzssDecode(stream, raw_len));
+      break;
+    }
+    case Scheme::kLzac: {
+      ULE_ASSIGN_OR_RETURN(raw, LzacDecode(stream, raw_len));
+      break;
+    }
+    case Scheme::kColumnar: {
+      ULE_ASSIGN_OR_RETURN(raw, ColumnarDecode(stream, raw_len));
+      break;
+    }
+    default:
+      return Status::Corruption("DBCoder: unknown scheme byte " +
+                                std::to_string(container[4]));
+  }
+  if (raw.size() != raw_len) {
+    return Status::Corruption("DBCoder: length mismatch after decode");
+  }
+  if (Crc32(raw) != crc) {
+    return Status::Corruption("DBCoder: payload CRC mismatch");
+  }
+  return raw;
+}
+
+}  // namespace dbcoder
+}  // namespace ule

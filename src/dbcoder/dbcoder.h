@@ -1,0 +1,59 @@
+/// \file dbcoder.h
+/// \brief DBCoder: the database layout encoder/decoder (paper §3.1).
+///
+/// DBCoder "manages compression of archived databases from their textual,
+/// software-independent format into a compressed binary layout". The
+/// container wraps one of several schemes:
+///
+///   * kStore     — no compression (baseline).
+///   * kLzss      — byte/bit-oriented LZ77 (no entropy coding): simplest
+///                  archived decoder; robustness baseline.
+///   * kLzac      — LZ77 + adaptive binary arithmetic coding: the paper's
+///                  generic scheme ("close to 7-Zip's LZMA"). This is the
+///                  default archival scheme; its decoder is archived as
+///                  DynaRisc assembly.
+///   * kColumnar  — the paper's future-work scheme (§5): parses the SQL
+///                  dump's COPY blocks and applies typed, per-column
+///                  encodings (dictionary/delta/run-length); used by the
+///                  compression experiment (E10).
+///
+/// Container layout ("UDB1"): magic, scheme byte, u32 raw length, u32
+/// CRC-32 of the raw payload, then the scheme's stream. The archived
+/// DynaRisc DBDecode program parses this same container.
+
+#ifndef ULE_DBCODER_DBCODER_H_
+#define ULE_DBCODER_DBCODER_H_
+
+#include <string>
+
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace ule {
+namespace dbcoder {
+
+/// Compression scheme identifiers (byte 4 of the container).
+enum class Scheme : uint8_t {
+  kStore = 0,
+  kLzss = 1,
+  kLzac = 2,
+  kColumnar = 3,
+};
+
+/// Human-readable scheme name.
+const char* SchemeName(Scheme scheme);
+
+/// Compresses `raw` into a DBCoder container with the given scheme.
+Result<Bytes> Encode(BytesView raw, Scheme scheme);
+
+/// Decodes a DBCoder container produced by Encode (any scheme; the scheme
+/// byte in the container decides). Validates the payload CRC.
+Result<Bytes> Decode(BytesView container);
+
+/// Peeks the scheme byte of a container without decoding.
+Result<Scheme> PeekScheme(BytesView container);
+
+}  // namespace dbcoder
+}  // namespace ule
+
+#endif  // ULE_DBCODER_DBCODER_H_

@@ -1,0 +1,116 @@
+#include "dbcoder/lz77.h"
+
+#include <algorithm>
+
+namespace ule {
+namespace dbcoder {
+namespace {
+
+constexpr int kHashBits = 15;
+constexpr uint32_t kHashSize = 1u << kHashBits;
+constexpr int kMaxChainLength = 64;  // match-finder effort bound
+
+uint32_t Hash3(const uint8_t* p) {
+  const uint32_t v = p[0] | (p[1] << 8) | (p[2] << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<Token> Parse(BytesView input) {
+  std::vector<Token> tokens;
+  const size_t n = input.size();
+  tokens.reserve(n / 2);
+
+  // head[h]: most recent position with hash h; prev[i & mask]: chain.
+  std::vector<int32_t> head(kHashSize, -1);
+  std::vector<int32_t> prev(kWindowSize, -1);
+
+  auto find_match = [&](size_t pos, uint32_t* best_dist) -> uint32_t {
+    if (pos + kMinMatch > n) return 0;
+    const uint32_t max_len =
+        static_cast<uint32_t>(std::min<size_t>(kMaxMatch, n - pos));
+    uint32_t best_len = 0;
+    int32_t cand = head[Hash3(&input[pos])];
+    int chain = 0;
+    while (cand >= 0 && chain++ < kMaxChainLength) {
+      const size_t dist = pos - static_cast<size_t>(cand);
+      if (dist > kWindowSize) break;
+      uint32_t len = 0;
+      while (len < max_len && input[cand + len] == input[pos + len]) ++len;
+      if (len > best_len) {
+        best_len = len;
+        *best_dist = static_cast<uint32_t>(dist);
+        if (len == max_len) break;
+      }
+      cand = prev[cand & (kWindowSize - 1)];
+    }
+    return best_len >= kMinMatch ? best_len : 0;
+  };
+
+  auto insert = [&](size_t pos) {
+    if (pos + kMinMatch > n) return;
+    const uint32_t h = Hash3(&input[pos]);
+    prev[pos & (kWindowSize - 1)] = head[h];
+    head[h] = static_cast<int32_t>(pos);
+  };
+
+  size_t pos = 0;
+  while (pos < n) {
+    uint32_t dist = 0;
+    uint32_t len = find_match(pos, &dist);
+    if (len >= kMinMatch) {
+      // One-step lazy evaluation: prefer a longer match starting at pos+1.
+      uint32_t next_dist = 0;
+      uint32_t next_len = 0;
+      if (pos + 1 < n) {
+        insert(pos);
+        next_len = find_match(pos + 1, &next_dist);
+      }
+      if (next_len > len) {
+        Token lit;
+        lit.is_match = false;
+        lit.literal = input[pos];
+        tokens.push_back(lit);
+        pos += 1;  // pos already inserted above
+        len = next_len;
+        dist = next_dist;
+      }
+      Token m;
+      m.is_match = true;
+      m.distance = static_cast<uint16_t>(dist);
+      m.length = static_cast<uint8_t>(len);
+      tokens.push_back(m);
+      // Insert every covered position (first may already be inserted; the
+      // chain tolerates duplicates).
+      for (uint32_t i = 0; i < len; ++i) insert(pos + i);
+      pos += len;
+    } else {
+      Token lit;
+      lit.is_match = false;
+      lit.literal = input[pos];
+      tokens.push_back(lit);
+      insert(pos);
+      ++pos;
+    }
+  }
+  return tokens;
+}
+
+Bytes Expand(const std::vector<Token>& tokens) {
+  Bytes out;
+  for (const Token& t : tokens) {
+    if (!t.is_match) {
+      out.push_back(t.literal);
+    } else {
+      const size_t start = out.size() - t.distance;
+      for (uint32_t i = 0; i < t.length; ++i) {
+        out.push_back(out[start + i]);  // may overlap; byte-by-byte is correct
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dbcoder
+}  // namespace ule

@@ -1,0 +1,445 @@
+#include "decoders/dbdecode.h"
+
+#include <cassert>
+
+#include "dynarisc/assembler.h"
+
+namespace ule {
+namespace decoders {
+namespace {
+
+/// DBDecode in DynaRisc assembly.
+///
+/// Register conventions:
+///   R0       SYS I/O byte
+///   R1       result/byte in flight
+///   R2, R3   LZSS: bit buffer (left-aligned) + bits left
+///            LZAC: range + code of the arithmetic decoder
+///   R4, R5   tree node / loop counters
+///   R6, R7   scratch
+///   D2       memory pointer for variable/context access
+///   D3       stack pointer
+///
+/// Memory map (.equ, beyond the loaded image — zero-initialised):
+///   0x7000  variables (16-bit each)
+///   0x7100  LZAC contexts, 355 bytes (runtime-initialised to 128)
+///   0x8000  LZ77 window ring buffer, 8192 bytes
+///   0xFF00  stack top
+constexpr std::string_view kSource = R"(
+; ---------------------------------------------------------------- layout
+.equ REMLO,    0x7000      ; remaining output bytes, low word
+.equ REMHI,    0x7002      ; remaining output bytes, high word
+.equ WPOSV,    0x7004      ; window write counter
+.equ DISTV,    0x7006      ; current match distance
+.equ PREVM,    0x7008      ; LZAC: previous-token-was-match flag
+.equ TREEB,    0x700A      ; LZAC: current bit-tree base
+.equ SCHEMEV,  0x700C      ; container scheme byte
+.equ CTX,      0x7100      ; LZAC context probabilities (355 bytes)
+.equ CTXLIT,   0x7102      ; CTX + 2
+.equ CTXDIST,  0x7202      ; CTX + 258
+.equ CTXLEN,   0x7242      ; CTX + 322
+.equ CTXDIRECT,0x7262      ; CTX + 354
+.equ WINDOW,   0x8000      ; 8 KiB ring buffer (aligned: mask 0x1FFF)
+.equ STACKTOP, 0xFF00
+
+.entry main
+
+; ------------------------------------------------------------------ main
+main:
+      LDI   R1, #STACKTOP
+      MOVE  D3, R1
+      ; initialise the 355 LZAC contexts to probability 128
+      LDI   R6, #CTX
+      MOVE  D2, R6
+      LDI   R7, #355
+      LDI   R1, #128
+ctx_init:
+      STM.B R1, [D2+]
+      LDI   R6, #1
+      SUB   R7, R6
+      JNZ   ctx_init
+      ; container magic "UDB1"
+      SYS   #0
+      LDI   R7, #'U'
+      CMP   R0, R7
+      JNZ   fail
+      SYS   #0
+      LDI   R7, #'D'
+      CMP   R0, R7
+      JNZ   fail
+      SYS   #0
+      LDI   R7, #'B'
+      CMP   R0, R7
+      JNZ   fail
+      SYS   #0
+      LDI   R7, #'1'
+      CMP   R0, R7
+      JNZ   fail
+      ; scheme byte
+      SYS   #0
+      LDI   R6, #SCHEMEV
+      MOVE  D2, R6
+      STM.W R0, [D2]
+      ; raw length, 4 bytes little-endian -> REMLO/REMHI
+      SYS   #0
+      MOVE  R6, R0
+      SYS   #0
+      MOVE  R7, R0
+      LSL   R7, #8
+      OR    R6, R7
+      LDI   R7, #REMLO
+      MOVE  D2, R7
+      STM.W R6, [D2]
+      SYS   #0
+      MOVE  R6, R0
+      SYS   #0
+      MOVE  R7, R0
+      LSL   R7, #8
+      OR    R6, R7
+      LDI   R7, #REMHI
+      MOVE  D2, R7
+      STM.W R6, [D2]
+      ; payload CRC: 4 bytes, not rechecked here (the emblem layer already
+      ; guarantees integrity; see DESIGN.md)
+      SYS   #0
+      SYS   #0
+      SYS   #0
+      SYS   #0
+      ; dispatch on scheme
+      LDI   R6, #SCHEMEV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #0
+      CMP   R6, R7
+      JZ    store_loop
+      LDI   R7, #1
+      CMP   R6, R7
+      JZ    lzss_start
+      LDI   R7, #2
+      CMP   R6, R7
+      JZ    lzac_start
+fail:
+      SYS   #2
+
+done:
+      SYS   #2
+
+; --------------------------------------------------------------- helpers
+; remzero: sets Z iff no output bytes remain. Clobbers R6, R7, D2.
+remzero:
+      LDI   R6, #REMLO
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #REMHI
+      MOVE  D2, R7
+      LDM.W R7, [D2]
+      OR    R6, R7
+      RET
+
+; emit: writes the byte in R1 to the output and the window, decrements the
+; remaining count. Clobbers R0, R6, R7, D2. Preserves R1..R5.
+emit:
+      MOVE  R0, R1
+      SYS   #1
+      ; window[wpos & 0x1FFF] = byte
+      LDI   R6, #WPOSV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      MOVE  R7, R6
+      LDI   R0, #0x1FFF
+      AND   R7, R0
+      LDI   R0, #WINDOW
+      ADD   R7, R0
+      MOVE  D2, R7
+      STM.B R1, [D2]
+      ; wpos += 1
+      LDI   R7, #WPOSV
+      MOVE  D2, R7
+      LDI   R7, #1
+      ADD   R6, R7
+      STM.W R6, [D2]
+      ; remaining -= 1 (32-bit)
+      LDI   R7, #REMLO
+      MOVE  D2, R7
+      LDM.W R6, [D2]
+      LDI   R7, #1
+      SUB   R6, R7
+      STM.W R6, [D2]
+      JNC   emit_ret
+      LDI   R7, #REMHI
+      MOVE  D2, R7
+      LDM.W R6, [D2]
+      LDI   R7, #1
+      SUB   R6, R7
+      STM.W R6, [D2]
+emit_ret:
+      RET
+
+; copymatch: copies R4 bytes from distance DISTV back in the window,
+; re-emitting them (overlap-correct: the read position is recomputed from
+; the advancing write position each byte). Stops early when the output is
+; complete. Clobbers R0, R1, R6, R7, D2, R4.
+copymatch:
+      CALL  remzero
+      JZ    copym_ret
+      LDI   R6, #WPOSV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #DISTV
+      MOVE  D2, R7
+      LDM.W R7, [D2]
+      SUB   R6, R7
+      LDI   R7, #0x1FFF
+      AND   R6, R7
+      LDI   R7, #WINDOW
+      ADD   R6, R7
+      MOVE  D2, R6
+      LDM.B R1, [D2]
+      CALL  emit
+      LDI   R7, #1
+      SUB   R4, R7
+      JNZ   copymatch
+copym_ret:
+      RET
+
+; ------------------------------------------------------------- scheme 0
+store_loop:
+      CALL  remzero
+      JZ    done
+      SYS   #0
+      JC    done
+      MOVE  R1, R0
+      CALL  emit
+      JUMP  store_loop
+
+; ------------------------------------------------------------- scheme 1
+; LZSS bit reader: R2 = buffer (current byte left-aligned in bits 15..8),
+; R3 = bits left.
+; getbit: returns the next stream bit in R1. Clobbers R0, R6, R7.
+getbit:
+      LDI   R7, #0
+      CMP   R3, R7
+      JNZ   getbit_have
+      SYS   #0
+      JNC   getbit_fill
+      LDI   R0, #0           ; past end of stream: zero bits
+getbit_fill:
+      MOVE  R2, R0
+      LSL   R2, #8
+      LDI   R3, #8
+getbit_have:
+      LDI   R1, #0
+      MOVE  R6, R2
+      LDI   R7, #0x8000
+      AND   R6, R7
+      JZ    getbit_zero
+      LDI   R1, #1
+getbit_zero:
+      LSL   R2, #1
+      LDI   R7, #1
+      SUB   R3, R7
+      RET
+
+; getbits: reads R5 bits MSB-first into R4. Clobbers R0, R1, R5, R6, R7.
+getbits:
+      LDI   R4, #0
+getbits_loop:
+      CALL  getbit
+      LSL   R4, #1
+      OR    R4, R1
+      LDI   R7, #1
+      SUB   R5, R7
+      JNZ   getbits_loop
+      RET
+
+lzss_start:
+      LDI   R3, #0           ; bit buffer empty
+lzss_loop:
+      CALL  remzero
+      JZ    done
+      CALL  getbit
+      LDI   R7, #0
+      CMP   R1, R7
+      JZ    lzss_literal
+      ; match token: 13-bit distance-1, 5-bit length-3
+      LDI   R5, #13
+      CALL  getbits
+      LDI   R7, #1
+      ADD   R4, R7
+      LDI   R6, #DISTV
+      MOVE  D2, R6
+      STM.W R4, [D2]
+      LDI   R5, #5
+      CALL  getbits
+      LDI   R7, #3
+      ADD   R4, R7
+      CALL  copymatch
+      JUMP  lzss_loop
+lzss_literal:
+      LDI   R5, #8
+      CALL  getbits
+      MOVE  R1, R4
+      CALL  emit
+      JUMP  lzss_loop
+
+; ------------------------------------------------------------- scheme 2
+; Adaptive binary arithmetic decoder, 16-bit state (see
+; src/dbcoder/rangecoder.h for the normative spec):
+;   R2 = range, R3 = code.
+; decodebit: context address in R6 -> bit in R1.
+; Clobbers R0, R6, R7, D2. Preserves R4, R5.
+decodebit:
+      MOVE  D2, R6
+      LDM.B R7, [D2]         ; prob
+      MOVE  R6, R2
+      LSR   R6, #8
+      MUL   R6, R7           ; bound = (range >> 8) * prob
+      CMP   R3, R6
+      JC    decbit_zero      ; code < bound
+      ; bit = 1
+      SUB   R3, R6           ; code  -= bound
+      SUB   R2, R6           ; range -= bound
+      MOVE  R1, R7
+      LSR   R1, #4
+      SUB   R7, R1           ; prob -= prob >> 4
+      STM.B R7, [D2]
+      LDI   R1, #1
+      JUMP  decbit_norm
+decbit_zero:
+      MOVE  R2, R6           ; range = bound
+      LDI   R1, #256
+      SUB   R1, R7
+      LSR   R1, #4
+      ADD   R7, R1           ; prob += (256 - prob) >> 4
+      STM.B R7, [D2]
+      LDI   R1, #0
+decbit_norm:
+      LDI   R6, #0x100
+      CMP   R2, R6
+      JNC   decbit_done      ; range >= 0x100
+      LSL   R2, #8
+      LSL   R3, #8
+      SYS   #0
+      JNC   decbit_byte
+      LDI   R0, #0
+decbit_byte:
+      OR    R3, R0
+      JUMP  decbit_norm
+decbit_done:
+      RET
+
+; treedec: bit-tree decode. R6 = tree base address, R5 = bit count.
+; Returns the raw node in R4 (caller subtracts 1 << bits).
+; Clobbers R0, R1, R5, R6, R7, D2.
+treedec:
+      LDI   R7, #TREEB
+      MOVE  D2, R7
+      STM.W R6, [D2]
+      LDI   R4, #1
+treedec_loop:
+      LDI   R7, #TREEB
+      MOVE  D2, R7
+      LDM.W R6, [D2]
+      ADD   R6, R4
+      LDI   R7, #1
+      SUB   R6, R7           ; ctx = base + node - 1
+      CALL  decodebit
+      LSL   R4, #1
+      OR    R4, R1
+      LDI   R7, #1
+      SUB   R5, R7
+      JNZ   treedec_loop
+      RET
+
+lzac_start:
+      LDI   R2, #0xFFFF      ; range
+      SYS   #0               ; the spec's discarded first byte
+      SYS   #0
+      JNC   lzac_c1
+      LDI   R0, #0
+lzac_c1:
+      MOVE  R3, R0
+      LSL   R3, #8
+      SYS   #0
+      JNC   lzac_c2
+      LDI   R0, #0
+lzac_c2:
+      OR    R3, R0           ; code = first two payload bytes
+lzac_loop:
+      CALL  remzero
+      JZ    done
+      ; flag context: CTX + prev_match
+      LDI   R6, #PREVM
+      MOVE  D2, R6
+      LDM.W R7, [D2]
+      LDI   R6, #CTX
+      ADD   R6, R7
+      CALL  decodebit
+      LDI   R7, #0
+      CMP   R1, R7
+      JNZ   lzac_match
+      ; literal: 8-bit tree
+      LDI   R6, #CTXLIT
+      LDI   R5, #8
+      CALL  treedec
+      LDI   R7, #256
+      SUB   R4, R7
+      MOVE  R1, R4
+      CALL  emit
+      LDI   R6, #PREVM
+      MOVE  D2, R6
+      LDI   R7, #0
+      STM.W R7, [D2]
+      JUMP  lzac_loop
+lzac_match:
+      ; distance: 6 tree bits then 7 direct bits, then +1
+      LDI   R6, #CTXDIST
+      LDI   R5, #6
+      CALL  treedec
+      LDI   R7, #64
+      SUB   R4, R7
+      LDI   R5, #7
+lzac_direct:
+      LDI   R6, #CTXDIRECT
+      CALL  decodebit
+      LSL   R4, #1
+      OR    R4, R1
+      LDI   R7, #1
+      SUB   R5, R7
+      JNZ   lzac_direct
+      LDI   R7, #1
+      ADD   R4, R7
+      LDI   R6, #DISTV
+      MOVE  D2, R6
+      STM.W R4, [D2]
+      ; length: 5 tree bits, then + kMinMatch
+      LDI   R6, #CTXLEN
+      LDI   R5, #5
+      CALL  treedec
+      LDI   R7, #32
+      SUB   R4, R7
+      LDI   R7, #3
+      ADD   R4, R7
+      CALL  copymatch
+      LDI   R6, #PREVM
+      MOVE  D2, R6
+      LDI   R7, #1
+      STM.W R7, [D2]
+      JUMP  lzac_loop
+)";
+
+}  // namespace
+
+std::string_view DbDecodeSource() { return kSource; }
+
+const dynarisc::Program& DbDecodeProgram() {
+  static const dynarisc::Program kProgram = [] {
+    auto assembled = dynarisc::Assemble(kSource);
+    assert(assembled.ok() && "DBDecode assembly failed");
+    return assembled.TakeValue();
+  }();
+  return kProgram;
+}
+
+}  // namespace decoders
+}  // namespace ule

@@ -1,0 +1,35 @@
+/// \file dbdecode.h
+/// \brief DBDecode: the DBCoder decoder written in DynaRisc assembly.
+///
+/// This is the program that gets archived as *system emblems* (paper §3.3,
+/// step 5): at restoration time it runs inside the (nested) Olonys emulator
+/// and converts the DBCoder container back into the textual archive. It
+/// implements the `store`, `lzss` and `lzac` schemes — including the full
+/// adaptive binary arithmetic decoder — in 16-bit assembly. The `columnar`
+/// scheme is an archival-side experiment and is not part of the archived
+/// decoder (DESIGN.md §7).
+///
+/// I/O protocol: the DBCoder container arrives on the SYS #0 input stream;
+/// decompressed bytes leave through SYS #1. A malformed container (bad
+/// magic or scheme) halts with no/partial output.
+
+#ifndef ULE_DECODERS_DBDECODE_H_
+#define ULE_DECODERS_DBDECODE_H_
+
+#include <string_view>
+
+#include "dynarisc/machine.h"
+
+namespace ule {
+namespace decoders {
+
+/// The DynaRisc assembly source of DBDecode (embedded listing).
+std::string_view DbDecodeSource();
+
+/// The assembled program (cached; assembly is deterministic).
+const dynarisc::Program& DbDecodeProgram();
+
+}  // namespace decoders
+}  // namespace ule
+
+#endif  // ULE_DECODERS_DBDECODE_H_

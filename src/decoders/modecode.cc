@@ -1,0 +1,1119 @@
+#include "decoders/modecode.h"
+
+#include <cassert>
+
+#include "dynarisc/assembler.h"
+
+namespace ule {
+namespace decoders {
+namespace {
+
+/// MODecode in DynaRisc assembly. See modecode.h for the I/O protocol and
+/// dbdecode.cc for the register conventions shared by the archived
+/// decoders.
+///
+/// Memory map (.equ addresses beyond the image are zero-initialised):
+///   0x1400  GF(256) exp table, 510 bytes (doubled to avoid mod 255)
+///   0x1600  GF(256) log table, 256 bytes
+///   0x1700  RS scratch: synd[32] lambda[33] prevb[33] tmpp[33] omega[32]
+///   0x1800  codeword buffer, 255 bytes
+///   0x1900  variables
+///   0x1A00  row buffer (<= 1000 bytes)
+///   0x1E00  interleaved coded bytes (blocks*255, <= 57630)
+///   0xFFF0  stack top
+constexpr std::string_view kSource = R"(
+; ---------------------------------------------------------------- layout
+.equ GFEXP,    0x1400
+.equ GFLOG,    0x1600
+.equ SYND,     0x1700      ; 32 bytes
+.equ LAMBDA,   0x1720      ; 33 bytes
+.equ PREVB,    0x1748      ; 33 bytes
+.equ TMPP,     0x1770      ; 33 bytes
+.equ OMEGA,    0x1798      ; 32 bytes
+.equ CWBUF,    0x1800      ; 255 bytes
+; variables (16-bit words)
+.equ NV,       0x1900      ; grid side N
+.equ THRV,     0x1902      ; threshold (kept in R1 during demod)
+.equ BLOCKSV,  0x1904
+.equ CODEDLENV,0x1906      ; blocks*255
+.equ CODEDPOSV,0x1908      ; bytes packed so far
+.equ ROWV,     0x190A
+.equ IVV,      0x190C      ; inner cell counter
+.equ SALOV,    0x190E      ; 32-bit sum A (sync phase A)
+.equ SAHIV,    0x1910
+.equ SBLOV,    0x1912
+.equ SBHIV,    0x1914
+.equ CAV,      0x1916      ; phase A cell count
+.equ CBV,      0x1918
+.equ AZV,      0x191A      ; OR of all syndromes of current block
+.equ SIV,      0x191C      ; syndrome index
+.equ BLKV,     0x191E      ; current block
+.equ BMLV,     0x1920      ; BM: L
+.equ BMMV,     0x1922      ; BM: m
+.equ BMBV,     0x1924      ; BM: b
+.equ BMDV,     0x1926      ; BM: delta
+.equ BMSV,     0x1928      ; BM: step
+.equ DEGV,     0x192A      ; deg(lambda)
+.equ ROOTSV,   0x192C      ; Chien root count
+.equ XINVV,    0x192E      ; current X^-1
+.equ POSAV,    0x1930      ; current position a
+.equ MEANAV,   0x1932
+.equ MEANBV,   0x1934
+.equ ROWBUF,   0x1A00
+.equ CODED,    0x1E00
+.equ STACKTOP, 0xFFF0
+
+.entry main
+
+main:
+      LDI   R1, #STACKTOP
+      MOVE  D3, R1
+      CALL  gf_init
+      ; N (two bytes, little-endian)
+      SYS   #0
+      MOVE  R6, R0
+      SYS   #0
+      MOVE  R7, R0
+      LSL   R7, #8
+      OR    R6, R7
+      LDI   R7, #NV
+      MOVE  D2, R7
+      STM.W R6, [D2]
+      ; sanity: 8 <= N <= 1000
+      LDI   R7, #8
+      CMP   R6, R7
+      JC    fail
+      LDI   R7, #1001
+      CMP   R6, R7
+      JNC   fail
+      ; bytes = (N * (N-1)) >> 4 ; blocks = bytes / 255
+      MOVE  R4, R6
+      LDI   R7, #1
+      SUB   R4, R7           ; N-1
+      MUL   R4, R6           ; product low in R4, high in HI
+      MOVE  R5, HI
+      LDI   R7, #4
+shift16:
+      LSR   R4, #1           ; 32-bit right shift by 1: low then carry-in
+      MOVE  R6, R5
+      LDI   R0, #1
+      AND   R6, R0
+      JZ    no_carry_bit
+      LDI   R6, #0x8000
+      OR    R4, R6
+no_carry_bit:
+      LSR   R5, #1
+      LDI   R6, #1
+      SUB   R7, R6
+      JNZ   shift16
+      ; R4 = bytes (R5 must now be zero for N <= 1000)
+      LDI   R6, #0
+      CMP   R5, R6
+      JNZ   fail
+      ; blocks = bytes / 255 by repeated subtraction
+      LDI   R5, #0           ; quotient
+div255:
+      LDI   R7, #255
+      CMP   R4, R7
+      JC    div255_done
+      SUB   R4, R7
+      LDI   R7, #1
+      ADD   R5, R7
+      JUMP  div255
+div255_done:
+      LDI   R7, #0
+      CMP   R5, R7
+      JZ    fail             ; too small for one RS block
+      LDI   R7, #227
+      CMP   R5, R7
+      JNC   fail             ; coded buffer would exceed the address space
+      LDI   R6, #BLOCKSV
+      MOVE  D2, R6
+      STM.W R5, [D2]
+      LDI   R7, #255
+      MUL   R5, R7
+      LDI   R6, #CODEDLENV
+      MOVE  D2, R6
+      STM.W R5, [D2]
+      CALL  sync_row
+      CALL  demod_rows
+      CALL  rs_blocks
+      SYS   #2
+
+fail:
+      SYS   #2
+
+; ----------------------------------------------------------- GF tables
+; exp[i] = alpha^i (doubled to 510 entries), log[exp[i]] = i.
+gf_init:
+      LDI   R4, #1           ; x
+      LDI   R5, #0           ; i
+gfi_loop:
+      LDI   R6, #GFEXP
+      ADD   R6, R5
+      MOVE  D2, R6
+      STM.B R4, [D2]
+      LDI   R6, #GFLOG
+      MOVE  R7, R4
+      LDI   R0, #0xFF
+      AND   R7, R0
+      ADD   R6, R7
+      MOVE  D2, R6
+      STM.B R5, [D2]
+      LSL   R4, #1
+      MOVE  R6, R4
+      LDI   R7, #0x100
+      AND   R6, R7
+      JZ    gfi_nored
+      LDI   R7, #0x11D
+      XOR   R4, R7
+gfi_nored:
+      LDI   R7, #1
+      ADD   R5, R7
+      LDI   R7, #255
+      CMP   R5, R7
+      JNZ   gfi_loop
+      ; duplicate: exp[255+i] = exp[i]
+      LDI   R5, #0
+gfi_dup:
+      LDI   R6, #GFEXP
+      ADD   R6, R5
+      MOVE  D2, R6
+      LDM.B R4, [D2]
+      LDI   R6, #GFEXP
+      ADD   R6, R5
+      LDI   R7, #255
+      ADD   R6, R7
+      MOVE  D2, R6
+      STM.B R4, [D2]
+      LDI   R7, #1
+      ADD   R5, R7
+      LDI   R7, #255
+      CMP   R5, R7
+      JNZ   gfi_dup
+      RET
+
+; gfmul: R6 = R6 * R7 in GF(256). Clobbers R0, R7, D2.
+gfmul:
+      LDI   R0, #0
+      CMP   R6, R0
+      JZ    gfmul_zero
+      CMP   R7, R0
+      JZ    gfmul_zero
+      LDI   R0, #GFLOG
+      ADD   R6, R0
+      MOVE  D2, R6
+      LDM.B R6, [D2]
+      LDI   R0, #GFLOG
+      ADD   R7, R0
+      MOVE  D2, R7
+      LDM.B R7, [D2]
+      ADD   R6, R7
+      LDI   R0, #GFEXP
+      ADD   R6, R0
+      MOVE  D2, R6
+      LDM.B R6, [D2]
+      RET
+gfmul_zero:
+      LDI   R6, #0
+      RET
+
+; gfdiv: R6 = R6 / R7 in GF(256), R7 != 0. Clobbers R0, R7, D2.
+gfdiv:
+      LDI   R0, #0
+      CMP   R6, R0
+      JZ    gfdiv_zero
+      LDI   R0, #GFLOG
+      ADD   R6, R0
+      MOVE  D2, R6
+      LDM.B R6, [D2]
+      LDI   R0, #GFLOG
+      ADD   R7, R0
+      MOVE  D2, R7
+      LDM.B R7, [D2]
+      LDI   R0, #255
+      ADD   R6, R0
+      SUB   R6, R7
+      LDI   R0, #GFEXP
+      ADD   R6, R0
+      MOVE  D2, R6
+      LDM.B R6, [D2]
+      RET
+gfdiv_zero:
+      LDI   R6, #0
+      RET
+
+; ------------------------------------------------------------- sync row
+; Reads row 0, accumulates 32-bit sums per 2-cell phase, derives the
+; demodulation threshold (meanA + meanB) / 2 into THRV.
+sync_row:
+      LDI   R6, #NV
+      MOVE  D2, R6
+      LDM.W R5, [D2]         ; N cells to read
+      LDI   R4, #0           ; x
+sync_cell:
+      SYS   #0
+      ; phase: ((x >> 1) & 1) == 0 -> A
+      MOVE  R6, R4
+      LSR   R6, #1
+      LDI   R7, #1
+      AND   R6, R7
+      JZ    sync_a
+      ; B: SB += v ; CB += 1
+      LDI   R6, #SBLOV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      ADD   R6, R0
+      STM.W R6, [D2]
+      JNC   sync_b_nc
+      LDI   R6, #SBHIV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #1
+      ADD   R6, R7
+      STM.W R6, [D2]
+sync_b_nc:
+      LDI   R6, #CBV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #1
+      ADD   R6, R7
+      STM.W R6, [D2]
+      JUMP  sync_next
+sync_a:
+      LDI   R6, #SALOV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      ADD   R6, R0
+      STM.W R6, [D2]
+      JNC   sync_a_nc
+      LDI   R6, #SAHIV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #1
+      ADD   R6, R7
+      STM.W R6, [D2]
+sync_a_nc:
+      LDI   R6, #CAV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #1
+      ADD   R6, R7
+      STM.W R6, [D2]
+sync_next:
+      LDI   R7, #1
+      ADD   R4, R7
+      SUB   R5, R7
+      JNZ   sync_cell
+      ; meanA = SA / CA ; meanB = SB / CB (32/16 division, quotient <= 255)
+      LDI   R6, #SALOV
+      MOVE  D2, R6
+      LDM.W R2, [D2]
+      LDI   R6, #SAHIV
+      MOVE  D2, R6
+      LDM.W R3, [D2]
+      LDI   R6, #CAV
+      MOVE  D2, R6
+      LDM.W R5, [D2]
+      CALL  div32
+      LDI   R6, #MEANAV
+      MOVE  D2, R6
+      STM.W R4, [D2]
+      LDI   R6, #SBLOV
+      MOVE  D2, R6
+      LDM.W R2, [D2]
+      LDI   R6, #SBHIV
+      MOVE  D2, R6
+      LDM.W R3, [D2]
+      LDI   R6, #CBV
+      MOVE  D2, R6
+      LDM.W R5, [D2]
+      CALL  div32
+      LDI   R6, #MEANAV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      ADD   R6, R4
+      LSR   R6, #1
+      LDI   R7, #THRV
+      MOVE  D2, R7
+      STM.W R6, [D2]
+      ; zero contrast is undecodable
+      LDI   R6, #MEANAV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      CMP   R6, R4
+      JZ    fail
+      RET
+
+; div32: R4 = (R3:R2) / R5 for small quotients (repeated subtraction;
+; quotient <= 255 because the dividend is a sum of <= N intensity bytes).
+; Clobbers R2, R3, R6, R7.
+div32:
+      LDI   R4, #0
+div32_loop:
+      LDI   R7, #0
+      CMP   R3, R7
+      JNZ   div32_sub        ; high word nonzero -> definitely >= divisor
+      CMP   R2, R5
+      JC    div32_done       ; low < divisor
+div32_sub:
+      MOVE  R6, R2
+      SUB   R2, R5
+      JNC   div32_nb
+      LDI   R7, #1
+      SUB   R3, R7
+div32_nb:
+      LDI   R7, #1
+      ADD   R4, R7
+      JUMP  div32_loop
+div32_done:
+      RET
+
+; ----------------------------------------------------------- demodulate
+; Rows 1..N-1 arrive row-major; the serpentine alternates direction.
+; R1 = threshold, R2 = packing byte, R3 = bit count in R2,
+; R4 = half-flag, R5 = first-half level, D1 = coded write pointer.
+demod_rows:
+      LDI   R6, #THRV
+      MOVE  D2, R6
+      LDM.W R1, [D2]
+      LDI   R2, #0
+      LDI   R3, #0
+      LDI   R4, #0
+      LDI   R6, #CODED
+      MOVE  D1, R6
+      LDI   R6, #ROWV
+      MOVE  D2, R6
+      LDI   R7, #1
+      STM.W R7, [D2]
+drow_loop:
+      ; read one row into ROWBUF
+      LDI   R6, #ROWBUF
+      MOVE  D0, R6
+      LDI   R6, #NV
+      MOVE  D2, R6
+      LDM.W R7, [D2]
+drow_read:
+      SYS   #0
+      STM.B R0, [D0+]
+      LDI   R6, #1
+      SUB   R7, R6
+      JNZ   drow_read
+      ; IV = N
+      LDI   R6, #NV
+      MOVE  D2, R6
+      LDM.W R7, [D2]
+      LDI   R6, #IVV
+      MOVE  D2, R6
+      STM.W R7, [D2]
+      ; direction = (row - 1) & 1
+      LDI   R6, #ROWV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #1
+      SUB   R6, R7
+      AND   R6, R7
+      JZ    drow_forward
+      ; ------- backward row: D0 = ROWBUF + N, pre-decrement
+      LDI   R6, #NV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #ROWBUF
+      ADD   R6, R7
+      MOVE  D0, R6
+bcell:
+      MOVE  R6, D0
+      LDI   R7, #1
+      SUB   R6, R7
+      MOVE  D0, R6
+      LDM.B R6, [D0]
+      CMP   R6, R1
+      JC    bcell_black
+      LDI   R6, #0
+      JUMP  bcell_have
+bcell_black:
+      LDI   R6, #1
+bcell_have:
+      CALL  half_cell
+      LDI   R6, #IVV
+      MOVE  D2, R6
+      LDM.W R7, [D2]
+      LDI   R6, #1
+      SUB   R7, R6
+      LDI   R6, #IVV
+      MOVE  D2, R6
+      STM.W R7, [D2]
+      LDI   R6, #0
+      CMP   R7, R6           ; LDI/MOVE update Z; re-test the counter
+      JNZ   bcell
+      JUMP  drow_next
+      ; ------- forward row
+drow_forward:
+      LDI   R6, #ROWBUF
+      MOVE  D0, R6
+fcell:
+      LDM.B R6, [D0+]
+      CMP   R6, R1
+      JC    fcell_black
+      LDI   R6, #0
+      JUMP  fcell_have
+fcell_black:
+      LDI   R6, #1
+fcell_have:
+      CALL  half_cell
+      LDI   R6, #IVV
+      MOVE  D2, R6
+      LDM.W R7, [D2]
+      LDI   R6, #1
+      SUB   R7, R6
+      LDI   R6, #IVV
+      MOVE  D2, R6
+      STM.W R7, [D2]
+      LDI   R6, #0
+      CMP   R7, R6           ; LDI/MOVE update Z; re-test the counter
+      JNZ   fcell
+drow_next:
+      ; ++row; stop when row == N
+      LDI   R6, #ROWV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #1
+      ADD   R6, R7
+      LDI   R7, #ROWV
+      MOVE  D2, R7
+      STM.W R6, [D2]
+      LDI   R7, #NV
+      MOVE  D2, R7
+      LDM.W R7, [D2]
+      CMP   R6, R7
+      JNZ   drow_loop
+      RET
+
+; half_cell: consumes one demodulated cell level in R6. Differential
+; Manchester: a bit is the XOR of its two half-cells. Preserves R1;
+; clobbers R0, R6, R7, D2.
+half_cell:
+      LDI   R7, #0
+      CMP   R4, R7
+      JNZ   half_second
+      MOVE  R5, R6
+      LDI   R4, #1
+      RET
+half_second:
+      LDI   R4, #0
+      XOR   R6, R5           ; bit
+      ; drop bits beyond the coded stream
+      LDI   R7, #CODEDPOSV
+      MOVE  D2, R7
+      LDM.W R7, [D2]
+      LDI   R0, #CODEDLENV
+      MOVE  D2, R0
+      LDM.W R0, [D2]
+      CMP   R7, R0
+      JNC   half_ret         ; pos >= len
+      LSL   R2, #1
+      OR    R2, R6
+      LDI   R7, #1
+      ADD   R3, R7
+      LDI   R7, #8
+      CMP   R3, R7
+      JNZ   half_ret
+      STM.B R2, [D1+]
+      LDI   R3, #0
+      LDI   R7, #CODEDPOSV
+      MOVE  D2, R7
+      LDM.W R7, [D2]
+      LDI   R6, #1
+      ADD   R7, R6
+      LDI   R6, #CODEDPOSV
+      MOVE  D2, R6
+      STM.W R7, [D2]
+half_ret:
+      RET
+
+; ------------------------------------------------------------ RS blocks
+rs_blocks:
+      LDI   R6, #BLKV
+      MOVE  D2, R6
+      LDI   R7, #0
+      STM.W R7, [D2]
+blk_loop:
+      ; gather codeword: cw[j] = coded[j*blocks + blk]
+      LDI   R6, #BLKV
+      MOVE  D2, R6
+      LDM.W R4, [D2]         ; idx = blk
+      LDI   R6, #BLOCKSV
+      MOVE  D2, R6
+      LDM.W R2, [D2]         ; step
+      LDI   R6, #CWBUF
+      MOVE  D0, R6
+      LDI   R5, #255
+gather:
+      MOVE  R6, R4
+      LDI   R7, #CODED
+      ADD   R6, R7
+      MOVE  D2, R6
+      LDM.B R6, [D2]
+      STM.B R6, [D0+]
+      ADD   R4, R2
+      LDI   R7, #1
+      SUB   R5, R7
+      JNZ   gather
+      ; syndromes S_i = cw evaluated at alpha^(i+1), i = 0..31
+      LDI   R6, #AZV
+      MOVE  D2, R6
+      LDI   R7, #0
+      STM.W R7, [D2]
+      LDI   R6, #SIV
+      MOVE  D2, R6
+      STM.W R7, [D2]
+syn_loop:
+      LDI   R6, #SIV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #GFEXP
+      ADD   R6, R7
+      LDI   R7, #1
+      ADD   R6, R7
+      MOVE  D2, R6
+      LDM.B R5, [D2]         ; z = exp[i+1]
+      LDI   R4, #0           ; acc
+      LDI   R6, #CWBUF
+      MOVE  D1, R6
+      LDI   R3, #255
+syn_j:
+      MOVE  R6, R4
+      MOVE  R7, R5
+      CALL  gfmul
+      LDM.B R1, [D1+]
+      XOR   R6, R1
+      MOVE  R4, R6
+      LDI   R7, #1
+      SUB   R3, R7
+      JNZ   syn_j
+      ; store synd[i], accumulate the all-zero check
+      LDI   R6, #SIV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #SYND
+      ADD   R6, R7
+      MOVE  D2, R6
+      STM.B R4, [D2]
+      LDI   R6, #AZV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      OR    R6, R4
+      STM.W R6, [D2]
+      LDI   R6, #SIV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #1
+      ADD   R6, R7
+      LDI   R7, #SIV
+      MOVE  D2, R7
+      STM.W R6, [D2]
+      LDI   R7, #32
+      CMP   R6, R7
+      JNZ   syn_loop
+      ; clean block?
+      LDI   R6, #AZV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #0
+      CMP   R6, R7
+      JZ    blk_emit
+      CALL  berlekamp
+      CALL  chien_forney
+blk_emit:
+      ; emit the 223 data bytes of this codeword
+      LDI   R6, #CWBUF
+      MOVE  D1, R6
+      LDI   R5, #223
+emit_j:
+      LDM.B R0, [D1+]
+      SYS   #1
+      LDI   R7, #1
+      SUB   R5, R7
+      JNZ   emit_j
+      ; next block
+      LDI   R6, #BLKV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #1
+      ADD   R6, R7
+      LDI   R7, #BLKV
+      MOVE  D2, R7
+      STM.W R6, [D2]
+      LDI   R7, #BLOCKSV
+      MOVE  D2, R7
+      LDM.W R7, [D2]
+      CMP   R6, R7
+      JNZ   blk_loop
+      RET
+
+; ----------------------------------------------------- Berlekamp-Massey
+; Error-only BM over SYND[0..31]; lambda (ascending) in LAMBDA[0..32].
+berlekamp:
+      ; lambda = [1,0,..], prevb = [1,0,..]
+      LDI   R5, #33
+      LDI   R6, #LAMBDA
+      MOVE  D0, R6
+      LDI   R6, #PREVB
+      MOVE  D1, R6
+      LDI   R7, #0
+bm_clear:
+      STM.B R7, [D0+]
+      STM.B R7, [D1+]
+      LDI   R6, #1
+      SUB   R5, R6
+      JNZ   bm_clear
+      LDI   R6, #LAMBDA
+      MOVE  D2, R6
+      LDI   R7, #1
+      STM.B R7, [D2]
+      LDI   R6, #PREVB
+      MOVE  D2, R6
+      STM.B R7, [D2]
+      ; L = 0, m = 1, b = 1, step = 0
+      LDI   R6, #BMLV
+      MOVE  D2, R6
+      LDI   R7, #0
+      STM.W R7, [D2]
+      LDI   R6, #BMSV
+      MOVE  D2, R6
+      STM.W R7, [D2]
+      LDI   R6, #BMMV
+      MOVE  D2, R6
+      LDI   R7, #1
+      STM.W R7, [D2]
+      LDI   R6, #BMBV
+      MOVE  D2, R6
+      STM.W R7, [D2]
+bm_step:
+      ; delta = synd[step] + sum_{i=1..L} lambda[i]*synd[step-i]
+      LDI   R6, #BMSV
+      MOVE  D2, R6
+      LDM.W R4, [D2]         ; step
+      LDI   R6, #SYND
+      ADD   R6, R4
+      MOVE  D2, R6
+      LDM.B R5, [D2]         ; delta
+      LDI   R3, #1           ; i
+bm_delta:
+      LDI   R6, #BMLV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      CMP   R6, R3
+      JC    bm_delta_done    ; L < i
+      CMP   R4, R3
+      JC    bm_delta_done    ; step < i (synd index would go negative)
+      LDI   R6, #LAMBDA
+      ADD   R6, R3
+      MOVE  D2, R6
+      LDM.B R6, [D2]
+      MOVE  R2, R4
+      SUB   R2, R3
+      LDI   R7, #SYND
+      ADD   R2, R7
+      MOVE  D2, R2
+      LDM.B R7, [D2]
+      CALL  gfmul
+      XOR   R5, R6
+      LDI   R7, #1
+      ADD   R3, R7
+      JUMP  bm_delta
+bm_delta_done:
+      LDI   R6, #BMDV
+      MOVE  D2, R6
+      STM.W R5, [D2]
+      LDI   R7, #0
+      CMP   R5, R7
+      JNZ   bm_update
+      ; delta == 0: ++m
+      LDI   R6, #BMMV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #1
+      ADD   R6, R7
+      LDI   R7, #BMMV
+      MOVE  D2, R7
+      STM.W R6, [D2]
+      JUMP  bm_next
+bm_update:
+      ; tmpp = lambda
+      LDI   R5, #33
+      LDI   R6, #LAMBDA
+      MOVE  D0, R6
+      LDI   R6, #TMPP
+      MOVE  D1, R6
+bm_copy:
+      LDM.B R6, [D0+]
+      STM.B R6, [D1+]
+      LDI   R7, #1
+      SUB   R5, R7
+      JNZ   bm_copy
+      ; scale = delta / b
+      LDI   R6, #BMDV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #BMBV
+      MOVE  D2, R7
+      LDM.W R7, [D2]
+      CALL  gfdiv
+      MOVE  R2, R6           ; scale
+      ; lambda[i+m] ^= prevb[i] * scale for i = 0 .. 32-m
+      LDI   R3, #0           ; i
+bm_adj:
+      LDI   R6, #BMMV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      MOVE  R4, R3
+      ADD   R4, R6           ; i + m
+      LDI   R7, #33
+      CMP   R4, R7
+      JNC   bm_adj_done
+      LDI   R6, #PREVB
+      ADD   R6, R3
+      MOVE  D2, R6
+      LDM.B R6, [D2]
+      MOVE  R7, R2
+      CALL  gfmul
+      MOVE  R7, R6
+      LDI   R6, #LAMBDA
+      ADD   R6, R4
+      MOVE  D2, R6
+      LDM.B R6, [D2]
+      XOR   R6, R7
+      STM.B R6, [D2]
+      LDI   R7, #1
+      ADD   R3, R7
+      JUMP  bm_adj
+bm_adj_done:
+      ; if 2L <= step: prevb = tmpp; b = delta; L = step+1-L; m = 1
+      ; else ++m
+      LDI   R6, #BMLV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LSL   R6, #1
+      LDI   R7, #BMSV
+      MOVE  D2, R7
+      LDM.W R7, [D2]
+      CMP   R7, R6
+      JC    bm_inc_m         ; step < 2L
+      ; swap branch
+      LDI   R5, #33
+      LDI   R6, #TMPP
+      MOVE  D0, R6
+      LDI   R6, #PREVB
+      MOVE  D1, R6
+bm_copy2:
+      LDM.B R6, [D0+]
+      STM.B R6, [D1+]
+      LDI   R7, #1
+      SUB   R5, R7
+      JNZ   bm_copy2
+      LDI   R6, #BMDV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #BMBV
+      MOVE  D2, R7
+      STM.W R6, [D2]
+      LDI   R6, #BMSV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #1
+      ADD   R6, R7
+      LDI   R7, #BMLV
+      MOVE  D2, R7
+      LDM.W R7, [D2]
+      SUB   R6, R7
+      LDI   R7, #BMLV
+      MOVE  D2, R7
+      STM.W R6, [D2]
+      LDI   R6, #BMMV
+      MOVE  D2, R6
+      LDI   R7, #1
+      STM.W R7, [D2]
+      JUMP  bm_next
+bm_inc_m:
+      LDI   R6, #BMMV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #1
+      ADD   R6, R7
+      STM.W R6, [D2]
+bm_next:
+      LDI   R6, #BMSV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #1
+      ADD   R6, R7
+      LDI   R7, #BMSV
+      MOVE  D2, R7
+      STM.W R6, [D2]
+      LDI   R7, #32
+      CMP   R6, R7
+      JNZ   bm_step
+      ; deg(lambda)
+      LDI   R4, #0           ; deg
+      LDI   R3, #0           ; i
+deg_loop:
+      LDI   R6, #LAMBDA
+      ADD   R6, R3
+      MOVE  D2, R6
+      LDM.B R6, [D2]
+      LDI   R7, #0
+      CMP   R6, R7
+      JZ    deg_zero
+      MOVE  R4, R3
+deg_zero:
+      LDI   R7, #1
+      ADD   R3, R7
+      LDI   R7, #33
+      CMP   R3, R7
+      JNZ   deg_loop
+      LDI   R6, #DEGV
+      MOVE  D2, R6
+      STM.W R4, [D2]
+      ; consistency: deg == L and 2*deg <= 32
+      LDI   R6, #BMLV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      CMP   R4, R6
+      JNZ   fail
+      LSL   R4, #1
+      LDI   R7, #33
+      CMP   R4, R7
+      JNC   fail
+      RET
+
+; -------------------------------------------------------- Chien/Forney
+chien_forney:
+      ; omega = (synd * lambda) mod x^32
+      LDI   R3, #0           ; i
+om_i:
+      LDI   R4, #0           ; acc
+      LDI   R5, #0           ; k
+om_k:
+      CMP   R3, R5
+      JC    om_k_done        ; i < k
+      LDI   R6, #DEGV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      CMP   R6, R5
+      JC    om_k_done        ; deg < k
+      LDI   R6, #LAMBDA
+      ADD   R6, R5
+      MOVE  D2, R6
+      LDM.B R6, [D2]
+      MOVE  R2, R3
+      SUB   R2, R5
+      LDI   R7, #SYND
+      ADD   R2, R7
+      MOVE  D2, R2
+      LDM.B R7, [D2]
+      CALL  gfmul
+      XOR   R4, R6
+      LDI   R7, #1
+      ADD   R5, R7
+      JUMP  om_k
+om_k_done:
+      LDI   R6, #OMEGA
+      ADD   R6, R3
+      MOVE  D2, R6
+      STM.B R4, [D2]
+      LDI   R7, #1
+      ADD   R3, R7
+      LDI   R7, #32
+      CMP   R3, R7
+      JNZ   om_i
+      ; Chien search over positions a = 0..254
+      LDI   R6, #ROOTSV
+      MOVE  D2, R6
+      LDI   R7, #0
+      STM.W R7, [D2]
+      LDI   R6, #POSAV
+      MOVE  D2, R6
+      STM.W R7, [D2]
+ch_a:
+      ; xinv = exp[255 - (254 - a)] = exp[a + 1]
+      LDI   R6, #POSAV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #GFEXP
+      ADD   R6, R7
+      LDI   R7, #1
+      ADD   R6, R7
+      MOVE  D2, R6
+      LDM.B R6, [D2]
+      LDI   R7, #XINVV
+      MOVE  D2, R7
+      STM.W R6, [D2]
+      ; eval lambda(xinv), Horner over 0..deg from the top
+      LDI   R6, #DEGV
+      MOVE  D2, R6
+      LDM.W R3, [D2]         ; i = deg
+      LDI   R4, #0           ; acc
+ch_ev:
+      MOVE  R6, R4
+      LDI   R7, #XINVV
+      MOVE  D2, R7
+      LDM.W R7, [D2]
+      CALL  gfmul
+      MOVE  R4, R6
+      LDI   R6, #LAMBDA
+      ADD   R6, R3
+      MOVE  D2, R6
+      LDM.B R6, [D2]
+      XOR   R4, R6
+      LDI   R7, #0
+      CMP   R3, R7
+      JZ    ch_ev_done
+      LDI   R7, #1
+      SUB   R3, R7
+      JUMP  ch_ev
+ch_ev_done:
+      LDI   R7, #0
+      CMP   R4, R7
+      JNZ   ch_next
+      CALL  forney
+ch_next:
+      LDI   R6, #POSAV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #1
+      ADD   R6, R7
+      LDI   R7, #POSAV
+      MOVE  D2, R7
+      STM.W R6, [D2]
+      LDI   R7, #255
+      CMP   R6, R7
+      JNZ   ch_a
+      ; all errata found?
+      LDI   R6, #ROOTSV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #DEGV
+      MOVE  D2, R7
+      LDM.W R7, [D2]
+      CMP   R6, R7
+      JNZ   fail
+      RET
+
+; forney: corrects cw[a] for the current root. magnitude =
+; omega(xinv) / lambda'(xinv) (fcr = 1). Clobbers R0..R7 except R1? uses all.
+forney:
+      LDI   R6, #ROOTSV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R7, #1
+      ADD   R6, R7
+      LDI   R7, #ROOTSV
+      MOVE  D2, R7
+      STM.W R6, [D2]
+      ; num = omega(xinv), Horner over 0..31
+      LDI   R3, #31
+      LDI   R4, #0
+fo_num:
+      MOVE  R6, R4
+      LDI   R7, #XINVV
+      MOVE  D2, R7
+      LDM.W R7, [D2]
+      CALL  gfmul
+      MOVE  R4, R6
+      LDI   R6, #OMEGA
+      ADD   R6, R3
+      MOVE  D2, R6
+      LDM.B R6, [D2]
+      XOR   R4, R6
+      LDI   R7, #0
+      CMP   R3, R7
+      JZ    fo_num_done
+      LDI   R7, #1
+      SUB   R3, R7
+      JUMP  fo_num
+fo_num_done:
+      ; den = sum over odd i <= deg of lambda[i] * xinv^(i-1)
+      LDI   R6, #XINVV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      MOVE  R7, R6
+      CALL  gfmul            ; xinv^2
+      MOVE  R2, R6           ; xi2
+      LDI   R5, #1           ; pw = 1
+      LDI   R3, #1           ; i
+      LDI   R0, #0
+      LDI   R6, #BMDV        ; reuse BMDV as den accumulator
+      MOVE  D2, R6
+      STM.W R0, [D2]
+fo_den:
+      LDI   R6, #DEGV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      CMP   R6, R3
+      JC    fo_den_done      ; deg < i
+      LDI   R6, #LAMBDA
+      ADD   R6, R3
+      MOVE  D2, R6
+      LDM.B R6, [D2]
+      MOVE  R7, R5
+      CALL  gfmul
+      MOVE  R7, R6
+      LDI   R6, #BMDV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      XOR   R6, R7
+      STM.W R6, [D2]
+      ; pw *= xi2 ; i += 2
+      MOVE  R6, R5
+      MOVE  R7, R2
+      CALL  gfmul
+      MOVE  R5, R6
+      LDI   R7, #2
+      ADD   R3, R7
+      JUMP  fo_den
+fo_den_done:
+      LDI   R6, #BMDV
+      MOVE  D2, R6
+      LDM.W R7, [D2]
+      LDI   R6, #0
+      CMP   R7, R6
+      JZ    fail
+      MOVE  R6, R4
+      CALL  gfdiv            ; magnitude = num / den
+      MOVE  R7, R6
+      ; cw[a] ^= magnitude
+      LDI   R6, #POSAV
+      MOVE  D2, R6
+      LDM.W R6, [D2]
+      LDI   R0, #CWBUF
+      ADD   R6, R0
+      MOVE  D2, R6
+      LDM.B R6, [D2]
+      XOR   R6, R7
+      STM.B R6, [D2]
+      RET
+)";
+
+}  // namespace
+
+std::string_view ModecodeSource() { return kSource; }
+
+const dynarisc::Program& ModecodeProgram() {
+  static const dynarisc::Program kProgram = [] {
+    auto assembled = dynarisc::Assemble(kSource);
+    assert(assembled.ok() && "MODecode assembly failed");
+    return assembled.TakeValue();
+  }();
+  return kProgram;
+}
+
+Bytes PackModecodeInput(BytesView intensities, int data_side) {
+  ByteWriter w;
+  w.PutU16(static_cast<uint16_t>(data_side));
+  w.PutBytes(intensities);
+  return w.TakeBytes();
+}
+
+}  // namespace decoders
+}  // namespace ule

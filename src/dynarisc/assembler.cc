@@ -1,0 +1,553 @@
+#include "dynarisc/assembler.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ule {
+namespace dynarisc {
+namespace {
+
+std::string Upper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// One source line reduced to label / mnemonic / raw operand text.
+struct Line {
+  int number = 0;
+  std::vector<std::string> labels;
+  std::string mnemonic;  // upper-cased, may be a directive starting with '.'
+  std::string operands;  // untrimmed remainder (original case for strings)
+};
+
+struct Operand {
+  enum Kind { kDataReg, kPtrReg, kHiReg, kImmediate, kMemory, kSymbolic };
+  Kind kind;
+  int reg = 0;          // register index for kDataReg/kPtrReg/kMemory
+  bool post_inc = false;  // for kMemory
+  std::string expr;     // for kImmediate (after '#') and kSymbolic
+};
+
+class Assembler {
+ public:
+  Result<Program> Run(std::string_view source) {
+    ULE_RETURN_IF_ERROR(SplitLines(source));
+    ULE_RETURN_IF_ERROR(Pass(/*emit=*/false));
+    image_.clear();
+    ULE_RETURN_IF_ERROR(Pass(/*emit=*/true));
+    Program p;
+    p.image = std::move(image_);
+    if (!entry_expr_.empty()) {
+      ULE_ASSIGN_OR_RETURN(uint32_t e, Eval(entry_expr_, entry_line_));
+      p.entry = static_cast<uint16_t>(e);
+    }
+    return p;
+  }
+
+ private:
+  Status Error(int line, const std::string& msg) {
+    return Status::InvalidArgument("asm line " + std::to_string(line) + ": " +
+                                   msg);
+  }
+
+  Status SplitLines(std::string_view source) {
+    int number = 0;
+    size_t pos = 0;
+    while (pos <= source.size()) {
+      const size_t nl = source.find('\n', pos);
+      std::string_view raw = source.substr(
+          pos, nl == std::string_view::npos ? std::string_view::npos
+                                            : nl - pos);
+      ++number;
+      pos = (nl == std::string_view::npos) ? source.size() + 1 : nl + 1;
+
+      // Strip comments; a ';' inside a string or char literal is content.
+      std::string text;
+      bool in_string = false;
+      bool in_char = false;
+      for (char c : raw) {
+        if (c == '"' && !in_char) in_string = !in_string;
+        if (c == '\'' && !in_string) in_char = !in_char;
+        if (c == ';' && !in_string && !in_char) break;
+        text.push_back(c);
+      }
+      std::string_view body = Trim(text);
+      if (body.empty()) continue;
+
+      Line line;
+      line.number = number;
+      // Leading labels: IDENT ':'
+      while (true) {
+        size_t i = 0;
+        while (i < body.size() &&
+               (std::isalnum(static_cast<unsigned char>(body[i])) ||
+                body[i] == '_')) {
+          ++i;
+        }
+        if (i > 0 && i < body.size() && body[i] == ':') {
+          line.labels.emplace_back(body.substr(0, i));
+          body = Trim(body.substr(i + 1));
+        } else {
+          break;
+        }
+      }
+      if (!body.empty()) {
+        size_t i = 0;
+        while (i < body.size() &&
+               !std::isspace(static_cast<unsigned char>(body[i]))) {
+          ++i;
+        }
+        line.mnemonic = Upper(body.substr(0, i));
+        line.operands = std::string(Trim(body.substr(i)));
+      }
+      if (!line.labels.empty() || !line.mnemonic.empty()) {
+        lines_.push_back(std::move(line));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Splits operand text on top-level commas (not inside quotes).
+  static std::vector<std::string> SplitOperands(const std::string& text) {
+    std::vector<std::string> out;
+    std::string cur;
+    bool in_string = false, in_char = false;
+    for (char c : text) {
+      if (c == '"' && !in_char) in_string = !in_string;
+      if (c == '\'' && !in_string) in_char = !in_char;
+      if (c == ',' && !in_string && !in_char) {
+        out.emplace_back(Trim(cur));
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!Trim(cur).empty() || !out.empty()) out.emplace_back(Trim(cur));
+    return out;
+  }
+
+  Result<Operand> ParseOperand(const std::string& text, int line) {
+    if (text.empty()) return Error(line, "empty operand");
+    const std::string up = Upper(text);
+    if (up.size() == 2 && up[0] == 'R' && up[1] >= '0' && up[1] <= '7') {
+      Operand o;
+      o.kind = Operand::kDataReg;
+      o.reg = up[1] - '0';
+      return o;
+    }
+    if (up.size() == 2 && up[0] == 'D' && up[1] >= '0' && up[1] <= '3') {
+      Operand o;
+      o.kind = Operand::kPtrReg;
+      o.reg = up[1] - '0';
+      return o;
+    }
+    if (up == "HI") {
+      Operand o;
+      o.kind = Operand::kHiReg;
+      return o;
+    }
+    if (text[0] == '#') {
+      Operand o;
+      o.kind = Operand::kImmediate;
+      o.expr = std::string(Trim(std::string_view(text).substr(1)));
+      return o;
+    }
+    if (text.front() == '[') {
+      if (text.back() != ']') return Error(line, "unterminated memory operand");
+      std::string inner(Trim(std::string_view(text).substr(1, text.size() - 2)));
+      Operand o;
+      o.kind = Operand::kMemory;
+      if (!inner.empty() && inner.back() == '+') {
+        o.post_inc = true;
+        inner = std::string(Trim(std::string_view(inner).substr(0, inner.size() - 1)));
+      }
+      const std::string iu = Upper(inner);
+      if (iu.size() == 2 && iu[0] == 'D' && iu[1] >= '0' && iu[1] <= '3') {
+        o.reg = iu[1] - '0';
+        return o;
+      }
+      return Error(line, "memory operand must be [D0..D3] or [Dx+]");
+    }
+    Operand o;
+    o.kind = Operand::kSymbolic;
+    o.expr = text;
+    return o;
+  }
+
+  // --- expression evaluation (pass 2 only; pass 1 uses fixed sizes) ---
+
+  Result<uint32_t> EvalTerm(std::string_view term, int line) {
+    term = Trim(term);
+    if (term.empty()) return Error(line, "empty expression term");
+    if (term.size() >= 3 && term.front() == '\'' && term.back() == '\'') {
+      if (term.size() == 3) return static_cast<uint32_t>(term[1]);
+      if (term.size() == 4 && term[1] == '\\') {
+        switch (term[2]) {
+          case 'n':
+            return static_cast<uint32_t>('\n');
+          case 't':
+            return static_cast<uint32_t>('\t');
+          case '0':
+            return 0u;
+          case '\\':
+            return static_cast<uint32_t>('\\');
+          default:
+            break;
+        }
+      }
+      return Error(line, "bad character literal");
+    }
+    const std::string s(term);
+    const bool negative = s[0] == '-';
+    const std::string digits = negative ? s.substr(1) : s;
+    if (!digits.empty() &&
+        std::isdigit(static_cast<unsigned char>(digits[0]))) {
+      try {
+        const uint32_t v = static_cast<uint32_t>(std::stoul(digits, nullptr, 0));
+        return negative ? static_cast<uint32_t>(0) - v : v;
+      } catch (...) {
+        return Error(line, "bad numeric literal '" + s + "'");
+      }
+    }
+    auto it = symbols_.find(s);
+    if (it == symbols_.end()) {
+      return Error(line, "undefined symbol '" + s + "'");
+    }
+    return it->second;
+  }
+
+  Result<uint32_t> Eval(std::string_view expr, int line) {
+    expr = Trim(expr);
+    // Left-to-right + / - on terms. Leading '-' allowed.
+    uint32_t acc = 0;
+    char pending = '+';
+    size_t start = 0;
+    for (size_t i = 0; i <= expr.size(); ++i) {
+      const bool split =
+          i == expr.size() ||
+          ((expr[i] == '+' || expr[i] == '-') && i != start);
+      if (!split) continue;
+      std::string_view term = expr.substr(start, i - start);
+      if (Trim(term).empty() && i == expr.size() && pending != '+') {
+        return Error(line, "dangling operator in expression");
+      }
+      if (!Trim(term).empty()) {
+        ULE_ASSIGN_OR_RETURN(uint32_t v, EvalTerm(term, line));
+        acc = (pending == '+') ? acc + v : acc - v;
+      } else if (i == start && pending == '+' && i < expr.size() &&
+                 expr[i] == '-') {
+        // leading minus handled by treating acc=0, pending='-'
+      }
+      if (i < expr.size()) pending = expr[i];
+      start = i + 1;
+    }
+    return acc;
+  }
+
+  // --- emission helpers ---
+
+  void EmitByte(uint8_t b) { image_.push_back(b); }
+  void EmitWord(uint16_t w) {
+    EmitByte(static_cast<uint8_t>(w & 0xFF));
+    EmitByte(static_cast<uint8_t>(w >> 8));
+  }
+
+  size_t pc() const { return image_.size(); }
+
+  Result<uint16_t> EvalWord(const std::string& expr, int line, bool emit) {
+    if (!emit) return static_cast<uint16_t>(0);
+    ULE_ASSIGN_OR_RETURN(uint32_t v, Eval(expr, line));
+    if (v > 0xFFFF && v < 0xFFFF0000u) {
+      return Error(line, "value " + std::to_string(v) + " out of 16-bit range");
+    }
+    return static_cast<uint16_t>(v);
+  }
+
+  // --- the unified pass (sizes in pass 1, code in pass 2) ---
+
+  Status Pass(bool emit) {
+    image_.clear();
+    for (const Line& line : lines_) {
+      for (const std::string& label : line.labels) {
+        if (!emit) {
+          if (symbols_.count(label)) {
+            return Error(line.number, "duplicate label '" + label + "'");
+          }
+          symbols_[label] = static_cast<uint32_t>(pc());
+        }
+      }
+      if (line.mnemonic.empty()) continue;
+      ULE_RETURN_IF_ERROR(HandleStatement(line, emit));
+      if (pc() > kMemorySize) {
+        return Error(line.number, "program exceeds 64 KiB address space");
+      }
+    }
+    return Status::OK();
+  }
+
+  Status HandleStatement(const Line& line, bool emit) {
+    const std::string& m = line.mnemonic;
+    const std::vector<std::string> ops = SplitOperands(line.operands);
+    const int ln = line.number;
+
+    // ---- directives ----
+    if (m[0] == '.') {
+      if (m == ".ORG") {
+        if (ops.size() != 1) return Error(ln, ".org needs one operand");
+        // .org must be evaluable in pass 1 (no forward labels).
+        ULE_ASSIGN_OR_RETURN(uint32_t target, Eval(ops[0], ln));
+        if (target < pc()) return Error(ln, ".org cannot move backwards");
+        if (target > kMemorySize) return Error(ln, ".org beyond 64 KiB");
+        while (pc() < target) EmitByte(0);
+        return Status::OK();
+      }
+      if (m == ".WORD") {
+        for (const auto& e : ops) {
+          ULE_ASSIGN_OR_RETURN(uint16_t v, EvalWord(e, ln, emit));
+          EmitWord(v);
+        }
+        return Status::OK();
+      }
+      if (m == ".BYTE") {
+        for (const auto& e : ops) {
+          ULE_ASSIGN_OR_RETURN(uint16_t v, EvalWord(e, ln, emit));
+          EmitByte(static_cast<uint8_t>(v & 0xFF));
+        }
+        return Status::OK();
+      }
+      if (m == ".ASCII") {
+        std::string_view t = Trim(line.operands);
+        if (t.size() < 2 || t.front() != '"' || t.back() != '"') {
+          return Error(ln, ".ascii needs a quoted string");
+        }
+        for (char c : t.substr(1, t.size() - 2)) {
+          EmitByte(static_cast<uint8_t>(c));
+        }
+        return Status::OK();
+      }
+      if (m == ".SPACE") {
+        if (ops.empty() || ops.size() > 2) {
+          return Error(ln, ".space needs 1 or 2 operands");
+        }
+        ULE_ASSIGN_OR_RETURN(uint32_t n, Eval(ops[0], ln));
+        uint32_t fill = 0;
+        if (ops.size() == 2) {
+          ULE_ASSIGN_OR_RETURN(fill, Eval(ops[1], ln));
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+          EmitByte(static_cast<uint8_t>(fill));
+        }
+        return Status::OK();
+      }
+      if (m == ".EQU") {
+        if (ops.size() != 2) return Error(ln, ".equ needs name, value");
+        if (!emit) {
+          ULE_ASSIGN_OR_RETURN(uint32_t v, Eval(ops[1], ln));
+          if (symbols_.count(ops[0])) {
+            return Error(ln, "duplicate symbol '" + ops[0] + "'");
+          }
+          symbols_[ops[0]] = v;
+        }
+        return Status::OK();
+      }
+      if (m == ".ENTRY") {
+        if (ops.size() != 1) return Error(ln, ".entry needs one operand");
+        entry_expr_ = ops[0];
+        entry_line_ = ln;
+        return Status::OK();
+      }
+      return Error(ln, "unknown directive " + m);
+    }
+
+    // ---- instructions ----
+    auto need = [&](size_t n) -> Status {
+      if (ops.size() != n) {
+        return Error(ln, m + " needs " + std::to_string(n) + " operand(s)");
+      }
+      return Status::OK();
+    };
+    auto parse = [&](size_t i) { return ParseOperand(ops[i], ln); };
+
+    // Strip .B/.W suffix for LDM/STM.
+    std::string base = m;
+    int size_suffix = -1;  // -1 none, 0 byte, 1 word
+    if (base.size() > 2 && base[base.size() - 2] == '.') {
+      const char s = base.back();
+      if (s == 'B') size_suffix = 0;
+      if (s == 'W') size_suffix = 1;
+      if (size_suffix >= 0) base = base.substr(0, base.size() - 2);
+    }
+
+    static const std::map<std::string, Opcode> kAlu = {
+        {"ADD", kAdd}, {"ADC", kAdc}, {"SUB", kSub}, {"SBB", kSbb},
+        {"CMP", kCmp}, {"MUL", kMul}, {"AND", kAnd}, {"OR", kOr},
+        {"XOR", kXor}};
+    if (auto it = kAlu.find(base); it != kAlu.end()) {
+      ULE_RETURN_IF_ERROR(need(2));
+      ULE_ASSIGN_OR_RETURN(Operand a, parse(0));
+      ULE_ASSIGN_OR_RETURN(Operand b, parse(1));
+      if (a.kind != Operand::kDataReg || b.kind != Operand::kDataReg) {
+        return Error(ln, base + " operands must be data registers");
+      }
+      EmitWord(Encode(it->second, a.reg, b.reg));
+      return Status::OK();
+    }
+
+    static const std::map<std::string, Opcode> kShifts = {
+        {"LSL", kLsl}, {"LSR", kLsr}, {"ASR", kAsr}, {"ROR", kRor}};
+    if (auto it = kShifts.find(base); it != kShifts.end()) {
+      ULE_RETURN_IF_ERROR(need(2));
+      ULE_ASSIGN_OR_RETURN(Operand a, parse(0));
+      ULE_ASSIGN_OR_RETURN(Operand b, parse(1));
+      if (a.kind != Operand::kDataReg) {
+        return Error(ln, "shift destination must be a data register");
+      }
+      if (b.kind == Operand::kDataReg) {
+        EmitWord(Encode(it->second, a.reg, b.reg, 0));
+        return Status::OK();
+      }
+      if (b.kind == Operand::kImmediate) {
+        ULE_ASSIGN_OR_RETURN(uint16_t amt, EvalWord(b.expr, ln, emit));
+        if (emit && amt > 15) return Error(ln, "shift amount must be 0..15");
+        const unsigned mode =
+            kShiftImm | ((amt & 8) ? kShiftImm8 : 0);
+        EmitWord(Encode(it->second, a.reg, amt & 7, mode));
+        return Status::OK();
+      }
+      return Error(ln, "shift amount must be register or #imm");
+    }
+
+    if (base == "MOVE") {
+      ULE_RETURN_IF_ERROR(need(2));
+      ULE_ASSIGN_OR_RETURN(Operand a, parse(0));
+      ULE_ASSIGN_OR_RETURN(Operand b, parse(1));
+      unsigned mode = 0;
+      unsigned rd = 0, rs = 0;
+      if (a.kind == Operand::kDataReg) {
+        rd = a.reg;
+      } else if (a.kind == Operand::kPtrReg) {
+        rd = a.reg;
+        mode |= kMoveDstD;
+      } else {
+        return Error(ln, "MOVE destination must be Rx or Dx");
+      }
+      if (b.kind == Operand::kDataReg) {
+        rs = b.reg;
+      } else if (b.kind == Operand::kPtrReg) {
+        rs = b.reg;
+        mode |= kMoveSrcD;
+      } else if (b.kind == Operand::kHiReg) {
+        mode |= kMoveSrcHi;
+      } else {
+        return Error(ln, "MOVE source must be Rx, Dx or HI");
+      }
+      EmitWord(Encode(kMove, rd, rs, mode));
+      return Status::OK();
+    }
+
+    if (base == "LDI") {
+      ULE_RETURN_IF_ERROR(need(2));
+      ULE_ASSIGN_OR_RETURN(Operand a, parse(0));
+      ULE_ASSIGN_OR_RETURN(Operand b, parse(1));
+      if (a.kind != Operand::kDataReg || b.kind != Operand::kImmediate) {
+        return Error(ln, "LDI needs Rd, #imm");
+      }
+      ULE_ASSIGN_OR_RETURN(uint16_t imm, EvalWord(b.expr, ln, emit));
+      EmitWord(Encode(kLdi, a.reg));
+      EmitWord(imm);
+      return Status::OK();
+    }
+
+    if (base == "LDM" || base == "STM") {
+      if (size_suffix < 0) {
+        return Error(ln, base + " requires a .B or .W size suffix");
+      }
+      ULE_RETURN_IF_ERROR(need(2));
+      ULE_ASSIGN_OR_RETURN(Operand a, parse(0));
+      ULE_ASSIGN_OR_RETURN(Operand b, parse(1));
+      if (a.kind != Operand::kDataReg || b.kind != Operand::kMemory) {
+        return Error(ln, base + " needs Rx, [Dx] operands");
+      }
+      unsigned mode = (size_suffix == 1 ? kModeWord : 0) |
+                      (b.post_inc ? kModePostInc : 0);
+      if (base == "LDM") {
+        EmitWord(Encode(kLdm, a.reg, b.reg, mode));
+      } else {
+        EmitWord(Encode(kStm, b.reg, a.reg, mode));
+      }
+      return Status::OK();
+    }
+
+    static const std::map<std::string, Opcode> kBranches = {
+        {"JUMP", kJump}, {"JZ", kJz}, {"JC", kJc}, {"CALL", kCall}};
+    if (auto it = kBranches.find(base); it != kBranches.end()) {
+      ULE_RETURN_IF_ERROR(need(1));
+      ULE_ASSIGN_OR_RETURN(uint16_t addr, EvalWord(ops[0], ln, emit));
+      EmitWord(Encode(it->second));
+      EmitWord(addr);
+      return Status::OK();
+    }
+
+    // Pseudo-instructions: JNZ/JNC expand to a skip over an absolute jump.
+    if (base == "JNZ" || base == "JNC") {
+      ULE_RETURN_IF_ERROR(need(1));
+      ULE_ASSIGN_OR_RETURN(uint16_t addr, EvalWord(ops[0], ln, emit));
+      const uint16_t skip = static_cast<uint16_t>(pc() + 8);
+      EmitWord(Encode(base == "JNZ" ? kJz : kJc));
+      EmitWord(skip);
+      EmitWord(Encode(kJump));
+      EmitWord(addr);
+      return Status::OK();
+    }
+
+    if (base == "RET") {
+      ULE_RETURN_IF_ERROR(need(0));
+      EmitWord(Encode(kRet));
+      return Status::OK();
+    }
+
+    if (base == "SYS") {
+      ULE_RETURN_IF_ERROR(need(1));
+      ULE_ASSIGN_OR_RETURN(Operand a, parse(0));
+      if (a.kind != Operand::kImmediate) return Error(ln, "SYS needs #port");
+      ULE_ASSIGN_OR_RETURN(uint16_t port, EvalWord(a.expr, ln, emit));
+      if (emit && port > 31) return Error(ln, "SYS port must be 0..31");
+      EmitWord(Encode(kSys, 0, 0, port & 31));
+      return Status::OK();
+    }
+
+    return Error(ln, "unknown mnemonic '" + base + "'");
+  }
+
+  std::vector<Line> lines_;
+  std::map<std::string, uint32_t> symbols_;
+  Bytes image_;
+  std::string entry_expr_;
+  int entry_line_ = 0;
+};
+
+}  // namespace
+
+Result<Program> Assemble(std::string_view source) {
+  Assembler assembler;
+  return assembler.Run(source);
+}
+
+}  // namespace dynarisc
+}  // namespace ule

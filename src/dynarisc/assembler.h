@@ -1,0 +1,59 @@
+/// \file assembler.h
+/// \brief Two-pass text assembler for DynaRisc.
+///
+/// The paper's decoders (DBDecode, MODecode) are "implemented in DynaRisc
+/// assembly" (§3.2); this assembler turns that assembly into the instruction
+/// streams that get archived. Syntax:
+///
+/// ```
+/// ; comment until end of line
+/// start:                     ; label definition
+///     LDI   R0, #0x1F        ; immediate: decimal, 0x hex, 'c', or symbol
+///     ADD   R0, R1           ; ALU: Rd <- Rd op Rs
+///     LSL   R0, #3           ; shift by immediate 0..15
+///     LSR   R0, R2           ; shift by register (amount = R2 & 15)
+///     MOVE  D0, R1           ; unified move across R / D / HI
+///     MOVE  R5, HI
+///     LDM.B R0, [D1+]        ; byte load, post-increment pointer
+///     LDM.W R2, [D0]         ; word load (little-endian)
+///     STM.B R0, [D2+]
+///     JUMP  start
+///     JZ    done             ; conditional on Z flag
+///     JNZ   loop             ; pseudo: JZ skip / JUMP loop
+///     JC    on_carry
+///     JNC   no_carry         ; pseudo
+///     CALL  subroutine       ; pushes return address on the D3 stack
+///     RET
+///     SYS   #0               ; I/O (see isa.h ports)
+/// .org    0x100              ; advance location counter (forward only)
+/// .word   1, 0xABC, label+2  ; 16-bit little-endian data
+/// .byte   1, 2, 'x'
+/// .ascii  "text"
+/// .space  32                 ; or .space 32, 0xFF
+/// .equ    NAME, 123          ; assembly-time constant
+/// .entry  start              ; program entry point (default 0)
+/// ```
+///
+/// Size suffixes on LDM/STM are mandatory (.B or .W) — explicit access width
+/// avoids the classic byte/word confusion in hand-written decoders.
+/// Expressions support symbols, numeric literals and left-to-right +/-.
+
+#ifndef ULE_DYNARISC_ASSEMBLER_H_
+#define ULE_DYNARISC_ASSEMBLER_H_
+
+#include <string_view>
+
+#include "dynarisc/machine.h"
+#include "support/status.h"
+
+namespace ule {
+namespace dynarisc {
+
+/// Assembles DynaRisc assembly text into a loadable Program.
+/// Errors carry 1-based line numbers.
+Result<Program> Assemble(std::string_view source);
+
+}  // namespace dynarisc
+}  // namespace ule
+
+#endif  // ULE_DYNARISC_ASSEMBLER_H_

@@ -1,0 +1,107 @@
+#include "dynarisc/disassembler.h"
+
+#include <cstdio>
+
+namespace ule {
+namespace dynarisc {
+namespace {
+
+std::string Hex16(uint16_t v) {
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "0x%04X", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string DisassembleOne(BytesView image, uint16_t addr, int* length) {
+  auto word_at = [&](uint16_t a) -> uint16_t {
+    const uint8_t lo = a < image.size() ? image[a] : 0;
+    const uint8_t hi = (a + 1u) < image.size() ? image[a + 1u] : 0;
+    return static_cast<uint16_t>(lo | (hi << 8));
+  };
+  const uint16_t w = word_at(addr);
+  const uint8_t op = DecodeOp(w);
+  const uint8_t rd = DecodeRd(w);
+  const uint8_t rs = DecodeRs(w);
+  const uint8_t mode = DecodeMode(w);
+  *length = 2;
+
+  auto reg = [](int i) { return "R" + std::to_string(i); };
+  auto ptr = [](int i) { return "D" + std::to_string(i); };
+
+  switch (op) {
+    case kAdd:
+    case kAdc:
+    case kSub:
+    case kSbb:
+    case kCmp:
+    case kMul:
+    case kAnd:
+    case kOr:
+    case kXor:
+      return std::string(OpcodeName(op)) + " " + reg(rd) + ", " + reg(rs);
+    case kLsl:
+    case kLsr:
+    case kAsr:
+    case kRor:
+      if (mode & kShiftImm) {
+        const int amt = rs | ((mode & kShiftImm8) ? 8 : 0);
+        return std::string(OpcodeName(op)) + " " + reg(rd) + ", #" +
+               std::to_string(amt);
+      }
+      return std::string(OpcodeName(op)) + " " + reg(rd) + ", " + reg(rs);
+    case kMove: {
+      const std::string dst = (mode & kMoveDstD) ? ptr(rd & 3) : reg(rd);
+      std::string src;
+      if (mode & kMoveSrcHi) {
+        src = "HI";
+      } else if (mode & kMoveSrcD) {
+        src = ptr(rs & 3);
+      } else {
+        src = reg(rs);
+      }
+      return "MOVE " + dst + ", " + src;
+    }
+    case kLdi:
+      *length = 4;
+      return "LDI " + reg(rd) + ", #" + Hex16(word_at(addr + 2));
+    case kLdm:
+    case kStm: {
+      const std::string suffix = (mode & kModeWord) ? ".W" : ".B";
+      const std::string inc = (mode & kModePostInc) ? "+" : "";
+      if (op == kLdm) {
+        return "LDM" + suffix + " " + reg(rd) + ", [" + ptr(rs & 3) + inc + "]";
+      }
+      return "STM" + suffix + " " + reg(rs) + ", [" + ptr(rd & 3) + inc + "]";
+    }
+    case kJump:
+    case kJz:
+    case kJc:
+    case kCall:
+      *length = 4;
+      return std::string(OpcodeName(op)) + " " + Hex16(word_at(addr + 2));
+    case kRet:
+      return "RET";
+    case kSys:
+      return "SYS #" + std::to_string(mode);
+    default:
+      return ".word " + Hex16(w) + " ; illegal opcode";
+  }
+}
+
+std::string Disassemble(const Program& program, uint16_t start, uint16_t end) {
+  std::string out;
+  uint32_t addr = start;
+  while (addr < end) {
+    int len = 2;
+    const std::string text =
+        DisassembleOne(program.image, static_cast<uint16_t>(addr), &len);
+    out += Hex16(static_cast<uint16_t>(addr)) + ":  " + text + "\n";
+    addr += static_cast<uint32_t>(len);
+  }
+  return out;
+}
+
+}  // namespace dynarisc
+}  // namespace ule

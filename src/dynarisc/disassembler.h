@@ -1,0 +1,25 @@
+/// \file disassembler.h
+/// \brief DynaRisc disassembler — used by tests, debugging tools and the
+/// DESIGN.md decoder listings.
+
+#ifndef ULE_DYNARISC_DISASSEMBLER_H_
+#define ULE_DYNARISC_DISASSEMBLER_H_
+
+#include <string>
+
+#include "dynarisc/machine.h"
+
+namespace ule {
+namespace dynarisc {
+
+/// Disassembles one instruction at `addr` in `image`.
+/// \param[out] length bytes consumed (2 or 4)
+std::string DisassembleOne(BytesView image, uint16_t addr, int* length);
+
+/// Disassembles `[start, end)` as an address-annotated listing.
+std::string Disassemble(const Program& program, uint16_t start, uint16_t end);
+
+}  // namespace dynarisc
+}  // namespace ule
+
+#endif  // ULE_DYNARISC_DISASSEMBLER_H_

@@ -1,0 +1,302 @@
+#include "dynarisc/machine.h"
+
+#include <optional>
+
+#include "support/crc32.h"
+
+namespace ule {
+namespace dynarisc {
+
+Bytes Program::Serialize() const {
+  ByteWriter w;
+  w.PutString("DRX1");
+  w.PutU16(entry);
+  w.PutU32(static_cast<uint32_t>(image.size()));
+  w.PutBytes(image);
+  w.PutU32(Crc32(w.bytes()));
+  return w.TakeBytes();
+}
+
+Result<Program> Program::Deserialize(BytesView bytes) {
+  ByteReader r(bytes);
+  Bytes magic;
+  ULE_RETURN_IF_ERROR(r.GetBytes(4, &magic));
+  if (ToString(magic) != "DRX1") {
+    return Status::Corruption("DynaRisc image: bad magic");
+  }
+  Program p;
+  uint32_t len;
+  ULE_RETURN_IF_ERROR(r.GetU16(&p.entry));
+  ULE_RETURN_IF_ERROR(r.GetU32(&len));
+  if (len > kMemorySize) {
+    return Status::Corruption("DynaRisc image larger than address space");
+  }
+  ULE_RETURN_IF_ERROR(r.GetBytes(len, &p.image));
+  uint32_t stored;
+  ULE_RETURN_IF_ERROR(r.GetU32(&stored));
+  if (stored != Crc32(BytesView(bytes.data(), bytes.size() - 4))) {
+    return Status::Corruption("DynaRisc image: CRC mismatch");
+  }
+  return p;
+}
+
+const char* OpcodeName(uint8_t op) {
+  static const char* kNames[kOpcodeCount] = {
+      "ADD", "ADC", "SUB", "SBB", "CMP", "MUL", "AND", "OR",
+      "XOR", "LSL", "LSR", "ASR", "ROR", "MOVE", "LDI", "LDM",
+      "STM", "JUMP", "JZ", "JC", "CALL", "RET", "SYS"};
+  return op < kOpcodeCount ? kNames[op] : "???";
+}
+
+Machine::Machine(const Program& program, BytesView input) : input_(input) {
+  const size_t n = std::min<size_t>(program.image.size(), kMemorySize);
+  std::copy(program.image.begin(), program.image.begin() + n, mem_.begin());
+  state_.pc = program.entry;
+}
+
+uint16_t Machine::ReadWord(uint16_t addr) const {
+  return static_cast<uint16_t>(mem_[addr] |
+                               (mem_[static_cast<uint16_t>(addr + 1)] << 8));
+}
+
+void Machine::WriteWord(uint16_t addr, uint16_t v) {
+  mem_[addr] = static_cast<uint8_t>(v & 0xFF);
+  mem_[static_cast<uint16_t>(addr + 1)] = static_cast<uint8_t>(v >> 8);
+}
+
+uint16_t Machine::FetchWord() {
+  const uint16_t w = ReadWord(state_.pc);
+  state_.pc = static_cast<uint16_t>(state_.pc + 2);
+  return w;
+}
+
+std::optional<StopReason> Machine::Step() {
+  if (stopped_) return stopped_;
+  ++steps_;
+
+  const uint16_t w = FetchWord();
+  const uint8_t op = DecodeOp(w);
+  const uint8_t rd = DecodeRd(w);
+  const uint8_t rs = DecodeRs(w);
+  const uint8_t mode = DecodeMode(w);
+
+  auto& st = state_;
+  switch (op) {
+    case kAdd:
+    case kAdc: {
+      const uint32_t carry_in = (op == kAdc && st.c) ? 1 : 0;
+      const uint32_t sum = static_cast<uint32_t>(st.r[rd]) + st.r[rs] + carry_in;
+      st.c = (sum >> 16) != 0;
+      st.r[rd] = static_cast<uint16_t>(sum);
+      SetZ(st.r[rd]);
+      break;
+    }
+    case kSub:
+    case kSbb:
+    case kCmp: {
+      const uint32_t borrow_in = (op == kSbb && st.c) ? 1 : 0;
+      const uint32_t lhs = st.r[rd];
+      const uint32_t rhs = static_cast<uint32_t>(st.r[rs]) + borrow_in;
+      const uint16_t diff = static_cast<uint16_t>(lhs - rhs);
+      st.c = lhs < rhs;
+      SetZ(diff);
+      if (op != kCmp) st.r[rd] = diff;
+      break;
+    }
+    case kMul: {
+      const uint32_t p = static_cast<uint32_t>(st.r[rd]) * st.r[rs];
+      st.r[rd] = static_cast<uint16_t>(p);
+      st.hi = static_cast<uint16_t>(p >> 16);
+      SetZ(st.r[rd]);
+      st.c = st.hi != 0;
+      break;
+    }
+    case kAnd:
+      st.r[rd] &= st.r[rs];
+      SetZ(st.r[rd]);
+      break;
+    case kOr:
+      st.r[rd] |= st.r[rs];
+      SetZ(st.r[rd]);
+      break;
+    case kXor:
+      st.r[rd] ^= st.r[rs];
+      SetZ(st.r[rd]);
+      break;
+    case kLsl:
+    case kLsr:
+    case kAsr:
+    case kRor: {
+      const unsigned amount = (mode & kShiftImm)
+                                  ? (rs | ((mode & kShiftImm8) ? 8 : 0))
+                                  : (st.r[rs] & 15);
+      uint16_t v = st.r[rd];
+      for (unsigned i = 0; i < amount; ++i) {
+        switch (op) {
+          case kLsl:
+            st.c = (v & 0x8000) != 0;
+            v = static_cast<uint16_t>(v << 1);
+            break;
+          case kLsr:
+            st.c = (v & 1) != 0;
+            v = static_cast<uint16_t>(v >> 1);
+            break;
+          case kAsr:
+            st.c = (v & 1) != 0;
+            v = static_cast<uint16_t>((v >> 1) | (v & 0x8000));
+            break;
+          case kRor:
+            st.c = (v & 1) != 0;
+            v = static_cast<uint16_t>((v >> 1) | ((v & 1) << 15));
+            break;
+        }
+      }
+      st.r[rd] = v;
+      SetZ(v);
+      break;
+    }
+    case kMove: {
+      uint16_t val;
+      if (mode & kMoveSrcHi) {
+        val = st.hi;
+      } else if (mode & kMoveSrcD) {
+        val = st.d[rs & 3];
+      } else {
+        val = st.r[rs];
+      }
+      if (mode & kMoveDstD) {
+        st.d[rd & 3] = val;
+      } else {
+        st.r[rd] = val;
+      }
+      SetZ(val);
+      break;
+    }
+    case kLdi: {
+      const uint16_t imm = FetchWord();
+      st.r[rd] = imm;
+      SetZ(imm);
+      break;
+    }
+    case kLdm: {
+      const uint16_t ptr = st.d[rs & 3];
+      uint16_t val;
+      if (mode & kModeWord) {
+        val = ReadWord(ptr);
+      } else {
+        val = mem_[ptr];
+      }
+      if (mode & kModePostInc) {
+        st.d[rs & 3] =
+            static_cast<uint16_t>(ptr + ((mode & kModeWord) ? 2 : 1));
+      }
+      st.r[rd] = val;
+      SetZ(val);
+      break;
+    }
+    case kStm: {
+      const uint16_t ptr = st.d[rd & 3];
+      const uint16_t val = st.r[rs];
+      if (mode & kModeWord) {
+        WriteWord(ptr, val);
+      } else {
+        mem_[ptr] = static_cast<uint8_t>(val & 0xFF);
+      }
+      if (mode & kModePostInc) {
+        st.d[rd & 3] =
+            static_cast<uint16_t>(ptr + ((mode & kModeWord) ? 2 : 1));
+      }
+      break;
+    }
+    case kJump: {
+      const uint16_t addr = FetchWord();
+      st.pc = addr;
+      break;
+    }
+    case kJz: {
+      const uint16_t addr = FetchWord();
+      if (st.z) st.pc = addr;
+      break;
+    }
+    case kJc: {
+      const uint16_t addr = FetchWord();
+      if (st.c) st.pc = addr;
+      break;
+    }
+    case kCall: {
+      const uint16_t addr = FetchWord();
+      st.d[3] = static_cast<uint16_t>(st.d[3] - 2);
+      WriteWord(st.d[3], st.pc);
+      st.pc = addr;
+      break;
+    }
+    case kRet: {
+      st.pc = ReadWord(st.d[3]);
+      st.d[3] = static_cast<uint16_t>(st.d[3] + 2);
+      break;
+    }
+    case kSys: {
+      switch (mode) {
+        case kSysReadByte:
+          if (in_pos_ < input_.size()) {
+            st.r[0] = input_[in_pos_++];
+            st.c = false;
+          } else {
+            st.c = true;
+          }
+          break;
+        case kSysWriteByte:
+          output_.push_back(static_cast<uint8_t>(st.r[0] & 0xFF));
+          break;
+        case kSysHalt:
+          stopped_ = StopReason::kHalted;
+          return stopped_;
+        default:
+          stopped_ = StopReason::kFault;
+          return stopped_;
+      }
+      break;
+    }
+    default:
+      stopped_ = StopReason::kFault;
+      return stopped_;
+  }
+  return std::nullopt;
+}
+
+RunResult Machine::Run(const RunOptions& options) {
+  RunResult result;
+  while (steps_ < options.max_steps) {
+    if (auto stop = Step()) {
+      result.reason = *stop;
+      result.steps = steps_;
+      result.output = output_;
+      return result;
+    }
+  }
+  result.reason = StopReason::kStepLimit;
+  result.steps = steps_;
+  result.output = output_;
+  return result;
+}
+
+Result<Bytes> RunProgram(const Program& program, BytesView input,
+                         const RunOptions& options) {
+  Machine machine(program, input);
+  RunResult r = machine.Run(options);
+  switch (r.reason) {
+    case StopReason::kHalted:
+      return std::move(r.output);
+    case StopReason::kFault:
+      return Status::ExecutionFault("DynaRisc fault at PC=" +
+                                    std::to_string(machine.state().pc) +
+                                    " after " + std::to_string(r.steps) +
+                                    " steps");
+    case StopReason::kStepLimit:
+      return Status::ResourceExhausted("DynaRisc step limit exceeded");
+  }
+  return Status::ExecutionFault("unreachable");
+}
+
+}  // namespace dynarisc
+}  // namespace ule

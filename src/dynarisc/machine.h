@@ -1,0 +1,110 @@
+/// \file machine.h
+/// \brief Native (host C++) DynaRisc emulator.
+///
+/// This is the *archival-time* emulator: it is used by Olonys developers to
+/// test decoders before they are archived, and by the library's fast restore
+/// path. The *restoration-time* emulator is the one written in VeRisc (see
+/// src/olonys/dynarisc_in_verisc.h); both must implement the semantics in
+/// isa.h bit-for-bit, and the test suite cross-checks them instruction by
+/// instruction.
+
+#ifndef ULE_DYNARISC_MACHINE_H_
+#define ULE_DYNARISC_MACHINE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "dynarisc/isa.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace ule {
+namespace dynarisc {
+
+/// \brief A loadable DynaRisc program: raw memory image plus entry point.
+struct Program {
+  Bytes image;         ///< copied to address 0 at load time
+  uint16_t entry = 0;  ///< initial PC
+
+  /// Archival container: magic "DRX1", u16 entry, u32 length, image bytes,
+  /// CRC32 of all preceding bytes.
+  Bytes Serialize() const;
+  static Result<Program> Deserialize(BytesView bytes);
+};
+
+/// Why a run stopped.
+enum class StopReason {
+  kHalted,     ///< SYS #2
+  kStepLimit,  ///< exceeded max_steps
+  kFault,      ///< illegal opcode or SYS port
+};
+
+struct RunOptions {
+  uint64_t max_steps = 2'000'000'000ull;
+};
+
+struct RunResult {
+  StopReason reason = StopReason::kHalted;
+  uint64_t steps = 0;
+  Bytes output;
+};
+
+/// \brief Complete architectural state; exposed so tests can assert on
+/// registers and flags after single-stepping.
+struct MachineState {
+  std::array<uint16_t, 8> r{};
+  std::array<uint16_t, 4> d{};
+  uint16_t hi = 0;
+  bool z = false;
+  bool c = false;
+  uint16_t pc = 0;
+};
+
+/// \brief A stepping DynaRisc machine with streaming byte I/O.
+class Machine {
+ public:
+  /// Loads `program.image` at address 0 and sets PC to the entry point.
+  /// `input` backs SYS #0 reads; it must outlive the machine.
+  Machine(const Program& program, BytesView input);
+
+  /// Executes one instruction. Returns the stop reason if the machine
+  /// stopped on this step (halt/fault), or nothing when it keeps running.
+  /// Calling Step after a stop keeps returning the stop reason.
+  std::optional<StopReason> Step();
+
+  /// Runs until halt, fault, or step limit.
+  RunResult Run(const RunOptions& options = {});
+
+  const MachineState& state() const { return state_; }
+  MachineState& mutable_state() { return state_; }
+  const Bytes& output() const { return output_; }
+  uint64_t steps_executed() const { return steps_; }
+
+  /// Direct memory access for tests.
+  uint8_t ReadByte(uint16_t addr) const { return mem_[addr]; }
+  void WriteByte(uint16_t addr, uint8_t v) { mem_[addr] = v; }
+
+ private:
+  uint16_t FetchWord();
+  uint16_t ReadWord(uint16_t addr) const;
+  void WriteWord(uint16_t addr, uint16_t v);
+  void SetZ(uint16_t v) { state_.z = (v == 0); }
+
+  std::array<uint8_t, kMemorySize> mem_{};
+  MachineState state_;
+  BytesView input_;
+  size_t in_pos_ = 0;
+  Bytes output_;
+  uint64_t steps_ = 0;
+  std::optional<StopReason> stopped_;
+};
+
+/// Convenience: load, run, return output. Faults become ExecutionFault,
+/// step-limit becomes ResourceExhausted.
+Result<Bytes> RunProgram(const Program& program, BytesView input,
+                         const RunOptions& options = {});
+
+}  // namespace dynarisc
+}  // namespace ule
+
+#endif  // ULE_DYNARISC_MACHINE_H_

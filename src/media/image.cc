@@ -1,0 +1,165 @@
+#include "media/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace ule {
+namespace media {
+
+uint8_t Image::at_clamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return at(x, y);
+}
+
+double Image::Sample(double x, double y) const {
+  const int x0 = static_cast<int>(std::floor(x));
+  const int y0 = static_cast<int>(std::floor(y));
+  const double fx = x - x0;
+  const double fy = y - y0;
+  const double a = at_clamped(x0, y0);
+  const double b = at_clamped(x0 + 1, y0);
+  const double c = at_clamped(x0, y0 + 1);
+  const double d = at_clamped(x0 + 1, y0 + 1);
+  return a * (1 - fx) * (1 - fy) + b * fx * (1 - fy) + c * (1 - fx) * fy +
+         d * fx * fy;
+}
+
+void Image::FillRect(int x, int y, int w, int h, uint8_t v) {
+  const int x1 = std::min(x + w, width_);
+  const int y1 = std::min(y + h, height_);
+  for (int yy = std::max(0, y); yy < y1; ++yy) {
+    for (int xx = std::max(0, x); xx < x1; ++xx) set(xx, yy, v);
+  }
+}
+
+Bytes Image::ToPgm() const {
+  std::string header = "P5\n" + std::to_string(width_) + " " +
+                       std::to_string(height_) + "\n255\n";
+  Bytes out = ToBytes(header);
+  out.insert(out.end(), pixels_.begin(), pixels_.end());
+  return out;
+}
+
+namespace {
+
+// Parses "P5\n<w> <h>\n<max>\n" style headers with arbitrary whitespace and
+// '#' comments. Returns the offset of the first pixel byte.
+Result<size_t> ParseNetpbmHeader(BytesView data, const char* magic, int* w,
+                                 int* h, int* maxval, bool has_maxval) {
+  size_t pos = 0;
+  auto skip_space = [&]() {
+    while (pos < data.size()) {
+      if (std::isspace(data[pos])) {
+        ++pos;
+      } else if (data[pos] == '#') {
+        while (pos < data.size() && data[pos] != '\n') ++pos;
+      } else {
+        break;
+      }
+    }
+  };
+  if (data.size() < 2 || data[0] != magic[0] || data[1] != magic[1]) {
+    return Status::Corruption(std::string("not a ") + magic + " image");
+  }
+  pos = 2;
+  auto read_int = [&]() -> Result<int> {
+    skip_space();
+    int v = 0;
+    bool any = false;
+    while (pos < data.size() && std::isdigit(data[pos])) {
+      v = v * 10 + (data[pos] - '0');
+      ++pos;
+      any = true;
+    }
+    if (!any) return Status::Corruption("bad netpbm header");
+    return v;
+  };
+  ULE_ASSIGN_OR_RETURN(*w, read_int());
+  ULE_ASSIGN_OR_RETURN(*h, read_int());
+  if (has_maxval) {
+    ULE_ASSIGN_OR_RETURN(*maxval, read_int());
+  }
+  if (pos >= data.size() || !std::isspace(data[pos])) {
+    return Status::Corruption("bad netpbm header terminator");
+  }
+  ++pos;  // single whitespace after header
+  return pos;
+}
+
+}  // namespace
+
+Result<Image> Image::FromPgm(BytesView data) {
+  int w, h, maxval = 255;
+  ULE_ASSIGN_OR_RETURN(size_t pos,
+                       ParseNetpbmHeader(data, "P5", &w, &h, &maxval, true));
+  if (w <= 0 || h <= 0 || maxval != 255) {
+    return Status::Corruption("unsupported PGM geometry");
+  }
+  const size_t need = static_cast<size_t>(w) * h;
+  if (data.size() - pos < need) return Status::Corruption("truncated PGM");
+  Image img(w, h);
+  std::copy(data.begin() + pos, data.begin() + pos + need,
+            img.pixels_.begin());
+  return img;
+}
+
+Bytes Image::ToPbm() const {
+  std::string header = "P4\n" + std::to_string(width_) + " " +
+                       std::to_string(height_) + "\n";
+  Bytes out = ToBytes(header);
+  const int row_bytes = (width_ + 7) / 8;
+  for (int y = 0; y < height_; ++y) {
+    for (int b = 0; b < row_bytes; ++b) {
+      uint8_t byte = 0;
+      for (int i = 0; i < 8; ++i) {
+        const int x = b * 8 + i;
+        const bool black = (x < width_) && at(x, y) < 128;
+        byte = static_cast<uint8_t>((byte << 1) | (black ? 1 : 0));
+      }
+      out.push_back(byte);
+    }
+  }
+  return out;
+}
+
+Result<Image> Image::FromPbm(BytesView data) {
+  int w, h, unused = 0;
+  ULE_ASSIGN_OR_RETURN(size_t pos,
+                       ParseNetpbmHeader(data, "P4", &w, &h, &unused, false));
+  if (w <= 0 || h <= 0) return Status::Corruption("bad PBM geometry");
+  const int row_bytes = (w + 7) / 8;
+  const size_t need = static_cast<size_t>(row_bytes) * h;
+  if (data.size() - pos < need) return Status::Corruption("truncated PBM");
+  Image img(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const uint8_t byte = data[pos + static_cast<size_t>(y) * row_bytes + x / 8];
+      const bool black = (byte >> (7 - (x % 8))) & 1;
+      img.set(x, y, black ? 0 : 255);
+    }
+  }
+  return img;
+}
+
+Status Image::SavePgm(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  const Bytes data = ToPgm();
+  f.write(reinterpret_cast<const char*>(data.data()),
+          static_cast<std::streamsize>(data.size()));
+  return f ? Status::OK() : Status::IoError("write failed: " + path);
+}
+
+Result<Image> Image::LoadPgm(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open " + path);
+  Bytes data((std::istreambuf_iterator<char>(f)),
+             std::istreambuf_iterator<char>());
+  return FromPgm(data);
+}
+
+}  // namespace media
+}  // namespace ule

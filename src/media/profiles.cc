@@ -1,0 +1,76 @@
+#include "media/profiles.h"
+
+namespace ule {
+namespace media {
+
+MediaProfile PaperA4Laser600() {
+  MediaProfile p;
+  p.name = "paper-a4-600dpi";
+  p.frame_width = 4760;    // A4 at 600 dpi minus 5 mm unprintable margin
+  p.frame_height = 6800;
+  p.bitonal_write = false;
+  p.dots_per_cell = 4;
+  p.frame_pitch_mm = 297;  // one sheet
+  p.reel_length_mm = 0;
+  p.scan.scale = 1.0;
+  p.scan.rotation_deg = 0.25;
+  p.scan.barrel_k1 = 0.002;
+  p.scan.jitter_amplitude = 0.4;
+  p.scan.blur_sigma = 0.7;
+  p.scan.noise_sigma = 6.0;
+  p.scan.dust_per_megapixel = 1.5;
+  p.scan.fade = 0.05;
+  p.scan.vignette = 0.02;
+  p.scan.seed = 600;
+  return p;
+}
+
+MediaProfile Microfilm16mm() {
+  MediaProfile p;
+  p.name = "microfilm-16mm";
+  p.frame_width = 3888;
+  p.frame_height = 5498;
+  p.bitonal_write = true;  // the IMAGELINK writer produces bitonal frames
+  p.dots_per_cell = 5;   // conservative pitch: decodes with wide RS margin
+  p.frame_pitch_mm = 24.0;  // ~22.6 mm frame + inter-frame gap
+  p.reel_length_mm = 66000;
+  p.scan.scale = 1.28;      // rescans at ~5000x7000
+  p.scan.rotation_deg = 0.35;
+  p.scan.barrel_k1 = 0.004;  // microfilm reader optics curve more
+  p.scan.jitter_amplitude = 0.6;
+  p.scan.blur_sigma = 0.9;
+  p.scan.noise_sigma = 5.0;
+  p.scan.dust_per_megapixel = 2.5;  // film + glass plates + screen dust
+  p.scan.fade = 0.04;
+  p.scan.bitonal = true;    // "the produced scans were also bitonal"
+  p.scan.seed = 1600;
+  return p;
+}
+
+MediaProfile CinemaFilm35mm() {
+  MediaProfile p;
+  p.name = "cinema-35mm-2k";
+  p.frame_width = 2048;
+  p.frame_height = 1556;
+  p.bitonal_write = false;
+  p.dots_per_cell = 3;
+  p.frame_pitch_mm = 19.0;  // 4-perf 35 mm frame pitch
+  p.reel_length_mm = 0;     // evaluated per-frame in the paper
+  p.scan.scale = 2.0;       // 2K frames scanned at 4K grayscale
+  p.scan.rotation_deg = 0.1;
+  p.scan.barrel_k1 = 0.0008;  // "sharper, low-distortion images"
+  p.scan.jitter_amplitude = 0.15;
+  p.scan.blur_sigma = 0.5;
+  p.scan.noise_sigma = 3.0;
+  p.scan.dust_per_megapixel = 0.8;
+  p.scan.fade = 0.02;
+  p.scan.seed = 3500;
+  return p;
+}
+
+std::vector<MediaProfile> AllProfiles() {
+  return {PaperA4Laser600(), Microfilm16mm(), CinemaFilm35mm()};
+}
+
+}  // namespace media
+}  // namespace ule

@@ -1,0 +1,54 @@
+/// \file profiles.h
+/// \brief Media profiles for the three analog backends evaluated in the
+/// paper (§4): laser-printed A4 paper, 16 mm microfilm, and 35 mm cinema
+/// film. Frame geometries and scan characteristics follow the equipment
+/// the paper names; DESIGN.md §2 records the hardware→simulation mapping.
+
+#ifndef ULE_MEDIA_PROFILES_H_
+#define ULE_MEDIA_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "media/scanner.h"
+
+namespace ule {
+namespace media {
+
+/// \brief One analog backend: writable frame geometry + typical scanner.
+struct MediaProfile {
+  std::string name;
+  int frame_width = 0;    ///< printable/writable dots per frame
+  int frame_height = 0;
+  bool bitonal_write = false;  ///< writer quantises to black/white
+  int dots_per_cell = 4;       ///< nominal printed cell pitch
+  ScanProfile scan;            ///< typical scan-back distortion
+
+  /// Physical model for capacity reporting (experiment E5).
+  double frame_pitch_mm = 0;   ///< media length consumed per frame
+  double reel_length_mm = 0;   ///< 0 when not reel-based (paper sheets)
+};
+
+/// Canon ImageRunner 6255i laser printer + flatbed rescan, A4 at 600 dpi
+/// (the paper-archive experiment E4; 26 emblems, ~50 KB/page).
+MediaProfile PaperA4Laser600();
+
+/// EPM/Kodak IMAGELINK 9600 archive writer: 3888x5498 bitonal frames on
+/// 16 mm microfilm, rescanned at ~5000x7000 (experiment E5; 1.3 GB per
+/// 66 m reel).
+MediaProfile Microfilm16mm();
+
+/// Arrilaser recorder: 2048x1556 (2K) full-aperture frames on 35 mm film,
+/// scanned in grayscale 4K (4096x3120) on a DFT Scanity. The paper found
+/// these scans "sharper, low-distortion" compared to microfilm — the
+/// profile's blur/jitter/lens parameters encode exactly that observation
+/// (experiment E6/E12).
+MediaProfile CinemaFilm35mm();
+
+/// All three profiles.
+std::vector<MediaProfile> AllProfiles();
+
+}  // namespace media
+}  // namespace ule
+
+#endif  // ULE_MEDIA_PROFILES_H_

@@ -1,0 +1,186 @@
+#include "media/scanner.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace ule {
+namespace media {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+uint8_t ClampPixel(double v) {
+  return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+// Separable Gaussian blur with a compact kernel.
+Image Blur(const Image& src, double sigma) {
+  if (sigma <= 0.01) return src;
+  const int radius = std::max(1, static_cast<int>(std::ceil(sigma * 3)));
+  std::vector<double> kernel(static_cast<size_t>(2 * radius + 1));
+  double sum = 0;
+  for (int i = -radius; i <= radius; ++i) {
+    kernel[static_cast<size_t>(i + radius)] =
+        std::exp(-(i * i) / (2 * sigma * sigma));
+    sum += kernel[static_cast<size_t>(i + radius)];
+  }
+  for (auto& k : kernel) k /= sum;
+
+  Image tmp(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      double acc = 0;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[static_cast<size_t>(i + radius)] * src.at_clamped(x + i, y);
+      }
+      tmp.set(x, y, ClampPixel(acc));
+    }
+  }
+  Image out(src.width(), src.height());
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      double acc = 0;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[static_cast<size_t>(i + radius)] * tmp.at_clamped(x, y + i);
+      }
+      out.set(x, y, ClampPixel(acc));
+    }
+  }
+  return out;
+}
+
+void AddDustAndScratches(Image* img, const ScanProfile& p, Rng* rng) {
+  const double megapixels =
+      static_cast<double>(img->width()) * img->height() / 1e6;
+  const int specks = static_cast<int>(p.dust_per_megapixel * megapixels);
+  for (int i = 0; i < specks; ++i) {
+    const int cx = static_cast<int>(rng->Below(static_cast<uint64_t>(img->width())));
+    const int cy = static_cast<int>(rng->Below(static_cast<uint64_t>(img->height())));
+    const int r = 1 + static_cast<int>(rng->Below(static_cast<uint64_t>(p.dust_max_radius)));
+    // Dust is dark on paper scans, bright on negatives; alternate.
+    const uint8_t shade = rng->Chance(0.7) ? 20 : 235;
+    for (int dy = -r; dy <= r; ++dy) {
+      for (int dx = -r; dx <= r; ++dx) {
+        if (dx * dx + dy * dy > r * r) continue;
+        const int x = cx + dx;
+        const int y = cy + dy;
+        if (x >= 0 && x < img->width() && y >= 0 && y < img->height()) {
+          img->set(x, y, shade);
+        }
+      }
+    }
+  }
+  for (int s = 0; s < p.scratch_count; ++s) {
+    const int x0 = static_cast<int>(rng->Below(static_cast<uint64_t>(img->width())));
+    double x = x0;
+    const double drift = (rng->NextDouble() - 0.5) * 0.2;
+    for (int y = 0; y < img->height(); ++y) {
+      const int xi = static_cast<int>(x);
+      if (xi >= 0 && xi < img->width()) img->set(xi, y, 30);
+      x += drift;
+    }
+  }
+}
+
+void ApplyFadeAndVignette(Image* img, const ScanProfile& p, Rng* rng) {
+  if (p.fade <= 0 && p.vignette <= 0) return;
+  const double cx = img->width() / 2.0;
+  const double cy = img->height() / 2.0;
+  const double rmax = std::sqrt(cx * cx + cy * cy);
+  // A couple of random "hot spots" accompany strong fading (paper §3.1).
+  const int hotspots = p.fade > 0.2 ? 2 : 0;
+  std::vector<std::array<double, 3>> spots;
+  for (int i = 0; i < hotspots; ++i) {
+    spots.push_back({rng->NextDouble() * img->width(),
+                     rng->NextDouble() * img->height(),
+                     rmax * 0.15});
+  }
+  for (int y = 0; y < img->height(); ++y) {
+    for (int x = 0; x < img->width(); ++x) {
+      double v = img->at(x, y);
+      if (p.fade > 0) v = 128 + (v - 128) * (1 - p.fade);
+      if (p.vignette > 0) {
+        const double r = std::sqrt((x - cx) * (x - cx) + (y - cy) * (y - cy));
+        v *= 1.0 - p.vignette * (r / rmax) * (r / rmax);
+      }
+      for (const auto& s : spots) {
+        const double d2 = (x - s[0]) * (x - s[0]) + (y - s[1]) * (y - s[1]);
+        if (d2 < s[2] * s[2]) {
+          v = 128 + (v - 128) * 0.5;  // local contrast collapse
+        }
+      }
+      img->set(x, y, ClampPixel(v));
+    }
+  }
+}
+
+}  // namespace
+
+Image Age(const Image& stored, const ScanProfile& profile) {
+  Image out = stored;
+  Rng rng(profile.seed ^ 0xA6EDA6EDull);
+  ApplyFadeAndVignette(&out, profile, &rng);
+  AddDustAndScratches(&out, profile, &rng);
+  return out;
+}
+
+Image Scan(const Image& printed, const ScanProfile& p) {
+  Rng rng(p.seed);
+  const int out_w = std::max(1, static_cast<int>(printed.width() * p.scale));
+  const int out_h = std::max(1, static_cast<int>(printed.height() * p.scale));
+  Image out(out_w, out_h);
+
+  const double theta = p.rotation_deg * kPi / 180.0;
+  const double cos_t = std::cos(theta);
+  const double sin_t = std::sin(theta);
+  const double cx = out_w / 2.0;
+  const double cy = out_h / 2.0;
+  const double norm = std::sqrt(cx * cx + cy * cy);
+
+  // Per-row jitter: smooth oscillation plus a small random walk, modelling
+  // unsteady mechanical feed in linear-array scanners.
+  std::vector<double> row_jitter(static_cast<size_t>(out_h), 0.0);
+  double walk = 0.0;
+  for (int y = 0; y < out_h; ++y) {
+    walk += (rng.NextDouble() - 0.5) * 0.1 * p.jitter_amplitude;
+    walk *= 0.98;
+    row_jitter[static_cast<size_t>(y)] =
+        p.jitter_amplitude * std::sin(2 * kPi * y / p.jitter_period) * 0.5 +
+        walk;
+  }
+
+  for (int y = 0; y < out_h; ++y) {
+    for (int x = 0; x < out_w; ++x) {
+      // Inverse geometric chain: jitter, then rotation, then lens, then
+      // scale back into the printed image's coordinates.
+      double sx = x - cx + row_jitter[static_cast<size_t>(y)];
+      double sy = y - cy;
+      // Barrel distortion: displace radially by k1 * (r/norm)^2.
+      const double r2 = (sx * sx + sy * sy) / (norm * norm);
+      const double lens = 1.0 + p.barrel_k1 * r2;
+      sx *= lens;
+      sy *= lens;
+      // Rotation around the centre.
+      const double rx = sx * cos_t - sy * sin_t;
+      const double ry = sx * sin_t + sy * cos_t;
+      const double px = (rx + cx) / p.scale;
+      const double py = (ry + cy) / p.scale;
+      double v = printed.Sample(px, py);
+      if (p.noise_sigma > 0) v += rng.NextGaussian() * p.noise_sigma;
+      out.set(x, y, ClampPixel(v));
+    }
+  }
+
+  Image blurred = Blur(out, p.blur_sigma);
+  ApplyFadeAndVignette(&blurred, p, &rng);
+  AddDustAndScratches(&blurred, p, &rng);
+
+  if (p.bitonal) {
+    for (auto& px : blurred.mutable_pixels()) px = (px < 128) ? 0 : 255;
+  }
+  return blurred;
+}
+
+}  // namespace media
+}  // namespace ule

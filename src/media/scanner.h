@@ -1,0 +1,53 @@
+/// \file scanner.h
+/// \brief Print/scan distortion simulation — the analog-media substrate.
+///
+/// The paper's robustness story (§3.1) enumerates what real film/paper
+/// pipelines do to an image: media distortion and damage (fading, hot
+/// spots, scratches), lens curvature "which can change straight lines into
+/// curves, usually near the edge of the field of view", unsteady mechanical
+/// motion in ADF/linear-array scanners, and dust on film, glass plates and
+/// screens. The simulator implements each of those as an explicit,
+/// parameterised stage so that the robustness experiments (E8, E12) can
+/// sweep them independently. We do not have the Canon/Kodak/Arrilaser
+/// hardware; DESIGN.md §2 documents this substitution.
+
+#ifndef ULE_MEDIA_SCANNER_H_
+#define ULE_MEDIA_SCANNER_H_
+
+#include "media/image.h"
+#include "support/random.h"
+
+namespace ule {
+namespace media {
+
+/// \brief Distortion parameters of one scan pass. Defaults are the "clean
+/// scanner" — each field models one physical effect.
+struct ScanProfile {
+  double scale = 1.0;          ///< rescan resolution (2.0 = scan at 2x dpi)
+  double rotation_deg = 0.0;   ///< page/film skew
+  double barrel_k1 = 0.0;      ///< radial lens distortion coefficient
+                               ///< (positive = barrel; ~1e-2 is strong)
+  double jitter_amplitude = 0.0;  ///< unsteady-feed row displacement, px
+  double jitter_period = 40.0;    ///< rows per jitter oscillation
+  double blur_sigma = 0.0;     ///< optics blur (Gaussian), px
+  double noise_sigma = 0.0;    ///< sensor noise stddev, gray levels
+  double dust_per_megapixel = 0.0;  ///< opaque specks per 10^6 px
+  int dust_max_radius = 3;     ///< speck radius, px
+  int scratch_count = 0;       ///< dark vertical scratches (film)
+  double fade = 0.0;           ///< contrast loss toward mid-gray, 0..1
+  double vignette = 0.0;       ///< corner illumination falloff, 0..1
+  bool bitonal = false;        ///< output thresholded at 128 (microfilm)
+  uint64_t seed = 1;           ///< deterministic damage placement
+};
+
+/// Runs the full scan simulation over a printed image.
+Image Scan(const Image& printed, const ScanProfile& profile);
+
+/// Damage-only pass (dust/scratches/fading without geometry change); used
+/// to model media ageing between writing and scanning.
+Image Age(const Image& stored, const ScanProfile& profile);
+
+}  // namespace media
+}  // namespace ule
+
+#endif  // ULE_MEDIA_SCANNER_H_

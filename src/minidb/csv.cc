@@ -1,0 +1,165 @@
+#include "minidb/csv.h"
+
+namespace ule {
+namespace minidb {
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  if (s.empty()) return true;  // distinguish "" from NULL
+  for (char c : s) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(std::string* out, const std::string& field, bool force_text) {
+  if (force_text ? NeedsQuoting(field) : false) {
+    out->push_back('"');
+    for (char c : field) {
+      if (c == '"') out->push_back('"');
+      out->push_back(c);
+    }
+    out->push_back('"');
+  } else {
+    *out += field;
+  }
+}
+
+/// One parsed CSV record; `quoted[i]` records whether field i was quoted
+/// (needed to tell NULL from the empty string).
+struct Record {
+  std::vector<std::string> fields;
+  std::vector<bool> quoted;
+};
+
+Result<std::vector<Record>> ParseRecords(const std::string& csv) {
+  std::vector<Record> records;
+  Record cur;
+  std::string field;
+  bool in_quotes = false;
+  bool was_quoted = false;
+  bool any = false;
+
+  auto end_field = [&]() {
+    cur.fields.push_back(field);
+    cur.quoted.push_back(was_quoted);
+    field.clear();
+    was_quoted = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(cur));
+    cur = Record{};
+  };
+
+  for (size_t i = 0; i < csv.size(); ++i) {
+    const char c = csv[i];
+    any = true;
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < csv.size() && csv[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty()) {
+          return Status::Corruption("CSV: quote inside unquoted field near " +
+                                    std::to_string(i));
+        }
+        in_quotes = true;
+        was_quoted = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_record();
+        break;
+      default:
+        field.push_back(c);
+    }
+  }
+  if (in_quotes) return Status::Corruption("CSV: unterminated quote");
+  if (any && (!field.empty() || was_quoted || !cur.fields.empty())) {
+    end_record();  // final record without trailing newline
+  }
+  return records;
+}
+
+}  // namespace
+
+std::string ExportCsv(const Table& table) {
+  std::string out;
+  const auto& cols = table.schema().columns;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i) out.push_back(',');
+    AppendField(&out, cols[i].name, /*force_text=*/true);
+  }
+  out.push_back('\n');
+  table.Scan([&](const Row& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out.push_back(',');
+      if (row[i].is_null()) continue;  // NULL = empty unquoted field
+      if (cols[i].type == Type::kText) {
+        AppendField(&out, row[i].AsText(), /*force_text=*/true);
+      } else {
+        out += row[i].ToDumpString(cols[i].type, cols[i].scale);
+      }
+    }
+    out.push_back('\n');
+    return true;
+  });
+  return out;
+}
+
+Status ImportCsv(const std::string& csv, Table* table) {
+  ULE_ASSIGN_OR_RETURN(std::vector<Record> records, ParseRecords(csv));
+  if (records.empty()) return Status::Corruption("CSV: missing header row");
+  const auto& cols = table->schema().columns;
+  const Record& header = records[0];
+  if (header.fields.size() != cols.size()) {
+    return Status::Corruption("CSV: header arity mismatch");
+  }
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (header.fields[i] != cols[i].name) {
+      return Status::Corruption("CSV: header column '" + header.fields[i] +
+                                "' does not match schema column '" +
+                                cols[i].name + "'");
+    }
+  }
+  for (size_t r = 1; r < records.size(); ++r) {
+    const Record& rec = records[r];
+    if (rec.fields.size() != cols.size()) {
+      return Status::Corruption("CSV: row " + std::to_string(r) +
+                                " has wrong field count");
+    }
+    Row row;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (rec.fields[i].empty() && !rec.quoted[i]) {
+        row.push_back(Value::Null());
+      } else if (cols[i].type == Type::kText) {
+        row.push_back(Value::Text(rec.fields[i]));
+      } else {
+        ULE_ASSIGN_OR_RETURN(
+            Value v, Value::FromDumpString(rec.fields[i], cols[i].type,
+                                           cols[i].scale));
+        row.push_back(std::move(v));
+      }
+    }
+    ULE_RETURN_IF_ERROR(table->Insert(std::move(row)));
+  }
+  return Status::OK();
+}
+
+}  // namespace minidb
+}  // namespace ule

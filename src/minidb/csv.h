@@ -1,0 +1,32 @@
+/// \file csv.h
+/// \brief CSV import/export for minidb tables.
+///
+/// CSV is the other "well-established, publicly-available standard" the
+/// paper names for textual archives (§1, alongside XML). The writer quotes
+/// per RFC 4180 (fields containing comma, quote or newline are quoted,
+/// embedded quotes doubled); the reader accepts exactly what the writer
+/// emits plus unquoted NULL as an empty field.
+
+#ifndef ULE_MINIDB_CSV_H_
+#define ULE_MINIDB_CSV_H_
+
+#include <string>
+
+#include "minidb/database.h"
+
+namespace ule {
+namespace minidb {
+
+/// Serialises one table: header row of column names, then one row per
+/// tuple. NULLs become empty fields; text is RFC 4180-quoted.
+std::string ExportCsv(const Table& table);
+
+/// Parses CSV into an existing (empty or compatible) table: the header must
+/// match the schema's column names in order; values are parsed per column
+/// type; empty unquoted fields become NULL. Quoted empty strings stay "".
+Status ImportCsv(const std::string& csv, Table* table);
+
+}  // namespace minidb
+}  // namespace ule
+
+#endif  // ULE_MINIDB_CSV_H_

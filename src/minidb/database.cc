@@ -1,0 +1,105 @@
+#include "minidb/database.h"
+
+namespace ule {
+namespace minidb {
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_.columns.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(schema_.columns.size()) + " for table " + name_);
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+void Table::Scan(const std::function<bool(const Row&)>& fn) const {
+  for (const Row& row : rows_) {
+    if (!fn(row)) return;
+  }
+}
+
+size_t Table::CountWhere(const std::function<bool(const Row&)>& pred) const {
+  if (!pred) return rows_.size();
+  size_t n = 0;
+  for (const Row& row : rows_) {
+    if (pred(row)) ++n;
+  }
+  return n;
+}
+
+Result<int64_t> Table::SumWhere(
+    const std::string& column,
+    const std::function<bool(const Row&)>& pred) const {
+  const int idx = schema_.FindColumn(column);
+  if (idx < 0) return Status::NotFound("no column " + column);
+  const Type t = schema_.columns[static_cast<size_t>(idx)].type;
+  if (t == Type::kText) {
+    return Status::InvalidArgument("cannot sum text column " + column);
+  }
+  int64_t acc = 0;
+  for (const Row& row : rows_) {
+    if (pred && !pred(row)) continue;
+    const Value& v = row[static_cast<size_t>(idx)];
+    if (!v.is_null()) acc += v.AsInt();
+  }
+  return acc;
+}
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name)) {
+    return Status::InvalidArgument("table exists: " + name);
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* ptr = table.get();
+  tables_[name] = std::move(table);
+  order_.push_back(name);
+  return ptr;
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const { return order_; }
+
+size_t Database::TotalRows() const {
+  size_t n = 0;
+  for (const auto& [name, table] : tables_) n += table->row_count();
+  return n;
+}
+
+bool Database::SameContentAs(const Database& other) const {
+  if (order_ != other.order_) return false;
+  for (const auto& name : order_) {
+    const Table* a = GetTable(name);
+    const Table* b = other.GetTable(name);
+    if (!a || !b) return false;
+    if (a->schema().columns.size() != b->schema().columns.size()) return false;
+    for (size_t i = 0; i < a->schema().columns.size(); ++i) {
+      const Column& ca = a->schema().columns[i];
+      const Column& cb = b->schema().columns[i];
+      if (ca.name != cb.name || ca.type != cb.type || ca.scale != cb.scale) {
+        return false;
+      }
+    }
+    if (a->rows() != b->rows()) return false;
+  }
+  return true;
+}
+
+}  // namespace minidb
+}  // namespace ule

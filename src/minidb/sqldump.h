@@ -1,0 +1,45 @@
+/// \file sqldump.h
+/// \brief db_dump / db_load: the pg_dump-style textual archive interface.
+///
+/// "The typical approach is to use external tools that communicate with
+/// the DBMS using well-established interfaces, and 'dump' a database into
+/// a generic text file" (paper §1). This module writes/reads the same
+/// shape pg_dump produces in plain format:
+///
+/// ```sql
+/// -- ULE archive dump
+/// CREATE TABLE nation (
+///     n_nationkey bigint,
+///     n_name varchar,
+///     ...
+/// );
+/// COPY nation (n_nationkey, n_name, ...) FROM stdin;
+/// 0	ALGERIA	0	 haggle...
+/// \.
+/// ```
+///
+/// The dump is the *software-independent format* of the whole pipeline:
+/// DBCoder compresses exactly these bytes, and restoration reproduces them
+/// byte-for-byte before db_load re-creates the database.
+
+#ifndef ULE_MINIDB_SQLDUMP_H_
+#define ULE_MINIDB_SQLDUMP_H_
+
+#include <string>
+
+#include "minidb/database.h"
+
+namespace ule {
+namespace minidb {
+
+/// Serialises a database into the textual archive (deterministic).
+std::string DumpSql(const Database& db);
+
+/// Rebuilds a database from a dump produced by DumpSql (or a compatible
+/// pg_dump plain-format subset).
+Result<Database> LoadSql(const std::string& dump);
+
+}  // namespace minidb
+}  // namespace ule
+
+#endif  // ULE_MINIDB_SQLDUMP_H_

@@ -1,0 +1,224 @@
+#include "minidb/value.h"
+
+#include <cstdio>
+
+namespace ule {
+namespace minidb {
+
+const char* TypeName(Type t) {
+  switch (t) {
+    case Type::kInt:
+      return "int";
+    case Type::kDecimal:
+      return "decimal";
+    case Type::kText:
+      return "text";
+    case Type::kDate:
+      return "date";
+  }
+  return "?";
+}
+
+std::string SqlTypeName(Type t, int scale) {
+  switch (t) {
+    case Type::kInt:
+      return "bigint";
+    case Type::kDecimal:
+      return "decimal(15," + std::to_string(scale) + ")";
+    case Type::kText:
+      return "varchar";
+    case Type::kDate:
+      return "date";
+  }
+  return "unknown";
+}
+
+Value Value::Int(int64_t v) {
+  Value out;
+  out.null_ = false;
+  out.v_ = v;
+  return out;
+}
+
+Value Value::Decimal(int64_t scaled) { return Int(scaled); }
+
+Value Value::Text(std::string v) {
+  Value out;
+  out.null_ = false;
+  out.v_ = std::move(v);
+  return out;
+}
+
+Value Value::Date(int64_t days) { return Int(days); }
+
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *y = static_cast<int>(yy + (*m <= 2));
+}
+
+std::string FormatDate(int64_t days) {
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+Result<int64_t> ParseDate(const std::string& s) {
+  if (s.size() != 10 || s[4] != '-' || s[7] != '-') {
+    return Status::InvalidArgument("bad date '" + s + "'");
+  }
+  const int y = std::atoi(s.substr(0, 4).c_str());
+  const int m = std::atoi(s.substr(5, 2).c_str());
+  const int d = std::atoi(s.substr(8, 2).c_str());
+  if (m < 1 || m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument("bad date '" + s + "'");
+  }
+  return DaysFromCivil(y, m, d);
+}
+
+namespace {
+
+std::string FormatDecimal(int64_t v, int scale) {
+  const bool neg = v < 0;
+  uint64_t a = neg ? static_cast<uint64_t>(-v) : static_cast<uint64_t>(v);
+  uint64_t pow10 = 1;
+  for (int i = 0; i < scale; ++i) pow10 *= 10;
+  std::string frac = std::to_string(a % pow10);
+  frac.insert(0, static_cast<size_t>(scale) - frac.size(), '0');
+  return (neg ? "-" : "") + std::to_string(a / pow10) + "." + frac;
+}
+
+std::string EscapeText(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeText(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (++i >= s.size()) return Status::Corruption("dangling escape");
+    switch (s[i]) {
+      case 't':
+        out.push_back('\t');
+        break;
+      case 'n':
+        out.push_back('\n');
+        break;
+      case '\\':
+        out.push_back('\\');
+        break;
+      default:
+        return Status::Corruption("unknown escape \\" + std::string(1, s[i]));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Value::ToDumpString(Type type, int scale) const {
+  if (null_) return "\\N";
+  switch (type) {
+    case Type::kInt:
+      return std::to_string(AsInt());
+    case Type::kDecimal:
+      return FormatDecimal(AsInt(), scale);
+    case Type::kDate:
+      return FormatDate(AsInt());
+    case Type::kText:
+      return EscapeText(AsText());
+  }
+  return "";
+}
+
+Result<Value> Value::FromDumpString(const std::string& s, Type type,
+                                    int scale) {
+  if (s == "\\N") return Null();
+  switch (type) {
+    case Type::kInt: {
+      try {
+        return Int(std::stoll(s));
+      } catch (...) {
+        return Status::Corruption("bad int '" + s + "'");
+      }
+    }
+    case Type::kDecimal: {
+      const size_t dot = s.find('.');
+      try {
+        if (dot == std::string::npos) {
+          int64_t pow10 = 1;
+          for (int i = 0; i < scale; ++i) pow10 *= 10;
+          return Decimal(std::stoll(s) * pow10);
+        }
+        const std::string ip = s.substr(0, dot);
+        std::string fp = s.substr(dot + 1);
+        if (static_cast<int>(fp.size()) > scale) {
+          return Status::Corruption("decimal overflow '" + s + "'");
+        }
+        fp.resize(static_cast<size_t>(scale), '0');
+        int64_t pow10 = 1;
+        for (int i = 0; i < scale; ++i) pow10 *= 10;
+        const int64_t intpart = std::stoll(ip.empty() || ip == "-" ? ip + "0" : ip);
+        const int64_t frac = fp.empty() ? 0 : std::stoll(fp);
+        const bool neg = !ip.empty() && ip[0] == '-';
+        const int64_t mag = (neg ? -intpart : intpart) * pow10 + frac;
+        return Decimal(neg ? -mag : mag);
+      } catch (...) {
+        return Status::Corruption("bad decimal '" + s + "'");
+      }
+    }
+    case Type::kDate: {
+      ULE_ASSIGN_OR_RETURN(int64_t days, ParseDate(s));
+      return Date(days);
+    }
+    case Type::kText: {
+      ULE_ASSIGN_OR_RETURN(std::string t, UnescapeText(s));
+      return Text(std::move(t));
+    }
+  }
+  return Status::InvalidArgument("unknown type");
+}
+
+}  // namespace minidb
+}  // namespace ule

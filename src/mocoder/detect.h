@@ -1,0 +1,41 @@
+/// \file detect.h
+/// \brief Emblem localisation in scanned images.
+///
+/// Implements the host-side preprocessing step of restoration (§3.3): the
+/// scanned frame is reduced to "a linear flat array of pixel intensities"
+/// on the emblem's cell lattice. The thick black border square provides
+/// geometry: its four edges are line-fitted, corners intersected, and a
+/// radial-distortion coefficient is calibrated from the edges' curvature
+/// (microfilm scanner lenses "change straight lines into curves, usually
+/// near the edge of the field of view", §3.1). Cell centres are then
+/// sampled bilinearly.
+
+#ifndef ULE_MOCODER_DETECT_H_
+#define ULE_MOCODER_DETECT_H_
+
+#include "media/image.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace ule {
+namespace mocoder {
+
+/// Diagnostics from a detection pass.
+struct DetectInfo {
+  double rotation_deg = 0;   ///< estimated skew
+  double cell_pitch = 0;     ///< estimated pixels per cell
+  double lens_k = 0;         ///< calibrated radial distortion
+};
+
+/// \brief Locates the emblem in `scan` and samples its data area.
+/// \param data_side N, the data-area side in cells (known from the
+///        Bootstrap / archive parameters)
+/// \returns N*N intensities, row-major (0 = black), ready for
+///          DecodeEmblemIntensities or the DynaRisc MODecode program.
+Result<Bytes> SampleEmblem(const media::Image& scan, int data_side,
+                           DetectInfo* info = nullptr);
+
+}  // namespace mocoder
+}  // namespace ule
+
+#endif  // ULE_MOCODER_DETECT_H_

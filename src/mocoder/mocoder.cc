@@ -1,0 +1,89 @@
+#include "mocoder/mocoder.h"
+
+#include "support/crc32.h"
+
+namespace ule {
+namespace mocoder {
+
+Result<std::vector<EncodedEmblem>> EncodeStream(BytesView stream, StreamId id,
+                                                const Options& options) {
+  const int capacity = EmblemCapacity(options.data_side);
+  if (capacity <= 0) {
+    return Status::InvalidArgument("data_side too small for one RS block");
+  }
+  if (stream.size() > 0xFFFFFFFFull) {
+    return Status::InvalidArgument("stream too large for emblem header");
+  }
+  const auto payloads = BuildGroupPayloads(stream, capacity);
+  const int total = TotalEmblemCount(stream.size(), capacity);
+
+  std::vector<EncodedEmblem> out;
+  out.reserve(payloads.size());
+  for (size_t seq = 0; seq < payloads.size(); ++seq) {
+    if (!payloads[seq]) continue;  // virtual zero emblem
+    EmblemHeader h;
+    h.stream = id;
+    h.seq = static_cast<uint16_t>(seq);
+    h.total = static_cast<uint16_t>(total);
+    h.stream_len = static_cast<uint32_t>(stream.size());
+    h.payload_crc = Crc32(*payloads[seq]);
+    ULE_ASSIGN_OR_RETURN(CellGrid grid,
+                         BuildEmblem(h, *payloads[seq], options.data_side));
+    out.push_back(EncodedEmblem{h, std::move(grid)});
+  }
+  return out;
+}
+
+media::Image Render(const EncodedEmblem& emblem, const Options& options) {
+  return RenderEmblem(emblem.grid, options.dots_per_cell, options.quiet_cells);
+}
+
+Result<Bytes> DecodeSampledGrids(const std::vector<Bytes>& grids, StreamId id,
+                                 const Options& options, DecodeStats* stats) {
+  std::map<uint16_t, Bytes> payloads;
+  uint32_t stream_len = 0;
+  bool have_len = false;
+  DecodeStats local;
+  local.emblems_total = static_cast<int>(grids.size());
+
+  for (const Bytes& grid : grids) {
+    EmblemHeader h;
+    EmblemDecodeInfo info;
+    auto payload = DecodeEmblemIntensities(grid, options.data_side, &h, &info);
+    if (!payload.ok()) continue;  // lost emblem; the outer code's problem
+    if (h.stream != id) continue;
+    local.emblems_decoded += 1;
+    local.rs_errors_corrected += info.rs_errors_corrected;
+    stream_len = h.stream_len;
+    have_len = true;
+    payloads[h.seq] = payload.TakeValue();
+  }
+  if (!have_len) {
+    return Status::Corruption("no emblem of the requested stream decoded");
+  }
+  const int capacity = EmblemCapacity(options.data_side);
+  const int data_count = DataEmblemCount(stream_len, capacity);
+  int present_data = 0;
+  for (const auto& [seq, payload] : payloads) {
+    if (!IsParitySlot(seq) && DataIndexOf(seq) < data_count) ++present_data;
+  }
+  ULE_ASSIGN_OR_RETURN(Bytes stream,
+                       ReassembleStream(payloads, stream_len, capacity));
+  local.emblems_recovered = data_count - present_data;
+  if (stats) *stats = local;
+  return stream;
+}
+
+Result<Bytes> DecodeImages(const std::vector<media::Image>& scans, StreamId id,
+                           const Options& options, DecodeStats* stats) {
+  std::vector<Bytes> grids;
+  grids.reserve(scans.size());
+  for (const media::Image& scan : scans) {
+    auto sampled = SampleEmblem(scan, options.data_side);
+    if (sampled.ok()) grids.push_back(sampled.TakeValue());
+  }
+  return DecodeSampledGrids(grids, id, options, stats);
+}
+
+}  // namespace mocoder
+}  // namespace ule

@@ -1,0 +1,71 @@
+/// \file mocoder.h
+/// \brief MOCoder façade: byte streams ⇄ emblem images (paper §3.1).
+///
+/// Encoding: stream bytes → group payloads (outer parity) → emblem grids
+/// (inner RS + differential-Manchester modulation) → printable images.
+/// Decoding: scanned images → sampled intensity grids → per-emblem decode
+/// → outer reassembly (erasure recovery of whole lost emblems).
+
+#ifndef ULE_MOCODER_MOCODER_H_
+#define ULE_MOCODER_MOCODER_H_
+
+#include <vector>
+
+#include "media/image.h"
+#include "mocoder/detect.h"
+#include "mocoder/emblem.h"
+#include "mocoder/outer.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace ule {
+namespace mocoder {
+
+/// Format parameters shared by archival and restoration (recorded in the
+/// Bootstrap document alongside the emblem geometry description).
+struct Options {
+  int data_side = 128;     ///< data-area cells per side (N)
+  int dots_per_cell = 4;   ///< print pitch
+  int quiet_cells = 2;     ///< white margin around the border
+};
+
+/// One encoded emblem with its rendered image.
+struct EncodedEmblem {
+  EmblemHeader header;
+  CellGrid grid;
+};
+
+/// Splits `stream` into emblems (with outer parity) for the given stream
+/// id. The result is ordered by sequence number; virtual (all-zero tail)
+/// slots are skipped, so sequence numbers may have gaps.
+Result<std::vector<EncodedEmblem>> EncodeStream(BytesView stream, StreamId id,
+                                                const Options& options);
+
+/// Renders one encoded emblem to pixels.
+media::Image Render(const EncodedEmblem& emblem, const Options& options);
+
+/// Per-run statistics of DecodeImages (experiment E8/E12 report these).
+struct DecodeStats {
+  int emblems_total = 0;      ///< images given
+  int emblems_decoded = 0;    ///< emblems whose inner decode succeeded
+  int emblems_recovered = 0;  ///< lost emblems rebuilt by the outer code
+  int rs_errors_corrected = 0;
+};
+
+/// \brief Decodes a set of scanned emblem images back into the stream with
+/// the given id. Tolerates missing/destroyed emblems up to the outer
+/// code's budget (3 per group of 20).
+Result<Bytes> DecodeImages(const std::vector<media::Image>& scans, StreamId id,
+                           const Options& options,
+                           DecodeStats* stats = nullptr);
+
+/// Decodes already-sampled intensity grids (the interface shared with the
+/// archived DynaRisc MODecode path).
+Result<Bytes> DecodeSampledGrids(const std::vector<Bytes>& grids, StreamId id,
+                                 const Options& options,
+                                 DecodeStats* stats = nullptr);
+
+}  // namespace mocoder
+}  // namespace ule
+
+#endif  // ULE_MOCODER_MOCODER_H_

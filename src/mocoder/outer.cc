@@ -1,0 +1,149 @@
+#include "mocoder/outer.h"
+
+#include <algorithm>
+
+#include "rs/reed_solomon.h"
+
+namespace ule {
+namespace mocoder {
+
+int DataEmblemCount(size_t stream_len, int capacity) {
+  if (stream_len == 0) return 1;  // an empty stream still gets one emblem
+  return static_cast<int>((stream_len + static_cast<size_t>(capacity) - 1) /
+                          static_cast<size_t>(capacity));
+}
+
+int TotalEmblemCount(size_t stream_len, int capacity) {
+  const int d = DataEmblemCount(stream_len, capacity);
+  const int groups = (d + kGroupData - 1) / kGroupData;
+  const int last_group_data = d - (groups - 1) * kGroupData;
+  return (groups - 1) * kGroupSize + last_group_data + kGroupParity;
+}
+
+std::vector<std::optional<Bytes>> BuildGroupPayloads(BytesView stream,
+                                                     int capacity) {
+  const int d = DataEmblemCount(stream.size(), capacity);
+  const int groups = (d + kGroupData - 1) / kGroupData;
+  static const rs::Codec outer(kGroupSize, kGroupData);
+
+  std::vector<std::optional<Bytes>> out(
+      static_cast<size_t>(groups) * kGroupSize);
+  for (int g = 0; g < groups; ++g) {
+    // Collect the 17 (possibly virtual/zero, possibly tail-padded) data
+    // payloads of this group.
+    std::vector<Bytes> data(kGroupData,
+                            Bytes(static_cast<size_t>(capacity), 0));
+    for (int s = 0; s < kGroupData; ++s) {
+      const int idx = g * kGroupData + s;
+      if (idx >= d) continue;  // virtual zero emblem (not emitted)
+      const size_t begin = static_cast<size_t>(idx) * capacity;
+      const size_t end =
+          std::min(stream.size(), begin + static_cast<size_t>(capacity));
+      if (begin < end) {
+        std::copy(stream.begin() + begin, stream.begin() + end,
+                  data[static_cast<size_t>(s)].begin());
+      }
+      out[static_cast<size_t>(g) * kGroupSize + s] =
+          data[static_cast<size_t>(s)];
+    }
+    // Column-wise RS(20,17): three parity bytes per byte position.
+    std::vector<Bytes> parity(kGroupParity,
+                              Bytes(static_cast<size_t>(capacity), 0));
+    Bytes column(kGroupData);
+    for (int j = 0; j < capacity; ++j) {
+      for (int s = 0; s < kGroupData; ++s) {
+        column[static_cast<size_t>(s)] = data[static_cast<size_t>(s)][static_cast<size_t>(j)];
+      }
+      Bytes cw = outer.Encode(column).TakeValue();
+      for (int p = 0; p < kGroupParity; ++p) {
+        parity[static_cast<size_t>(p)][static_cast<size_t>(j)] =
+            cw[static_cast<size_t>(kGroupData + p)];
+      }
+    }
+    for (int p = 0; p < kGroupParity; ++p) {
+      out[static_cast<size_t>(g) * kGroupSize + kGroupData + p] =
+          parity[static_cast<size_t>(p)];
+    }
+  }
+  return out;
+}
+
+Result<Bytes> ReassembleStream(const std::map<uint16_t, Bytes>& payloads,
+                               size_t stream_len, int capacity) {
+  const int d = DataEmblemCount(stream_len, capacity);
+  const int groups = (d + kGroupData - 1) / kGroupData;
+  static const rs::Codec outer(kGroupSize, kGroupData);
+
+  std::vector<Bytes> data(static_cast<size_t>(d));
+  for (int g = 0; g < groups; ++g) {
+    // Which slots are real in this group, which are present?
+    std::vector<const Bytes*> slot(kGroupSize, nullptr);
+    std::vector<int> missing_real;
+    for (int s = 0; s < kGroupSize; ++s) {
+      const uint16_t seq = static_cast<uint16_t>(g * kGroupSize + s);
+      const bool is_virtual =
+          s < kGroupData && (g * kGroupData + s) >= d;
+      auto it = payloads.find(seq);
+      if (it != payloads.end()) {
+        if (static_cast<int>(it->second.size()) != capacity) {
+          return Status::InvalidArgument("emblem payload has wrong size");
+        }
+        slot[static_cast<size_t>(s)] = &it->second;
+      } else if (!is_virtual) {
+        missing_real.push_back(s);
+      }
+    }
+    if (static_cast<int>(missing_real.size()) > kGroupParity) {
+      return Status::Corruption(
+          "group " + std::to_string(g) + " lost " +
+          std::to_string(missing_real.size()) +
+          " emblems; only 3 of 20 are recoverable");
+    }
+
+    std::vector<Bytes> recovered(missing_real.size(),
+                                 Bytes(static_cast<size_t>(capacity), 0));
+    if (!missing_real.empty()) {
+      static const Bytes zeros;
+      Bytes column(kGroupSize, 0);
+      for (int j = 0; j < capacity; ++j) {
+        for (int s = 0; s < kGroupSize; ++s) {
+          column[static_cast<size_t>(s)] =
+              slot[static_cast<size_t>(s)]
+                  ? (*slot[static_cast<size_t>(s)])[static_cast<size_t>(j)]
+                  : 0;
+        }
+        auto fixed = outer.Decode(column, missing_real);
+        if (!fixed.ok()) return fixed.status();
+        for (size_t m = 0; m < missing_real.size(); ++m) {
+          recovered[m][static_cast<size_t>(j)] =
+              fixed.value()[static_cast<size_t>(missing_real[m])];
+        }
+      }
+    }
+
+    for (int s = 0; s < kGroupData; ++s) {
+      const int idx = g * kGroupData + s;
+      if (idx >= d) break;
+      if (slot[static_cast<size_t>(s)]) {
+        data[static_cast<size_t>(idx)] = *slot[static_cast<size_t>(s)];
+      } else {
+        auto it = std::find(missing_real.begin(), missing_real.end(), s);
+        data[static_cast<size_t>(idx)] =
+            recovered[static_cast<size_t>(it - missing_real.begin())];
+      }
+    }
+  }
+
+  Bytes stream;
+  stream.reserve(stream_len);
+  for (int i = 0; i < d; ++i) {
+    const size_t want = std::min(static_cast<size_t>(capacity),
+                                 stream_len - stream.size());
+    stream.insert(stream.end(), data[static_cast<size_t>(i)].begin(),
+                  data[static_cast<size_t>(i)].begin() + want);
+  }
+  return stream;
+}
+
+}  // namespace mocoder
+}  // namespace ule

@@ -1,0 +1,67 @@
+/// \file outer.h
+/// \brief The inter-emblem ("outer") protection layer (paper §3.1):
+/// "three parity emblems with each set of 17 data emblems. This results in
+/// the full bit-for-bit restoration of data contained within a series of
+/// 20 emblems in which any three are missing altogether."
+///
+/// A byte stream is split across data emblems of equal capacity C. Emblems
+/// are sequenced in groups of 20: slots 0..16 carry data, slots 17..19
+/// carry parity (RS(20,17) column-wise over the 17 data payloads,
+/// zero-padded virtual payloads for unused slots in the final group).
+/// Any ≤3 missing emblems per group are recovered by erasure decoding.
+
+#ifndef ULE_MOCODER_OUTER_H_
+#define ULE_MOCODER_OUTER_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "mocoder/emblem.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace ule {
+namespace mocoder {
+
+/// Emblems per group and the split between data and parity slots.
+inline constexpr int kGroupSize = 20;
+inline constexpr int kGroupData = 17;
+inline constexpr int kGroupParity = 3;
+
+/// Number of data emblems needed for `stream_len` bytes at capacity C.
+int DataEmblemCount(size_t stream_len, int capacity);
+/// Total emitted emblems (data + parity) for `stream_len` bytes.
+int TotalEmblemCount(size_t stream_len, int capacity);
+
+/// True when sequence slot `seq` is a parity slot.
+constexpr bool IsParitySlot(uint16_t seq) {
+  return (seq % kGroupSize) >= kGroupData;
+}
+/// Index into the data stream for a data slot (undefined for parity slots).
+constexpr int DataIndexOf(uint16_t seq) {
+  return static_cast<int>(seq / kGroupSize) * kGroupData +
+         static_cast<int>(seq % kGroupSize);
+}
+
+/// \brief Splits `stream` into per-emblem payloads including parity
+/// emblems. Element i of the result is the payload for sequence number i
+/// (slots that would hold data beyond the end of the stream are omitted by
+/// returning std::nullopt — they are "virtual" zero emblems).
+std::vector<std::optional<Bytes>> BuildGroupPayloads(BytesView stream,
+                                                     int capacity);
+
+/// \brief Reassembles the stream from decoded emblem payloads.
+/// \param payloads seq -> payload (exactly capacity bytes each); missing
+///        emblems are simply absent
+/// \param stream_len total stream length (from any emblem header)
+/// \param capacity per-emblem payload bytes
+/// Recovers up to 3 missing emblems per group; fails with Corruption when
+/// a group is missing more.
+Result<Bytes> ReassembleStream(const std::map<uint16_t, Bytes>& payloads,
+                               size_t stream_len, int capacity);
+
+}  // namespace mocoder
+}  // namespace ule
+
+#endif  // ULE_MOCODER_OUTER_H_

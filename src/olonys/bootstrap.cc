@@ -1,0 +1,185 @@
+#include "olonys/bootstrap.h"
+
+#include <algorithm>
+
+#include "support/hexletters.h"
+
+namespace ule {
+namespace olonys {
+namespace {
+
+constexpr std::string_view kPseudocode = R"BOOT(PART I.  THE VERISC MACHINE — EMULATION ALGORITHM
+==================================================
+
+You are reading the Bootstrap of a Micr'Olonys archive. Implement the small
+machine below in any programming language on any computer. It is the only
+program you must write yourself; everything else on this archive, including
+the decoders for the barcode images (emblems), is data that this machine
+will execute.
+
+I.1  STORAGE
+------------
+  memory : 1048576 (2^20) words of 32 bits each, all initially zero
+  R      : one 32-bit register (the accumulator), initially zero
+  B      : the borrow flag, one bit, initially zero
+  PC     : the program counter, a word address, initially 16
+
+I.2  THE PROGRAM
+----------------
+Decode the letters of PART II into bytes (rule I.6), then assemble every
+four consecutive bytes into one 32-bit word, least significant byte first.
+Check the container: the first four bytes spell "VRX1"; the next word is N,
+the number of program words; the final word is a CRC-32 (rule I.7) of all
+preceding bytes. Place the N program words into memory starting at word 16.
+
+I.3  THE FOUR INSTRUCTIONS
+--------------------------
+Repeat forever:
+  1. word <- memory[PC]; PC <- PC + 1
+  2. op   <- the top 4 bits of word; addr <- the low 28 bits
+  3. execute:
+       op = 0  (LD)  : R <- read(addr)
+       op = 1  (ST)  : write(addr, R)
+       op = 2  (SBB) : t <- read(addr) + B
+                       if R < t then B <- 1 else B <- 0
+                       R <- (R - t) modulo 2^32
+       op = 3  (AND) : R <- R bitwise-and read(addr)
+
+I.4  SPECIAL ADDRESSES
+----------------------
+read(addr):
+  addr = 0 : the value 0
+  addr = 1 : the current PC (already advanced past this instruction)
+  addr = 2 : if B = 1 then 0xFFFFFFFF else 0
+  addr = 3 : the next byte of the INPUT stream (0..255); when the input
+             is exhausted, the value 0xFFFFFFFF
+  addr 4..15 : the value 0
+  otherwise : memory[addr]
+write(addr, R):
+  addr = 1 : PC <- R modulo 2^20          (this is how programs jump)
+  addr = 2 : B  <- lowest bit of R
+  addr = 4 : append the lowest 8 bits of R to the OUTPUT stream
+  addr = 5 : STOP the machine
+  addr = 0, 3, 6..15 : do nothing
+  otherwise : memory[addr] <- R
+
+Programs deliberately overwrite their own instruction words; execute
+whatever memory currently holds. Do not cache decoded instructions.
+
+I.5  INPUT AND OUTPUT STREAMS
+-----------------------------
+The INPUT stream is a sequence of bytes you provide; the OUTPUT stream is
+where the machine writes its result. Which bytes to provide is stated in
+PART II and PART III below.
+
+I.6  LETTER DECODING RULE
+-------------------------
+Each letter A..P stands for one hexadecimal digit, in REVERSED order:
+  A=15 B=14 C=13 D=12 E=11 F=10 G=9 H=8 I=7 J=6 K=5 L=4 M=3 N=2 O=1 P=0
+Two letters make one byte, first letter = high 4 bits. Ignore whitespace
+and line breaks.
+
+I.7  CRC-32 CHECK RULE
+----------------------
+crc <- 0xFFFFFFFF
+for each byte x:  crc <- crc xor x
+                  repeat 8 times: if lowest bit of crc is 1
+                                  then crc <- (crc shift-right 1) xor 0xEDB88320
+                                  else crc <- (crc shift-right 1)
+answer <- crc xor 0xFFFFFFFF
+
+I.8  RUNNING THE ARCHIVE DECODERS
+---------------------------------
+1. Build the VeRisc machine above.
+2. Decode PART II into a VeRisc program: this is the DynaRisc emulator.
+   (DynaRisc is a 16-bit processor; you do not need to know its details.)
+3. Decode PART III into bytes: this is the media-layout decoder (MOCoder),
+   a DynaRisc program in its own container, beginning with "DRX1".
+4. To run any DynaRisc program P with input bytes I, run the PART II
+   program on the VeRisc machine with INPUT =
+        bytes 5..6  of P's container (the entry point), then
+        bytes 7..10 of P's container (the image length L), then
+        the L image bytes that follow, then
+        the bytes of I.
+   The OUTPUT stream of the VeRisc machine is P's output.
+5. Scan each emblem image into a flat array of 8-bit pixel intensities,
+   row by row, top-left first, and resample it on the printed cell grid
+   (one intensity per cell, data area only, serpentine order as described
+   in the emblem geometry note of PART III). Feed that array, prefixed by
+   its 4-byte length (least significant byte first), to MOCoder (rule 4).
+   MOCoder outputs the corrected payload bytes of the emblem.
+6. The payload of the SYSTEM emblems is the database-layout decoder
+   (DBDecode), another DynaRisc program. Run it (rule 4) with the
+   concatenated payloads of the DATA emblems as input; it outputs the
+   archived files in plain text.
+)BOOT";
+
+constexpr std::string_view kPart2Begin = "-----BEGIN VERISC PROGRAM-----";
+constexpr std::string_view kPart2End = "-----END VERISC PROGRAM-----";
+constexpr std::string_view kPart3Begin = "-----BEGIN MOCODER PROGRAM-----";
+constexpr std::string_view kPart3End = "-----END MOCODER PROGRAM-----";
+
+Result<std::string> ExtractSection(std::string_view text,
+                                   std::string_view begin,
+                                   std::string_view end) {
+  const size_t b = text.find(begin);
+  if (b == std::string_view::npos) {
+    return Status::Corruption("Bootstrap: missing marker " + std::string(begin));
+  }
+  const size_t e = text.find(end, b);
+  if (e == std::string_view::npos) {
+    return Status::Corruption("Bootstrap: missing marker " + std::string(end));
+  }
+  return std::string(text.substr(b + begin.size(), e - b - begin.size()));
+}
+
+}  // namespace
+
+std::string_view BootstrapPseudocode() { return kPseudocode; }
+
+std::string GenerateBootstrapText(const verisc::Program& dynarisc_emulator,
+                                  const dynarisc::Program& mocoder) {
+  std::string out;
+  out += "MICR'OLONYS  —  BOOTSTRAP DOCUMENT\n";
+  out += "Keep this document with the archive. It is self-contained.\n\n";
+  out += kPseudocode;
+  out += "\n\nPART II.  THE DYNARISC EMULATOR (a VeRisc program)\n";
+  out += "==================================================\n";
+  out += std::string(kPart2Begin) + "\n";
+  out += HexLettersEncode(dynarisc_emulator.Serialize(), kLettersPerLine);
+  out += std::string(kPart2End) + "\n";
+  out += "\nPART III.  THE MEDIA LAYOUT DECODER (a DynaRisc program)\n";
+  out += "========================================================\n";
+  out += std::string(kPart3Begin) + "\n";
+  out += HexLettersEncode(mocoder.Serialize(), kLettersPerLine);
+  out += std::string(kPart3End) + "\n";
+  return out;
+}
+
+Result<ParsedBootstrap> ParseBootstrapText(std::string_view text) {
+  ULE_ASSIGN_OR_RETURN(std::string part2,
+                       ExtractSection(text, kPart2Begin, kPart2End));
+  ULE_ASSIGN_OR_RETURN(std::string part3,
+                       ExtractSection(text, kPart3Begin, kPart3End));
+  ULE_ASSIGN_OR_RETURN(Bytes emulator_bytes, HexLettersDecode(part2));
+  ULE_ASSIGN_OR_RETURN(Bytes mocoder_bytes, HexLettersDecode(part3));
+  ParsedBootstrap parsed;
+  ULE_ASSIGN_OR_RETURN(parsed.dynarisc_emulator,
+                       verisc::Program::Deserialize(emulator_bytes));
+  ULE_ASSIGN_OR_RETURN(parsed.mocoder,
+                       dynarisc::Program::Deserialize(mocoder_bytes));
+  return parsed;
+}
+
+int PageCount(std::string_view text) {
+  const int lines = static_cast<int>(std::count(text.begin(), text.end(), '\n'));
+  return (lines + kLinesPerPage - 1) / kLinesPerPage;
+}
+
+int PseudocodeLineCount() {
+  return static_cast<int>(
+      std::count(kPseudocode.begin(), kPseudocode.end(), '\n'));
+}
+
+}  // namespace olonys
+}  // namespace ule

@@ -1,0 +1,61 @@
+/// \file bootstrap.h
+/// \brief The Bootstrap document (§3.2): the only thing a future user needs
+/// on paper to restore everything else.
+///
+/// The Bootstrap is a plain-text document containing (a) pseudocode of the
+/// VeRisc emulation algorithm, including the letter-to-hex decoding rule,
+/// and (b) the letter-encoded binary streams of the DynaRisc emulator
+/// (a VeRisc program) and of MOCoder's decoder (a DynaRisc program). The
+/// paper reports a seven-page document: "four pages of algorithm pseudocode,
+/// and three pages of alphabetic characters".
+///
+/// Restoration (Fig. 2b): the user implements VeRisc from Part I, feeds it
+/// the Part II letters to instantiate the DynaRisc emulator, which runs the
+/// Part III MOCoder to turn scanned emblems back into bytes.
+
+#ifndef ULE_OLONYS_BOOTSTRAP_H_
+#define ULE_OLONYS_BOOTSTRAP_H_
+
+#include <string>
+#include <string_view>
+
+#include "dynarisc/machine.h"
+#include "support/status.h"
+#include "verisc/verisc.h"
+
+namespace ule {
+namespace olonys {
+
+/// Text lines that fit on one printed page (used for the page-count
+/// experiment E13; conventional 60 lines/page at 12 pt).
+inline constexpr int kLinesPerPage = 60;
+/// Letters per line in the encoded sections.
+inline constexpr int kLettersPerLine = 72;
+
+/// The machine-readable parts recovered from a Bootstrap document.
+struct ParsedBootstrap {
+  verisc::Program dynarisc_emulator;  ///< Part II: VeRisc program
+  dynarisc::Program mocoder;          ///< Part III: DynaRisc program
+};
+
+/// Renders the complete Bootstrap text for the given archived programs.
+std::string GenerateBootstrapText(const verisc::Program& dynarisc_emulator,
+                                  const dynarisc::Program& mocoder);
+
+/// Parses a Bootstrap document back into its binary programs, exactly as a
+/// future user's tooling would (section markers + letter decoding + CRC).
+Result<ParsedBootstrap> ParseBootstrapText(std::string_view text);
+
+/// The Part I pseudocode (the VeRisc spec a future user implements).
+std::string_view BootstrapPseudocode();
+
+/// Number of printed pages the text occupies (kLinesPerPage lines/page).
+int PageCount(std::string_view text);
+
+/// Number of pseudocode lines (the paper claims < 500; < 300 for the core).
+int PseudocodeLineCount();
+
+}  // namespace olonys
+}  // namespace ule
+
+#endif  // ULE_OLONYS_BOOTSTRAP_H_

@@ -1,0 +1,34 @@
+/// \file gf256.h
+/// \brief GF(2^8) arithmetic for Reed–Solomon coding.
+///
+/// Field: GF(256) with primitive polynomial x^8+x^4+x^3+x^2+1 (0x11D) and
+/// generator alpha = 2 — the conventional choice for RS(255,223), the inner
+/// emblem code in the paper (223 data + 32 parity bytes per block).
+
+#ifndef ULE_RS_GF256_H_
+#define ULE_RS_GF256_H_
+
+#include <cstdint>
+
+namespace ule {
+namespace rs {
+
+/// Table-driven GF(256) arithmetic. All operations are total; division by
+/// zero is a programming error (asserted in debug builds).
+class Gf256 {
+ public:
+  /// alpha^i for i in [0, 510) (doubled table avoids a modulo in Mul).
+  static uint8_t Exp(int i);
+  /// Discrete log base alpha; Log(0) is undefined (asserted).
+  static uint8_t Log(uint8_t x);
+
+  static uint8_t Mul(uint8_t a, uint8_t b);
+  static uint8_t Div(uint8_t a, uint8_t b);
+  static uint8_t Pow(uint8_t x, int power);
+  static uint8_t Inv(uint8_t x);
+};
+
+}  // namespace rs
+}  // namespace ule
+
+#endif  // ULE_RS_GF256_H_

@@ -1,0 +1,69 @@
+/// \file reed_solomon.h
+/// \brief Systematic Reed–Solomon codec over GF(256) with combined
+/// error + erasure decoding.
+///
+/// This implements both layers of the paper's bidimensional protection
+/// (§3.1):
+///  * the **inner** code RS(255,223): each block carries 223 user bytes and
+///    32 redundancy bytes and corrects up to 16 unknown byte errors —
+///    "up to 7.2% damaged data within a single emblem";
+///  * the **outer** code RS(20,17): per byte position across a group of
+///    17 data emblems, 3 parity bytes allow full restoration when any
+///    3 whole emblems of the 20 are missing (erasure decoding).
+///
+/// Decoder: Berlekamp–Massey over Forney-modified syndromes, Chien search,
+/// Forney magnitude evaluation. First consecutive root fcr = 1.
+
+#ifndef ULE_RS_REED_SOLOMON_H_
+#define ULE_RS_REED_SOLOMON_H_
+
+#include <vector>
+
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace ule {
+namespace rs {
+
+/// Outcome details of a successful decode (how much correction happened).
+struct DecodeInfo {
+  int errors_corrected = 0;    ///< unknown-position corrections
+  int erasures_corrected = 0;  ///< known-position corrections
+};
+
+/// \brief RS(n, k) codec, n <= 255. Codeword layout: [k data bytes][n-k
+/// parity bytes]. Shortened codes (n < 255) are supported directly.
+class Codec {
+ public:
+  /// \param n codeword length in bytes (2..255)
+  /// \param k data length in bytes (1..n-1)
+  Codec(int n, int k);
+
+  int n() const { return n_; }
+  int k() const { return k_; }
+  /// Number of parity bytes (n - k).
+  int parity() const { return n_ - k_; }
+  /// Maximum number of correctable unknown errors (no erasures).
+  int max_errors() const { return (n_ - k_) / 2; }
+
+  /// Encodes exactly k data bytes into an n-byte codeword.
+  Result<Bytes> Encode(BytesView data) const;
+
+  /// Decodes an n-byte codeword (possibly corrupted) back to k data bytes.
+  /// \param codeword received word, size must be n
+  /// \param erasures positions (0-based codeword indices) known to be bad
+  /// \param info optional: filled with correction counts on success
+  /// Fails with Corruption when 2*errors + erasures exceeds n-k.
+  Result<Bytes> Decode(BytesView codeword, const std::vector<int>& erasures = {},
+                       DecodeInfo* info = nullptr) const;
+
+ private:
+  int n_;
+  int k_;
+  Bytes generator_;  // monic generator polynomial, descending powers
+};
+
+}  // namespace rs
+}  // namespace ule
+
+#endif  // ULE_RS_REED_SOLOMON_H_

@@ -1,0 +1,119 @@
+#include "support/bytes.h"
+
+namespace ule {
+
+Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string ToString(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+void ByteWriter::PutU16(uint16_t v) {
+  PutU8(static_cast<uint8_t>(v & 0xff));
+  PutU8(static_cast<uint8_t>(v >> 8));
+}
+
+void ByteWriter::PutU32(uint32_t v) {
+  PutU16(static_cast<uint16_t>(v & 0xffff));
+  PutU16(static_cast<uint16_t>(v >> 16));
+}
+
+void ByteWriter::PutU64(uint64_t v) {
+  PutU32(static_cast<uint32_t>(v & 0xffffffffu));
+  PutU32(static_cast<uint32_t>(v >> 32));
+}
+
+void ByteWriter::PutBytes(BytesView bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::PutString(std::string_view s) {
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+Status ByteReader::Need(size_t n) {
+  if (pos_ + n > data_.size()) {
+    return Status::Corruption("truncated input: need " + std::to_string(n) +
+                              " bytes at offset " + std::to_string(pos_) +
+                              " of " + std::to_string(data_.size()));
+  }
+  return Status::OK();
+}
+
+Status ByteReader::GetU8(uint8_t* out) {
+  ULE_RETURN_IF_ERROR(Need(1));
+  *out = data_[pos_++];
+  return Status::OK();
+}
+
+Status ByteReader::GetU16(uint16_t* out) {
+  ULE_RETURN_IF_ERROR(Need(2));
+  *out = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return Status::OK();
+}
+
+Status ByteReader::GetU32(uint32_t* out) {
+  uint16_t lo, hi;
+  ULE_RETURN_IF_ERROR(GetU16(&lo));
+  ULE_RETURN_IF_ERROR(GetU16(&hi));
+  *out = static_cast<uint32_t>(lo) | (static_cast<uint32_t>(hi) << 16);
+  return Status::OK();
+}
+
+Status ByteReader::GetU64(uint64_t* out) {
+  uint32_t lo, hi;
+  ULE_RETURN_IF_ERROR(GetU32(&lo));
+  ULE_RETURN_IF_ERROR(GetU32(&hi));
+  *out = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return Status::OK();
+}
+
+Status ByteReader::GetBytes(size_t n, Bytes* out) {
+  ULE_RETURN_IF_ERROR(Need(n));
+  out->assign(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return Status::OK();
+}
+
+void BitWriter::PutBit(int bit) {
+  cur_ = static_cast<uint8_t>((cur_ << 1) | (bit & 1));
+  if (++nbits_ == 8) {
+    buf_.push_back(cur_);
+    cur_ = 0;
+    nbits_ = 0;
+  }
+  ++bit_count_;
+}
+
+void BitWriter::PutBits(uint32_t v, int count) {
+  for (int i = count - 1; i >= 0; --i) PutBit((v >> i) & 1);
+}
+
+Bytes BitWriter::Finish() {
+  while (nbits_ != 0) PutBit(0);
+  return std::move(buf_);
+}
+
+int BitReader::GetBit() {
+  if (pos_ >= data_.size() * 8) return -1;
+  const uint8_t byte = data_[pos_ >> 3];
+  const int bit = (byte >> (7 - (pos_ & 7))) & 1;
+  ++pos_;
+  return bit;
+}
+
+bool BitReader::GetBits(int count, uint32_t* out) {
+  uint32_t v = 0;
+  for (int i = 0; i < count; ++i) {
+    const int b = GetBit();
+    if (b < 0) return false;
+    v = (v << 1) | static_cast<uint32_t>(b);
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace ule

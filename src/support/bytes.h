@@ -1,0 +1,110 @@
+/// \file bytes.h
+/// \brief Byte-buffer and bit-stream primitives shared by all codecs.
+
+#ifndef ULE_SUPPORT_BYTES_H_
+#define ULE_SUPPORT_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace ule {
+
+/// Owning byte buffer used throughout the library.
+using Bytes = std::vector<uint8_t>;
+/// Non-owning read-only view of bytes.
+using BytesView = std::span<const uint8_t>;
+
+/// Converts a std::string payload into Bytes (copy).
+Bytes ToBytes(std::string_view s);
+/// Converts Bytes into a std::string (copy).
+std::string ToString(BytesView b);
+
+/// \brief Sequential little-endian writer into an owned buffer.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutBytes(BytesView bytes);
+  void PutString(std::string_view s);
+
+  size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const { return buf_; }
+  Bytes TakeBytes() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// \brief Sequential little-endian reader over a byte view.
+///
+/// All getters return Status so that truncated inputs surface as Corruption
+/// rather than UB; decoders use this for archive container parsing.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU16(uint16_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  /// Reads exactly n bytes into out (resized).
+  Status GetBytes(size_t n, Bytes* out);
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Status Need(size_t n);
+
+  BytesView data_;
+  size_t pos_ = 0;
+};
+
+/// \brief MSB-first bit writer (used by LZSS/arith token streams and the
+/// emblem modulator).
+class BitWriter {
+ public:
+  void PutBit(int bit);
+  /// Writes the low `count` bits of v, most-significant bit first.
+  void PutBits(uint32_t v, int count);
+  /// Pads with zero bits to a byte boundary and returns the buffer.
+  Bytes Finish();
+
+  size_t bit_count() const { return bit_count_; }
+
+ private:
+  Bytes buf_;
+  uint8_t cur_ = 0;
+  int nbits_ = 0;
+  size_t bit_count_ = 0;
+};
+
+/// \brief MSB-first bit reader.
+class BitReader {
+ public:
+  explicit BitReader(BytesView data) : data_(data) {}
+
+  /// Returns 0/1, or -1 when the stream is exhausted.
+  int GetBit();
+  /// Reads `count` bits MSB-first; returns false on exhaustion.
+  bool GetBits(int count, uint32_t* out);
+
+  size_t bits_remaining() const { return data_.size() * 8 - pos_; }
+
+ private:
+  BytesView data_;
+  size_t pos_ = 0;  // bit position
+};
+
+}  // namespace ule
+
+#endif  // ULE_SUPPORT_BYTES_H_

@@ -1,0 +1,22 @@
+/// \file crc32.h
+/// \brief CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+///
+/// Used to validate emblem payload headers and DBCoder containers. The same
+/// table-free bitwise definition is specified in the Bootstrap document so a
+/// future implementer can recompute it from four lines of pseudocode.
+
+#ifndef ULE_SUPPORT_CRC32_H_
+#define ULE_SUPPORT_CRC32_H_
+
+#include <cstdint>
+
+#include "support/bytes.h"
+
+namespace ule {
+
+/// Computes CRC-32 over `data`, optionally chaining from a previous value.
+uint32_t Crc32(BytesView data, uint32_t seed = 0);
+
+}  // namespace ule
+
+#endif  // ULE_SUPPORT_CRC32_H_

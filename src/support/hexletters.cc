@@ -1,0 +1,64 @@
+#include "support/hexletters.h"
+
+#include <cctype>
+
+namespace ule {
+namespace {
+
+// Letter for nibble n: 'A' encodes 0xF, ..., 'P' encodes 0x0.
+char LetterFor(unsigned nibble) { return static_cast<char>('A' + (0xF - nibble)); }
+
+// Nibble for letter c, or -1 if not in A..P.
+int NibbleFor(char c) {
+  if (c < 'A' || c > 'P') return -1;
+  return 0xF - (c - 'A');
+}
+
+}  // namespace
+
+std::string HexLettersEncode(BytesView data, int wrap) {
+  std::string out;
+  out.reserve(data.size() * 2 + (wrap > 0 ? data.size() * 2 / wrap + 1 : 0));
+  int col = 0;
+  auto emit = [&](char c) {
+    out.push_back(c);
+    if (wrap > 0 && ++col == wrap) {
+      out.push_back('\n');
+      col = 0;
+    }
+  };
+  for (uint8_t b : data) {
+    emit(LetterFor(b >> 4));
+    emit(LetterFor(b & 0xF));
+  }
+  if (wrap > 0 && col != 0) out.push_back('\n');
+  return out;
+}
+
+Result<Bytes> HexLettersDecode(std::string_view text) {
+  Bytes out;
+  out.reserve(text.size() / 2);
+  int pending = -1;  // high nibble awaiting its partner
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const int nibble = NibbleFor(c);
+    if (nibble < 0) {
+      return Status::Corruption("invalid Bootstrap letter '" +
+                                std::string(1, c) + "' at offset " +
+                                std::to_string(i));
+    }
+    if (pending < 0) {
+      pending = nibble;
+    } else {
+      out.push_back(static_cast<uint8_t>((pending << 4) | nibble));
+      pending = -1;
+    }
+  }
+  if (pending >= 0) {
+    return Status::Corruption("odd number of Bootstrap letters");
+  }
+  return out;
+}
+
+}  // namespace ule

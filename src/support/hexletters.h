@@ -1,0 +1,31 @@
+/// \file hexletters.h
+/// \brief The paper's Bootstrap text encoding: letters A..P encode
+/// hexadecimal digits 0xF..0x0 (§3.2: "letters A to P are used to encode
+/// hexadecimal values 0xF to 0x0 respectively").
+///
+/// Binary streams that cannot themselves be stored as emblems (the MOCoder
+/// decoder and the DynaRisc emulator) are serialised with this alphabet into
+/// the plain-text Bootstrap document.
+
+#ifndef ULE_SUPPORT_HEXLETTERS_H_
+#define ULE_SUPPORT_HEXLETTERS_H_
+
+#include <string>
+#include <string_view>
+
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace ule {
+
+/// Encodes bytes to the A..P alphabet, two letters per byte, high nibble
+/// first. `wrap` > 0 inserts a newline every `wrap` letters (page layout).
+std::string HexLettersEncode(BytesView data, int wrap = 0);
+
+/// Decodes an A..P letter stream back to bytes. Whitespace is ignored;
+/// any other character is Corruption. An odd number of letters is Corruption.
+Result<Bytes> HexLettersDecode(std::string_view text);
+
+}  // namespace ule
+
+#endif  // ULE_SUPPORT_HEXLETTERS_H_

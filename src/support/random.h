@@ -1,0 +1,74 @@
+/// \file random.h
+/// \brief Deterministic PRNG (SplitMix64 + xoshiro256**) for workload
+/// generation and fault injection.
+///
+/// std::mt19937 is avoided so that generated TPC-H data and injected scan
+/// damage are bit-stable across standard library implementations.
+
+#ifndef ULE_SUPPORT_RANDOM_H_
+#define ULE_SUPPORT_RANDOM_H_
+
+#include <cstdint>
+
+namespace ule {
+
+/// \brief xoshiro256** seeded via SplitMix64. Deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : s_) {
+      // SplitMix64 step.
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Approximately normal deviate (mean 0, stddev 1) via sum of uniforms.
+  double NextGaussian() {
+    double acc = 0;
+    for (int i = 0; i < 12; ++i) acc += NextDouble();
+    return acc - 6.0;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace ule
+
+#endif  // ULE_SUPPORT_RANDOM_H_

@@ -1,0 +1,143 @@
+/// \file status.h
+/// \brief Error-handling primitives used across the ULE library.
+///
+/// Public APIs in this library do not throw exceptions for recoverable
+/// failures (corrupted archives, undecodable emblems, malformed programs...).
+/// Instead they return ule::Status, or ule::Result<T> when a value is
+/// produced. This follows the Arrow/RocksDB idiom for database C++.
+
+#ifndef ULE_SUPPORT_STATUS_H_
+#define ULE_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ule {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  ///< caller passed something nonsensical
+  kCorruption,       ///< data failed validation (CRC, magic, ECC beyond limit)
+  kNotFound,         ///< a referenced entity does not exist
+  kUnimplemented,    ///< feature is declared but not available
+  kOutOfRange,       ///< index/address outside the valid domain
+  kExecutionFault,   ///< emulated program performed an illegal operation
+  kResourceExhausted,///< a bounded resource (memory, steps) ran out
+  kIoError,          ///< host filesystem I/O failed
+};
+
+/// Human-readable name for a StatusCode ("Ok", "Corruption", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Success-or-error result of an operation, with a message on error.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy on the OK
+/// path (no allocation).
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ExecutionFault(std::string msg) {
+    return Status(StatusCode::kExecutionFault, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Access to the value of a non-OK Result is a programming error (asserts in
+/// debug builds); callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;`
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error: `return Status::Corruption(...);`
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Moves the value out; Result must be OK.
+  T TakeValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression (early return).
+#define ULE_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::ule::Status _ule_status = (expr);        \
+    if (!_ule_status.ok()) return _ule_status; \
+  } while (false)
+
+/// Evaluates a Result expression, propagating errors, else binds the value.
+#define ULE_ASSIGN_OR_RETURN(lhs, expr)                     \
+  auto ULE_CONCAT_(_ule_result_, __LINE__) = (expr);        \
+  if (!ULE_CONCAT_(_ule_result_, __LINE__).ok())            \
+    return ULE_CONCAT_(_ule_result_, __LINE__).status();    \
+  lhs = std::move(ULE_CONCAT_(_ule_result_, __LINE__)).TakeValue()
+
+#define ULE_CONCAT_INNER_(a, b) a##b
+#define ULE_CONCAT_(a, b) ULE_CONCAT_INNER_(a, b)
+
+}  // namespace ule
+
+#endif  // ULE_SUPPORT_STATUS_H_

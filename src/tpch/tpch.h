@@ -1,0 +1,42 @@
+/// \file tpch.h
+/// \brief Deterministic TPC-H data generator (dbgen substitute).
+///
+/// The paper's first experiment loads a TPC-H dataset into PostgreSQL and
+/// dumps it with pg_dump, scaled so the dump is ~1.2 MB (§4, "Paper
+/// archive"). This generator produces all eight TPC-H tables with the
+/// standard schemas at fractional scale factors, deterministically (same
+/// SF + seed -> identical bytes), into a minidb::Database.
+///
+/// Cardinalities follow the TPC-H specification (per SF 1): supplier 10k,
+/// part 200k, partsupp 800k, customer 150k, orders 1.5M, lineitem ~6M,
+/// nation 25, region 5. Value distributions are simplified but shaped like
+/// the spec's (key ranges, date windows, comment text pools); DESIGN.md §2
+/// documents the substitution.
+
+#ifndef ULE_TPCH_TPCH_H_
+#define ULE_TPCH_TPCH_H_
+
+#include "minidb/database.h"
+#include "support/status.h"
+
+namespace ule {
+namespace tpch {
+
+/// Generation parameters.
+struct Options {
+  double scale_factor = 0.001;  ///< fraction of TPC-H SF 1
+  uint64_t seed = 19920101;     ///< PRNG seed (dates start 1992 in TPC-H)
+};
+
+/// Generates the full 8-table TPC-H database.
+Result<minidb::Database> Generate(const Options& options);
+
+/// Convenience: picks a scale factor whose SQL dump is close to
+/// `target_bytes` (used by the paper-archive experiment to hit ~1.2 MB).
+Result<minidb::Database> GenerateForDumpSize(size_t target_bytes,
+                                             uint64_t seed = 19920101);
+
+}  // namespace tpch
+}  // namespace ule
+
+#endif  // ULE_TPCH_TPCH_H_

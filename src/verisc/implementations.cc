@@ -1,0 +1,309 @@
+#include "verisc/implementations.h"
+
+#include <cstring>
+#include <functional>
+#include <memory>
+
+namespace ule {
+namespace verisc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Implementation 1: "student" — a plain, procedural transliteration of the
+// Bootstrap pseudocode, the way a first-year undergraduate would write it.
+// Everything is a local variable; no helpers; one big loop.
+// ---------------------------------------------------------------------------
+constexpr int kStudentBegin = __LINE__;
+Result<RunResult> RunStudent(const Program& program, BytesView input,
+                             const RunOptions& options) {
+  std::unique_ptr<uint32_t[]> mem(new uint32_t[kMemoryWords]());
+  for (size_t i = 0; i < program.words.size(); i++) {
+    if (16 + i >= kMemoryWords) return Status::InvalidArgument("too big");
+    mem[16 + i] = program.words[i];
+  }
+  uint32_t R = 0;
+  uint32_t B = 0;
+  uint32_t PC = 16;
+  size_t next_in = 0;
+  RunResult res;
+  uint64_t count = 0;
+  while (count < options.max_steps) {
+    if (PC >= kMemoryWords) {
+      res.reason = StopReason::kFault;
+      res.steps = count;
+      return res;
+    }
+    uint32_t word = mem[PC];
+    PC = PC + 1;
+    count = count + 1;
+    uint32_t code = word >> 28;
+    uint32_t a = word & 0x0FFFFFFF;
+    if (code > 3 || a >= kMemoryWords) {
+      res.reason = StopReason::kFault;
+      res.steps = count;
+      return res;
+    }
+    // what does address "a" read as? (only LD/SBB/AND actually read, so the
+    // input port must not be consumed by a ST)
+    uint32_t v = 0;
+    if (code != 1) {
+      if (a == 0) {
+        v = 0;
+      } else if (a == 1) {
+        v = PC;
+      } else if (a == 2) {
+        if (B == 1) {
+          v = 0xFFFFFFFF;
+        } else {
+          v = 0;
+        }
+      } else if (a == 3) {
+        if (next_in < input.size()) {
+          v = input[next_in];
+          next_in = next_in + 1;
+        } else {
+          v = 0xFFFFFFFF;
+        }
+      } else if (a < 16) {
+        v = 0;
+      } else {
+        v = mem[a];
+      }
+    }
+    if (code == 0) {  // LD
+      R = v;
+    } else if (code == 1) {  // ST
+      if (a == 1) {
+        PC = R % kMemoryWords;
+      } else if (a == 2) {
+        B = R & 1;
+      } else if (a == 4) {
+        res.output.push_back(R & 0xFF);
+      } else if (a == 5) {
+        res.reason = StopReason::kHalted;
+        res.steps = count;
+        return res;
+      } else if (a >= 16) {
+        mem[a] = R;
+      }
+    } else if (code == 2) {  // SBB
+      // careful with wrap-around: do it in 64 bits like the Bootstrap says
+      uint64_t take = (uint64_t)v + (uint64_t)B;
+      if ((uint64_t)R < take) {
+        B = 1;
+      } else {
+        B = 0;
+      }
+      R = (uint32_t)((uint64_t)R - take);
+    } else {  // AND
+      R = R & v;
+    }
+  }
+  res.reason = StopReason::kStepLimit;
+  res.steps = options.max_steps;
+  return res;
+}
+constexpr int kStudentEnd = __LINE__;
+
+// ---------------------------------------------------------------------------
+// Implementation 2: "engineer" — table-dispatched, state in a struct,
+// the way a systems engineer at a space agency might structure it.
+// ---------------------------------------------------------------------------
+constexpr int kEngineerBegin = __LINE__;
+struct EngineState {
+  std::vector<uint32_t> mem;
+  uint32_t r = 0, borrow = 0, pc = kProgramOrigin;
+  BytesView in;
+  size_t in_pos = 0;
+  RunResult out;
+  bool stopped = false;
+
+  uint32_t Read(uint32_t a) {
+    switch (a) {
+      case 1: return pc;
+      case 2: return borrow ? ~0u : 0u;
+      case 3: return in_pos < in.size() ? in[in_pos++] : ~0u;
+      default: return a < 16 ? 0u : mem[a];
+    }
+  }
+  void Write(uint32_t a) {
+    switch (a) {
+      case 1: pc = r & (kMemoryWords - 1); break;
+      case 2: borrow = r & 1; break;
+      case 4: out.output.push_back(static_cast<uint8_t>(r)); break;
+      case 5: out.reason = StopReason::kHalted; stopped = true; break;
+      default: if (a >= 16) mem[a] = r;
+    }
+  }
+};
+
+void EngineLd(EngineState* s, uint32_t a) { s->r = s->Read(a); }
+void EngineSt(EngineState* s, uint32_t a) { s->Write(a); }
+void EngineSbb(EngineState* s, uint32_t a) {
+  const uint64_t rhs = static_cast<uint64_t>(s->Read(a)) + s->borrow;
+  s->borrow = s->r < rhs ? 1 : 0;
+  s->r = static_cast<uint32_t>(s->r - rhs);
+}
+void EngineAnd(EngineState* s, uint32_t a) { s->r &= s->Read(a); }
+
+Result<RunResult> RunEngineer(const Program& program, BytesView input,
+                              const RunOptions& options) {
+  static void (*const kDispatch[4])(EngineState*, uint32_t) = {
+      EngineLd, EngineSt, EngineSbb, EngineAnd};
+  EngineState s;
+  s.mem.assign(kMemoryWords, 0);
+  if (program.words.size() > kMemoryWords - kProgramOrigin) {
+    return Status::InvalidArgument("program exceeds memory");
+  }
+  std::copy(program.words.begin(), program.words.end(),
+            s.mem.begin() + kProgramOrigin);
+  s.in = input;
+  for (uint64_t step = 0; step < options.max_steps; ++step) {
+    if (s.pc >= kMemoryWords) {
+      s.out.reason = StopReason::kFault;
+      s.out.steps = step;
+      return s.out;
+    }
+    const uint32_t word = s.mem[s.pc++];
+    const uint32_t op = word >> 28;
+    const uint32_t addr = word & 0x0FFFFFFFu;
+    if (op > 3 || addr >= kMemoryWords) {
+      s.out.reason = StopReason::kFault;
+      s.out.steps = step + 1;
+      return s.out;
+    }
+    kDispatch[op](&s, addr);
+    if (s.stopped) {
+      s.out.steps = step + 1;
+      return s.out;
+    }
+  }
+  s.out.reason = StopReason::kStepLimit;
+  s.out.steps = options.max_steps;
+  return s.out;
+}
+constexpr int kEngineerEnd = __LINE__;
+
+// ---------------------------------------------------------------------------
+// Implementation 3: "archivist" — optimised for auditability: every mapped
+// address handled in one exhaustive, comment-per-case switch so that a
+// reviewer can match it line by line against the Bootstrap document.
+// ---------------------------------------------------------------------------
+constexpr int kArchivistBegin = __LINE__;
+Result<RunResult> RunArchivist(const Program& program, BytesView input,
+                               const RunOptions& options) {
+  // Bootstrap step 1: allocate 2^20 words, all zero.
+  std::vector<uint32_t> memory(kMemoryWords, 0);
+  // Bootstrap step 2: copy the program image to word 16.
+  if (program.words.size() > kMemoryWords - kProgramOrigin) {
+    return Status::InvalidArgument("program exceeds memory");
+  }
+  for (size_t i = 0; i < program.words.size(); ++i) {
+    memory[kProgramOrigin + i] = program.words[i];
+  }
+  // Bootstrap step 3: R = 0, borrow = 0, PC = 16.
+  uint32_t accumulator = 0;
+  uint32_t borrow_flag = 0;
+  uint32_t program_counter = kProgramOrigin;
+  size_t input_cursor = 0;
+  RunResult result;
+
+  for (uint64_t executed = 0; executed < options.max_steps; ++executed) {
+    // Bootstrap step 4a: fetch, then advance PC.
+    const uint32_t instruction = memory[program_counter];
+    program_counter += 1;
+    // Bootstrap step 4b: split into operation (top 4 bits) and address.
+    const uint32_t operation = instruction >> 28;
+    const uint32_t address = instruction & 0x0FFFFFFFu;
+    if (operation > 3 || address >= kMemoryWords ||
+        program_counter >= kMemoryWords) {
+      result.reason = StopReason::kFault;
+      result.steps = executed + 1;
+      return result;
+    }
+    // Bootstrap step 4c: resolve the read value of `address`.
+    uint32_t value = 0;
+    switch (address) {
+      case 0:  // constant zero
+        value = 0;
+        break;
+      case 1:  // program counter (already advanced)
+        value = program_counter;
+        break;
+      case 2:  // borrow mask: all ones iff borrow
+        value = borrow_flag ? 0xFFFFFFFFu : 0u;
+        break;
+      case 3:  // input port: next byte, or all ones at end of input
+        value = input_cursor < input.size() ? input[input_cursor] : 0xFFFFFFFFu;
+        break;
+      case 4:   // output port reads zero
+      case 5:   // halt port reads zero
+        value = 0;
+        break;
+      default:
+        value = address < 16 ? 0u : memory[address];
+        break;
+    }
+    // Bootstrap step 4d: execute.
+    switch (operation) {
+      case 0:  // LD: accumulator <- value
+        if (address == 3 && value != 0xFFFFFFFFu) ++input_cursor;
+        accumulator = value;
+        break;
+      case 1:  // ST: write accumulator to address
+        switch (address) {
+          case 1:  // jump
+            program_counter = accumulator % kMemoryWords;
+            break;
+          case 2:  // set borrow from bit 0
+            borrow_flag = accumulator & 1u;
+            break;
+          case 4:  // emit low byte
+            result.output.push_back(static_cast<uint8_t>(accumulator & 0xFFu));
+            break;
+          case 5:  // halt
+            result.reason = StopReason::kHalted;
+            result.steps = executed + 1;
+            return result;
+          default:  // plain memory; writes below 16 are ignored
+            if (address >= 16) memory[address] = accumulator;
+            break;
+        }
+        break;
+      case 2: {  // SBB: subtract value and borrow, 32-bit wrap-around
+        if (address == 3 && value != 0xFFFFFFFFu) ++input_cursor;
+        const uint64_t subtrahend =
+            static_cast<uint64_t>(value) + static_cast<uint64_t>(borrow_flag);
+        borrow_flag = static_cast<uint64_t>(accumulator) < subtrahend ? 1u : 0u;
+        accumulator = static_cast<uint32_t>(accumulator - subtrahend);
+        break;
+      }
+      case 3:  // AND
+        if (address == 3 && value != 0xFFFFFFFFu) ++input_cursor;
+        accumulator &= value;
+        break;
+    }
+  }
+  result.reason = StopReason::kStepLimit;
+  result.steps = options.max_steps;
+  return result;
+}
+constexpr int kArchivistEnd = __LINE__;
+
+}  // namespace
+
+const std::vector<Implementation>& AllImplementations() {
+  static const std::vector<Implementation> kAll = {
+      {"reference", "library reference implementation (verisc.cc)", &Run, 90},
+      {"student", "plain procedural transliteration, local variables only",
+       &RunStudent, kStudentEnd - kStudentBegin},
+      {"engineer", "struct state + function-pointer dispatch table",
+       &RunEngineer, kEngineerEnd - kEngineerBegin},
+      {"archivist", "exhaustive switch annotated against the Bootstrap",
+       &RunArchivist, kArchivistEnd - kArchivistBegin},
+  };
+  return kAll;
+}
+
+}  // namespace verisc
+}  // namespace ule

@@ -1,0 +1,41 @@
+/// \file implementations.h
+/// \brief Independent VeRisc emulator implementations (portability study).
+///
+/// Paper §4, "Portability and user friendliness": people with diverse
+/// backgrounds (first-year students, CNES engineers, EURECOM researchers)
+/// implemented the VeRisc emulator from the Bootstrap alone, in JavaScript,
+/// Python, C++ and C#, all "in under a week". We reproduce the *claim under
+/// test* — that the spec is small enough for independent implementations to
+/// agree — with several in-tree emulators written in deliberately different
+/// styles, cross-checked by a conformance corpus (tests/verisc_test.cc) and
+/// measured by bench/bench_portability.cc.
+///
+/// Each implementation is written only against the spec in verisc.h /
+/// the Bootstrap pseudocode, not against the reference implementation.
+
+#ifndef ULE_VERISC_IMPLEMENTATIONS_H_
+#define ULE_VERISC_IMPLEMENTATIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "verisc/verisc.h"
+
+namespace ule {
+namespace verisc {
+
+/// Descriptor of one in-tree VeRisc implementation.
+struct Implementation {
+  std::string name;        ///< short id, e.g. "reference"
+  std::string style;       ///< how it is written (persona of the implementer)
+  VmFunction run;          ///< entry point
+  int lines_of_code;       ///< measured size of the implementation function
+};
+
+/// All in-tree implementations, reference first.
+const std::vector<Implementation>& AllImplementations();
+
+}  // namespace verisc
+}  // namespace ule
+
+#endif  // ULE_VERISC_IMPLEMENTATIONS_H_

@@ -1,0 +1,139 @@
+#include "verisc/verisc.h"
+
+#include "support/crc32.h"
+
+namespace ule {
+namespace verisc {
+
+Bytes Program::Serialize() const {
+  ByteWriter w;
+  w.PutString("VRX1");
+  w.PutU32(static_cast<uint32_t>(words.size()));
+  for (uint32_t word : words) w.PutU32(word);
+  const uint32_t crc = Crc32(w.bytes());
+  w.PutU32(crc);
+  return w.TakeBytes();
+}
+
+Result<Program> Program::Deserialize(BytesView bytes) {
+  if (bytes.size() < 12) return Status::Corruption("VeRisc image too short");
+  ByteReader r(bytes);
+  Bytes magic;
+  ULE_RETURN_IF_ERROR(r.GetBytes(4, &magic));
+  if (ToString(magic) != "VRX1") {
+    return Status::Corruption("VeRisc image: bad magic");
+  }
+  uint32_t count;
+  ULE_RETURN_IF_ERROR(r.GetU32(&count));
+  if (count > kMemoryWords - kProgramOrigin) {
+    return Status::Corruption("VeRisc image: word count exceeds memory");
+  }
+  Program p;
+  p.words.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t word;
+    ULE_RETURN_IF_ERROR(r.GetU32(&word));
+    p.words.push_back(word);
+  }
+  uint32_t stored_crc;
+  ULE_RETURN_IF_ERROR(r.GetU32(&stored_crc));
+  const uint32_t actual =
+      Crc32(BytesView(bytes.data(), bytes.size() - 4));
+  if (stored_crc != actual) {
+    return Status::Corruption("VeRisc image: CRC mismatch");
+  }
+  return p;
+}
+
+Result<RunResult> Run(const Program& program, BytesView input,
+                      const RunOptions& options) {
+  if (program.words.size() > kMemoryWords - kProgramOrigin) {
+    return Status::InvalidArgument("VeRisc program exceeds memory");
+  }
+
+  // Flat memory; mapped addresses are intercepted below.
+  std::vector<uint32_t> mem(kMemoryWords, 0);
+  std::copy(program.words.begin(), program.words.end(),
+            mem.begin() + kProgramOrigin);
+
+  uint32_t r = 0;
+  uint32_t borrow = 0;
+  uint32_t pc = kProgramOrigin;
+  size_t in_pos = 0;
+
+  RunResult result;
+
+  auto read = [&](uint32_t addr) -> uint32_t {
+    switch (addr) {
+      case 0:
+        return 0;
+      case 1:
+        return pc;
+      case 2:
+        return borrow ? 0xFFFFFFFFu : 0u;
+      case 3:
+        return in_pos < input.size() ? input[in_pos++] : 0xFFFFFFFFu;
+      case 4:
+      case 5:
+        return 0;
+      default:
+        if (addr < 16) return 0;
+        return mem[addr];
+    }
+  };
+
+  for (uint64_t step = 0; step < options.max_steps; ++step) {
+    if (pc >= kMemoryWords) {
+      result.reason = StopReason::kFault;
+      result.steps = step;
+      return result;
+    }
+    const uint32_t word = mem[pc];
+    ++pc;
+    const uint32_t op = word >> 28;
+    const uint32_t addr = word & 0x0FFFFFFFu;
+    if (op > 3 || addr >= kMemoryWords) {
+      result.reason = StopReason::kFault;
+      result.steps = step + 1;
+      return result;
+    }
+    switch (op) {
+      case kLd:
+        r = read(addr);
+        break;
+      case kSt:
+        if (addr == 1) {
+          pc = r & (kMemoryWords - 1);
+        } else if (addr == 2) {
+          borrow = r & 1;
+        } else if (addr == 4) {
+          result.output.push_back(static_cast<uint8_t>(r & 0xFF));
+        } else if (addr == 5) {
+          result.reason = StopReason::kHalted;
+          result.steps = step + 1;
+          return result;
+        } else if (addr >= 16) {
+          mem[addr] = r;
+        }
+        // writes to 0, 3, 6..15 ignored
+        break;
+      case kSbb: {
+        const uint64_t rhs =
+            static_cast<uint64_t>(read(addr)) + static_cast<uint64_t>(borrow);
+        const uint64_t lhs = r;
+        borrow = lhs < rhs ? 1u : 0u;
+        r = static_cast<uint32_t>(lhs - rhs);
+        break;
+      }
+      case kAnd:
+        r &= read(addr);
+        break;
+    }
+  }
+  result.reason = StopReason::kStepLimit;
+  result.steps = options.max_steps;
+  return result;
+}
+
+}  // namespace verisc
+}  // namespace ule

@@ -1,0 +1,114 @@
+/// \file verisc.h
+/// \brief VeRisc: the paper's 4-instruction universal virtual machine (§3.2).
+///
+/// VeRisc is the machine a future user implements from the Bootstrap
+/// document. The paper specifies exactly four instructions — LD, ST, SBB,
+/// AND — operating on a single general-purpose register R. Everything else
+/// (control flow, I/O, conditionals) is obtained through memory-mapped
+/// special addresses and self-modifying code. The paper defers ISA details
+/// to a patent; this header *is* our normative spec, and the generated
+/// Bootstrap document restates it in pseudocode.
+///
+/// ## Normative specification (mirrors the Bootstrap text)
+///
+///  * Memory: 2^20 words of 32 bits, addresses 0 .. 0xFFFFF.
+///  * State: accumulator R (32-bit), borrow flag B (0/1), program counter
+///    PC (word address).
+///  * Instruction word: top 4 bits = opcode (0 LD, 1 ST, 2 SBB, 3 AND),
+///    low 28 bits = absolute word address (must be < 2^20).
+///  * Cycle: fetch word at PC; PC <- PC + 1; execute.
+///      - LD a  : R <- read(a)
+///      - ST a  : write(a, R)
+///      - SBB a : R <- R - read(a) - B  (mod 2^32); B <- 1 on unsigned
+///                underflow, else 0
+///      - AND a : R <- R & read(a)
+///  * Mapped addresses (reads/writes intercept memory):
+///      - [0] reads 0; writes ignored.
+///      - [1] PC: read -> address of the next instruction; write -> jump.
+///      - [2] borrow mask: read -> B ? 0xFFFFFFFF : 0; write -> B <- R & 1.
+///      - [3] input port: read pops the next input byte (0..255); reads
+///            0xFFFFFFFF at end of input. Writes ignored.
+///      - [4] output port: write appends (R & 0xFF) to the output stream.
+///            Reads 0.
+///      - [5] halt: any write stops the machine. Reads 0.
+///      - [6..15] reserved: read 0, writes ignored.
+///  * Program text is ordinary memory (loaded at word 16, entry PC = 16);
+///    programs may overwrite their own instruction words — this is the
+///    intended mechanism for indexed addressing and computed jumps.
+///
+/// Executing an instruction with opcode bits >= 4 (impossible: 2 bits...
+/// opcode is 4 bits wide) — opcodes 4..15 — or an out-of-range address
+/// halts the machine with an execution fault.
+
+#ifndef ULE_VERISC_VERISC_H_
+#define ULE_VERISC_VERISC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace ule {
+namespace verisc {
+
+/// Number of 32-bit words in VeRisc memory (2^20).
+inline constexpr uint32_t kMemoryWords = 1u << 20;
+/// Word address where programs are loaded and execution starts.
+inline constexpr uint32_t kProgramOrigin = 16;
+
+/// Opcodes (top 4 bits of an instruction word).
+enum Opcode : uint32_t { kLd = 0, kSt = 1, kSbb = 2, kAnd = 3 };
+
+/// Builds an instruction word.
+constexpr uint32_t Instr(Opcode op, uint32_t addr) {
+  return (static_cast<uint32_t>(op) << 28) | (addr & 0x0FFFFFFF);
+}
+
+/// \brief An executable VeRisc image: instruction/data words placed at
+/// kProgramOrigin.
+struct Program {
+  std::vector<uint32_t> words;
+
+  /// Serialises to the archival byte format: magic "VRX1", u32 word count,
+  /// then each word little-endian, then CRC32 of everything before it.
+  Bytes Serialize() const;
+  /// Parses the archival byte format (validates magic and CRC).
+  static Result<Program> Deserialize(BytesView bytes);
+};
+
+/// Why a run stopped.
+enum class StopReason {
+  kHalted,        ///< program wrote to the halt port
+  kStepLimit,     ///< exceeded RunOptions::max_steps
+  kFault,         ///< illegal opcode or address
+};
+
+/// Execution limits and instrumentation switches.
+struct RunOptions {
+  /// Maximum instructions to execute before giving up.
+  uint64_t max_steps = 4'000'000'000ull;
+};
+
+/// Result of a completed run.
+struct RunResult {
+  StopReason reason = StopReason::kHalted;
+  uint64_t steps = 0;   ///< instructions executed
+  Bytes output;         ///< bytes written to the output port
+};
+
+/// \brief Runs `program` with `input` available on the input port until halt,
+/// fault, or step limit. This is the library's reference implementation —
+/// the same algorithm the Bootstrap document describes in pseudocode.
+Result<RunResult> Run(const Program& program, BytesView input,
+                      const RunOptions& options = {});
+
+/// Signature shared by all in-tree VeRisc implementations (see
+/// implementations.h); used by the portability experiment (paper §4).
+using VmFunction = Result<RunResult> (*)(const Program&, BytesView,
+                                         const RunOptions&);
+
+}  // namespace verisc
+}  // namespace ule
+
+#endif  // ULE_VERISC_VERISC_H_

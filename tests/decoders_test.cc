@@ -1,0 +1,253 @@
+// Conformance tests for the archived DynaRisc decoders: DBDecode and
+// MODecode must produce byte-identical results to the native C++ decoders,
+// both on the native DynaRisc emulator and (for representative cases)
+// under full nested emulation (VeRisc hosting DynaRisc).
+
+#include <gtest/gtest.h>
+
+#include "dbcoder/dbcoder.h"
+#include "decoders/dbdecode.h"
+#include "decoders/modecode.h"
+#include "dynarisc/machine.h"
+#include "mocoder/emblem.h"
+#include "olonys/dynarisc_in_verisc.h"
+#include "support/crc32.h"
+#include "support/random.h"
+
+namespace ule {
+namespace decoders {
+namespace {
+
+Bytes RandomBytes(Rng* rng, size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<uint8_t>(rng->Below(256));
+  return out;
+}
+
+Bytes ArchiveText(Rng* rng, size_t approx) {
+  static const char* kWords[] = {"INSERT", "INTO",  "lineitem", "VALUES",
+                                 "1995-03-15", "0.07", "TRUCK", "COLLECT COD",
+                                 "regular", "deposits"};
+  std::string s = "CREATE TABLE lineitem (l_orderkey bigint);\n";
+  while (s.size() < approx) {
+    s += kWords[rng->Below(10)];
+    s += (rng->Below(6) == 0) ? "\n" : " ";
+  }
+  return ToBytes(s);
+}
+
+// ---------------- DBDecode ----------------
+
+class DbDecodeConformance : public ::testing::TestWithParam<dbcoder::Scheme> {
+};
+
+TEST_P(DbDecodeConformance, MatchesNativeDecoder) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  const Bytes raw = ArchiveText(&rng, 6000);
+  auto container = dbcoder::Encode(raw, GetParam());
+  ASSERT_TRUE(container.ok());
+
+  auto out = dynarisc::RunProgram(DbDecodeProgram(), container.value());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value(), raw);
+}
+
+TEST_P(DbDecodeConformance, RandomPayload) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 200);
+  const Bytes raw = RandomBytes(&rng, 3000);
+  auto container = dbcoder::Encode(raw, GetParam());
+  ASSERT_TRUE(container.ok());
+  auto out = dynarisc::RunProgram(DbDecodeProgram(), container.value());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value(), raw);
+}
+
+TEST_P(DbDecodeConformance, EmptyPayload) {
+  auto container = dbcoder::Encode({}, GetParam());
+  ASSERT_TRUE(container.ok());
+  auto out = dynarisc::RunProgram(DbDecodeProgram(), container.value());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_TRUE(out.value().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(ArchivedSchemes, DbDecodeConformance,
+                         ::testing::Values(dbcoder::Scheme::kStore,
+                                           dbcoder::Scheme::kLzss,
+                                           dbcoder::Scheme::kLzac),
+                         [](const auto& info) {
+                           return dbcoder::SchemeName(info.param);
+                         });
+
+TEST(DbDecodeTest, BadMagicProducesNoOutput) {
+  Bytes junk = ToBytes("XXXXsomething that is not a container");
+  auto out = dynarisc::RunProgram(DbDecodeProgram(), junk);
+  ASSERT_TRUE(out.ok());  // halts cleanly
+  EXPECT_TRUE(out.value().empty());
+}
+
+TEST(DbDecodeTest, LongMatchesExerciseWindowWrap) {
+  // Highly repetitive data > window size: matches wrap the ring buffer.
+  std::string s;
+  for (int i = 0; i < 1200; ++i) s += "abcdefghijklmnopqrstuvwxyz0123456789";
+  const Bytes raw = ToBytes(s);
+  for (auto scheme : {dbcoder::Scheme::kLzss, dbcoder::Scheme::kLzac}) {
+    auto container = dbcoder::Encode(raw, scheme);
+    ASSERT_TRUE(container.ok());
+    auto out = dynarisc::RunProgram(DbDecodeProgram(), container.value());
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(out.value(), raw) << dbcoder::SchemeName(scheme);
+  }
+}
+
+TEST(DbDecodeTest, NestedEmulationLzac) {
+  // The full ULE stack: LZAC decoding inside DynaRisc inside VeRisc.
+  Rng rng(42);
+  const Bytes raw = ArchiveText(&rng, 800);
+  auto container = dbcoder::Encode(raw, dbcoder::Scheme::kLzac);
+  ASSERT_TRUE(container.ok());
+  auto out = olonys::RunNested(DbDecodeProgram(), container.value());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value(), raw);
+}
+
+// ---------------- MODecode ----------------
+
+Bytes GridToIntensities(const mocoder::CellGrid& grid, int n) {
+  Bytes out(static_cast<size_t>(n) * n);
+  const int o = mocoder::kFrameCells;
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      out[static_cast<size_t>(y) * n + x] = grid.at(o + x, o + y) ? 12 : 240;
+    }
+  }
+  return out;
+}
+
+struct EmblemCase {
+  int n;
+  int flipped_cells;  // number of destroyed cells (mid-gray)
+};
+
+class ModecodeConformance : public ::testing::TestWithParam<EmblemCase> {};
+
+TEST_P(ModecodeConformance, MatchesNativeDecoder) {
+  const auto [n, flipped] = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 31 + static_cast<uint64_t>(flipped));
+  const int cap = mocoder::EmblemCapacity(n);
+  ASSERT_GT(cap, 0);
+  Bytes payload = RandomBytes(&rng, static_cast<size_t>(cap));
+  mocoder::EmblemHeader h;
+  h.stream = mocoder::StreamId::kData;
+  h.seq = 5;
+  h.total = 9;
+  h.stream_len = static_cast<uint32_t>(cap);
+  h.payload_crc = Crc32(payload);
+  auto grid = mocoder::BuildEmblem(h, payload, n);
+  ASSERT_TRUE(grid.ok());
+  Bytes cells = GridToIntensities(grid.value(), n);
+  for (int i = 0; i < flipped; ++i) {
+    cells[rng.Below(cells.size())] = 128;
+  }
+
+  // Native reference decode (payload-level).
+  mocoder::EmblemHeader native_h;
+  auto native = mocoder::DecodeEmblemIntensities(cells, n, &native_h);
+  ASSERT_TRUE(native.ok()) << native.status().ToString();
+
+  // DynaRisc MODecode produces the full container.
+  const Bytes input = PackModecodeInput(cells, n);
+  auto out = dynarisc::RunProgram(ModecodeProgram(), input);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const int blocks = mocoder::EmblemBlocks(n);
+  ASSERT_EQ(out.value().size(), static_cast<size_t>(blocks) * 223);
+  // Container = header + payload (+ padding).
+  auto parsed = mocoder::ParseHeader(out.value());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().seq, 5);
+  const Bytes asm_payload(out.value().begin() + mocoder::kHeaderSize,
+                          out.value().begin() + mocoder::kHeaderSize + cap);
+  EXPECT_EQ(asm_payload, native.value());
+  EXPECT_EQ(asm_payload, payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Emblems, ModecodeConformance,
+    ::testing::Values(EmblemCase{65, 0}, EmblemCase{65, 8},
+                      EmblemCase{80, 0}, EmblemCase{80, 20},
+                      EmblemCase{128, 0}, EmblemCase{128, 40},
+                      EmblemCase{128, 60}));
+
+TEST(ModecodeTest, SystemEmblemDecodes) {
+  const int n = 65;
+  Rng rng(7);
+  const int cap = mocoder::EmblemCapacity(n);
+  Bytes payload = RandomBytes(&rng, static_cast<size_t>(cap));
+  mocoder::EmblemHeader h;
+  h.stream = mocoder::StreamId::kSystem;
+  h.payload_crc = Crc32(payload);
+  h.stream_len = static_cast<uint32_t>(cap);
+  auto grid = mocoder::BuildEmblem(h, payload, n);
+  ASSERT_TRUE(grid.ok());
+  const Bytes input = PackModecodeInput(GridToIntensities(grid.value(), n), n);
+  auto out = dynarisc::RunProgram(ModecodeProgram(), input);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const Bytes asm_payload(out.value().begin() + mocoder::kHeaderSize,
+                          out.value().begin() + mocoder::kHeaderSize + cap);
+  EXPECT_EQ(asm_payload, payload);
+}
+
+TEST(ModecodeTest, ExcessDamageHaltsEarly) {
+  const int n = 65;
+  Rng rng(8);
+  const int cap = mocoder::EmblemCapacity(n);
+  Bytes payload = RandomBytes(&rng, static_cast<size_t>(cap));
+  mocoder::EmblemHeader h;
+  h.payload_crc = Crc32(payload);
+  auto grid = mocoder::BuildEmblem(h, payload, n);
+  ASSERT_TRUE(grid.ok());
+  Bytes cells = GridToIntensities(grid.value(), n);
+  // Destroy a third of the data area: far beyond the 7.2% budget.
+  for (size_t i = 0; i < cells.size() / 3; ++i) {
+    cells[i + static_cast<size_t>(n)] = static_cast<uint8_t>(rng.Below(256));
+  }
+  const Bytes input = PackModecodeInput(cells, n);
+  auto out = dynarisc::RunProgram(ModecodeProgram(), input);
+  ASSERT_TRUE(out.ok());
+  const int blocks = mocoder::EmblemBlocks(n);
+  EXPECT_LT(out.value().size(), static_cast<size_t>(blocks) * 223);
+}
+
+TEST(ModecodeTest, BadGeometryHalts) {
+  // N below the minimum: immediate halt, no output.
+  Bytes input = PackModecodeInput(Bytes(16, 0), 4);
+  auto out = dynarisc::RunProgram(ModecodeProgram(), input);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out.value().empty());
+}
+
+TEST(ModecodeTest, NestedEmulationSmallEmblem) {
+  // MODecode under full nested emulation (VeRisc -> DynaRisc -> RS math).
+  const int n = 65;
+  Rng rng(9);
+  const int cap = mocoder::EmblemCapacity(n);
+  Bytes payload = RandomBytes(&rng, static_cast<size_t>(cap));
+  mocoder::EmblemHeader h;
+  h.payload_crc = Crc32(payload);
+  h.stream_len = static_cast<uint32_t>(cap);
+  auto grid = mocoder::BuildEmblem(h, payload, n);
+  ASSERT_TRUE(grid.ok());
+  Bytes cells = GridToIntensities(grid.value(), n);
+  cells[1000] = 128;  // one damaged cell: the RS path must engage
+  const Bytes input = PackModecodeInput(cells, n);
+  verisc::RunOptions opts;
+  opts.max_steps = 20'000'000'000ull;
+  auto out = olonys::RunNested(ModecodeProgram(), input, opts);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const Bytes asm_payload(out.value().begin() + mocoder::kHeaderSize,
+                          out.value().begin() + mocoder::kHeaderSize + cap);
+  EXPECT_EQ(asm_payload, payload);
+}
+
+}  // namespace
+}  // namespace decoders
+}  // namespace ule

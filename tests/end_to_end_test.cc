@@ -1,0 +1,183 @@
+// End-to-end integration tests: Figure 2 of the paper, both directions.
+// A TPC-H database is dumped, archived to emblems + Bootstrap, "printed"
+// and "scanned" through the media simulator, then restored — through the
+// native decoders AND through the full ULE nested-emulation path using
+// only the Bootstrap document.
+
+#include <gtest/gtest.h>
+
+#include "core/micr_olonys.h"
+#include "media/scanner.h"
+#include "minidb/sqldump.h"
+#include "tpch/tpch.h"
+#include "verisc/implementations.h"
+
+namespace ule {
+namespace core {
+namespace {
+
+std::string SmallTpchDump() {
+  tpch::Options opt;
+  opt.scale_factor = 0.0002;
+  auto db = tpch::Generate(opt);
+  EXPECT_TRUE(db.ok());
+  return minidb::DumpSql(db.value());
+}
+
+ArchiveOptions SmallArchiveOptions() {
+  ArchiveOptions opt;
+  opt.emblem.data_side = 128;
+  opt.emblem.dots_per_cell = 4;
+  return opt;
+}
+
+TEST(EndToEndTest, ArchiveProducesAllArtifacts) {
+  const std::string dump = SmallTpchDump();
+  auto archive = ArchiveDump(dump, SmallArchiveOptions());
+  ASSERT_TRUE(archive.ok()) << archive.status().ToString();
+  EXPECT_GT(archive.value().data_emblems.size(), 0u);
+  EXPECT_GT(archive.value().system_emblems.size(), 0u);
+  EXPECT_FALSE(archive.value().bootstrap_text.empty());
+  EXPECT_EQ(archive.value().data_images.size(),
+            archive.value().data_emblems.size());
+  EXPECT_LT(archive.value().compressed_bytes, archive.value().dump_bytes);
+}
+
+TEST(EndToEndTest, NativeRestoreCleanImages) {
+  const std::string dump = SmallTpchDump();
+  auto archive = ArchiveDump(dump, SmallArchiveOptions());
+  ASSERT_TRUE(archive.ok());
+  RestoreStats stats;
+  auto restored =
+      RestoreNative(archive.value().data_images, archive.value().system_images,
+                    archive.value().emblem_options, &stats);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value(), dump);
+  EXPECT_EQ(stats.data_stream.emblems_decoded,
+            stats.data_stream.emblems_total);
+}
+
+TEST(EndToEndTest, NativeRestoreThroughScanner) {
+  const std::string dump = SmallTpchDump();
+  auto archive = ArchiveDump(dump, SmallArchiveOptions());
+  ASSERT_TRUE(archive.ok());
+  media::ScanProfile sp;
+  sp.rotation_deg = 0.4;
+  sp.blur_sigma = 0.6;
+  sp.noise_sigma = 6;
+  sp.dust_per_megapixel = 2;
+  sp.seed = 321;
+  std::vector<media::Image> data_scans, system_scans;
+  for (const auto& img : archive.value().data_images) {
+    data_scans.push_back(media::Scan(img, sp));
+  }
+  for (const auto& img : archive.value().system_images) {
+    system_scans.push_back(media::Scan(img, sp));
+  }
+  auto restored = RestoreNative(data_scans, system_scans,
+                                archive.value().emblem_options);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value(), dump);
+}
+
+TEST(EndToEndTest, RestoredDumpLoadsAndQueries) {
+  // The "bare-metal queries after restoration" claim (§2): the restored
+  // dump loads into a fresh database and answers queries identically.
+  tpch::Options topt;
+  topt.scale_factor = 0.0002;
+  auto db = tpch::Generate(topt);
+  ASSERT_TRUE(db.ok());
+  const std::string dump = minidb::DumpSql(db.value());
+
+  auto archive = ArchiveDump(dump, SmallArchiveOptions());
+  ASSERT_TRUE(archive.ok());
+  auto restored =
+      RestoreNative(archive.value().data_images, archive.value().system_images,
+                    archive.value().emblem_options);
+  ASSERT_TRUE(restored.ok());
+
+  auto reloaded = minidb::LoadSql(restored.value());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_TRUE(reloaded.value().SameContentAs(db.value()));
+
+  const minidb::Table* li = reloaded.value().GetTable("lineitem");
+  ASSERT_NE(li, nullptr);
+  const minidb::Table* li0 = db.value().GetTable("lineitem");
+  EXPECT_EQ(li->CountWhere(nullptr), li0->CountWhere(nullptr));
+  auto sum_restored = li->SumWhere("l_extendedprice", nullptr);
+  auto sum_original = li0->SumWhere("l_extendedprice", nullptr);
+  ASSERT_TRUE(sum_restored.ok());
+  EXPECT_EQ(sum_restored.value(), sum_original.value());
+}
+
+TEST(EndToEndTest, FullyEmulatedRestore) {
+  // The headline: restoration with nothing but the Bootstrap document,
+  // the scans, and a 4-instruction VM. Small payload (nested emulation
+  // runs ~2-3 decimal orders slower than native).
+  const std::string dump = "CREATE TABLE t (\n    a bigint\n);\n"
+                           "COPY t (a) FROM stdin;\n1\n2\n3\n\\.\n";
+  ArchiveOptions opt;
+  opt.emblem.data_side = 65;  // smallest emblems: fastest emulation
+  auto archive = ArchiveDump(dump, opt);
+  ASSERT_TRUE(archive.ok());
+  RestoreStats stats;
+  auto restored = RestoreEmulated(
+      archive.value().data_images, archive.value().system_images,
+      archive.value().bootstrap_text, archive.value().emblem_options, &stats);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value(), dump);
+  EXPECT_GT(stats.emulated_steps, 0u);
+}
+
+TEST(EndToEndTest, EmulatedRestoreOnIndependentVm) {
+  // Same, on an independently written VeRisc implementation ("student").
+  const std::string dump = "hello archive\n";
+  ArchiveOptions opt;
+  opt.emblem.data_side = 65;
+  auto archive = ArchiveDump(dump, opt);
+  ASSERT_TRUE(archive.ok());
+  const auto& impls = verisc::AllImplementations();
+  auto restored = RestoreEmulated(
+      archive.value().data_images, archive.value().system_images,
+      archive.value().bootstrap_text, archive.value().emblem_options,
+      nullptr, impls[1].run);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value(), dump);
+}
+
+TEST(EndToEndTest, SurvivesLostEmblems) {
+  const std::string dump = SmallTpchDump();
+  auto archive = ArchiveDump(dump, SmallArchiveOptions());
+  ASSERT_TRUE(archive.ok());
+  // Destroy two data frames entirely (within the 3-per-20 outer budget).
+  std::vector<media::Image> data_scans;
+  for (size_t i = 0; i < archive.value().data_images.size(); ++i) {
+    if (i == 1 || i == 4) continue;
+    data_scans.push_back(archive.value().data_images[i]);
+  }
+  RestoreStats stats;
+  auto restored = RestoreNative(data_scans, archive.value().system_images,
+                                archive.value().emblem_options, &stats);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value(), dump);
+  EXPECT_GT(stats.data_stream.emblems_recovered, 0);
+}
+
+TEST(EndToEndTest, TooManyLostEmblemsFailsCleanly) {
+  const std::string dump = SmallTpchDump();
+  auto archive = ArchiveDump(dump, SmallArchiveOptions());
+  ASSERT_TRUE(archive.ok());
+  const size_t total = archive.value().data_images.size();
+  if (total < 6) GTEST_SKIP() << "archive too small to lose 4 emblems";
+  std::vector<media::Image> data_scans;
+  for (size_t i = 4; i < total; ++i) {
+    data_scans.push_back(archive.value().data_images[i]);
+  }
+  auto restored = RestoreNative(data_scans, archive.value().system_images,
+                                archive.value().emblem_options);
+  EXPECT_FALSE(restored.ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace ule

@@ -1,0 +1,474 @@
+// Tests for MOCoder: emblem geometry/capacity, modulation round trips,
+// inner RS protection (7.2% claim), detection under scan distortion, the
+// outer 17+3 group code, and full stream round trips through each media
+// profile.
+
+#include <gtest/gtest.h>
+
+#include "media/profiles.h"
+#include "media/scanner.h"
+#include "mocoder/detect.h"
+#include "mocoder/emblem.h"
+#include "mocoder/mocoder.h"
+#include "mocoder/outer.h"
+#include "support/crc32.h"
+#include "support/random.h"
+
+namespace ule {
+namespace mocoder {
+namespace {
+
+Bytes RandomPayload(Rng* rng, int n) {
+  Bytes out(static_cast<size_t>(n));
+  for (auto& b : out) b = static_cast<uint8_t>(rng->Below(256));
+  return out;
+}
+
+EmblemHeader MakeHeader(StreamId stream, uint16_t seq, BytesView payload) {
+  EmblemHeader h;
+  h.stream = stream;
+  h.seq = seq;
+  h.total = 1;
+  h.stream_len = static_cast<uint32_t>(payload.size());
+  h.payload_crc = Crc32(payload);
+  return h;
+}
+
+// Converts a clean cell grid directly into the intensity array the decoder
+// expects (no print/scan in between).
+Bytes GridToIntensities(const CellGrid& grid, int data_side) {
+  Bytes out(static_cast<size_t>(data_side) * data_side);
+  const int o = kFrameCells;
+  for (int y = 0; y < data_side; ++y) {
+    for (int x = 0; x < data_side; ++x) {
+      out[static_cast<size_t>(y) * data_side + x] =
+          grid.at(o + x, o + y) ? 10 : 245;
+    }
+  }
+  return out;
+}
+
+// ---------------- geometry & capacity ----------------
+
+TEST(EmblemTest, CapacityFormula) {
+  // N=65: 65*64/2 = 2080 bits = 260 bytes -> 1 block -> 223-20 payload.
+  EXPECT_EQ(EmblemBlocks(65), 1);
+  EXPECT_EQ(EmblemCapacity(65), 203);
+  // N=128: 8128 bits = 1016 bytes -> 3 blocks.
+  EXPECT_EQ(EmblemBlocks(128), 3);
+  EXPECT_EQ(EmblemCapacity(128), 3 * 223 - 20);
+  // Too small for one block:
+  EXPECT_EQ(EmblemCapacity(20), 0);
+}
+
+TEST(EmblemTest, HeaderRoundTrip) {
+  EmblemHeader h;
+  h.stream = StreamId::kSystem;
+  h.seq = 1234;
+  h.total = 4321;
+  h.stream_len = 0xDEADBEEF;
+  h.payload_crc = 0xCAFEBABE;
+  const Bytes wire = SerializeHeader(h);
+  ASSERT_EQ(wire.size(), static_cast<size_t>(kHeaderSize));
+  auto back = ParseHeader(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().stream, StreamId::kSystem);
+  EXPECT_EQ(back.value().seq, 1234);
+  EXPECT_EQ(back.value().total, 4321);
+  EXPECT_EQ(back.value().stream_len, 0xDEADBEEFu);
+  EXPECT_EQ(back.value().payload_crc, 0xCAFEBABEu);
+}
+
+TEST(EmblemTest, HeaderRejectsBadMagicAndVersion) {
+  EmblemHeader h;
+  Bytes wire = SerializeHeader(h);
+  Bytes bad = wire;
+  bad[0] = 'X';
+  EXPECT_FALSE(ParseHeader(bad).ok());
+  bad = wire;
+  bad[2] = 99;
+  EXPECT_FALSE(ParseHeader(bad).ok());
+}
+
+TEST(EmblemTest, BuildRejectsWrongPayloadSize) {
+  EmblemHeader h;
+  EXPECT_FALSE(BuildEmblem(h, Bytes(10), 65).ok());
+  EXPECT_FALSE(BuildEmblem(h, Bytes(1000), 20).ok());
+}
+
+TEST(EmblemTest, GridHasBorderAndSyncRow) {
+  Rng rng(1);
+  const Bytes payload = RandomPayload(&rng, EmblemCapacity(65));
+  auto grid = BuildEmblem(MakeHeader(StreamId::kData, 0, payload), payload, 65);
+  ASSERT_TRUE(grid.ok());
+  const CellGrid& g = grid.value();
+  EXPECT_EQ(g.side, 65 + 2 * kFrameCells);
+  // Border ring black, gap ring white.
+  for (int i = 0; i < g.side; ++i) {
+    EXPECT_EQ(g.at(i, 0), 1);
+    EXPECT_EQ(g.at(i, 2), 1);
+    EXPECT_EQ(g.at(0, i), 1);
+    EXPECT_EQ(g.at(g.side - 1, i), 1);
+  }
+  for (int i = kBorderCells; i < g.side - kBorderCells; ++i) {
+    EXPECT_EQ(g.at(i, kBorderCells), 0) << i;
+    EXPECT_EQ(g.at(i, kBorderCells + 1), 0) << i;
+  }
+  // Sync row: data emblems start with two black cells.
+  EXPECT_EQ(g.at(kFrameCells + 0, kFrameCells), 1);
+  EXPECT_EQ(g.at(kFrameCells + 1, kFrameCells), 1);
+  EXPECT_EQ(g.at(kFrameCells + 2, kFrameCells), 0);
+  EXPECT_EQ(g.at(kFrameCells + 3, kFrameCells), 0);
+}
+
+TEST(EmblemTest, SystemEmblemsInvertSyncRow) {
+  Rng rng(2);
+  const Bytes payload = RandomPayload(&rng, EmblemCapacity(65));
+  auto grid =
+      BuildEmblem(MakeHeader(StreamId::kSystem, 0, payload), payload, 65);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid.value().at(kFrameCells + 0, kFrameCells), 0);
+  EXPECT_EQ(grid.value().at(kFrameCells + 2, kFrameCells), 1);
+}
+
+TEST(EmblemTest, ManchesterClockTransitionEveryBit) {
+  // In the data rows, every bit occupies two cells and the level always
+  // changes at the bit boundary; verify no run of 4 equal cells exists
+  // along the serpentine (max run is 3: X | !X !X | X... wait — levels:
+  // runs can be at most 2 within a bit plus continuation; assert <= 4
+  // conservatively and that long runs are absent).
+  Rng rng(3);
+  const Bytes payload = RandomPayload(&rng, EmblemCapacity(65));
+  auto grid = BuildEmblem(MakeHeader(StreamId::kData, 0, payload), payload, 65);
+  ASSERT_TRUE(grid.ok());
+  const CellGrid& g = grid.value();
+  const int n = 65;
+  const int o = kFrameCells;
+  int run = 1;
+  int max_run = 1;
+  int prev = -1;
+  const int total_cells = (n - 1) * n;
+  for (int k = 0; k < total_cells; ++k) {
+    const int row = k / n;
+    const int col = k % n;
+    const int x = (row % 2 == 0) ? col : (n - 1 - col);
+    const int y = 1 + row;
+    const int cell = g.at(o + x, o + y);
+    if (cell == prev) {
+      ++run;
+      max_run = std::max(max_run, run);
+    } else {
+      run = 1;
+    }
+    prev = cell;
+  }
+  // Differential Manchester bounds runs to 3 cells (one half + a full bit
+  // without mid transition... the guaranteed boundary transition caps it).
+  EXPECT_LE(max_run, 3);
+}
+
+// ---------------- clean round trip ----------------
+
+class EmblemRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmblemRoundTrip, CleanIntensities) {
+  const int n = GetParam();
+  Rng rng(static_cast<uint64_t>(n));
+  const Bytes payload = RandomPayload(&rng, EmblemCapacity(n));
+  const EmblemHeader h = MakeHeader(StreamId::kData, 7, payload);
+  auto grid = BuildEmblem(h, payload, n);
+  ASSERT_TRUE(grid.ok());
+  EmblemHeader out_h;
+  EmblemDecodeInfo info;
+  auto back = DecodeEmblemIntensities(GridToIntensities(grid.value(), n), n,
+                                      &out_h, &info);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), payload);
+  EXPECT_EQ(out_h.seq, 7);
+  EXPECT_EQ(info.rs_errors_corrected, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EmblemRoundTrip,
+                         ::testing::Values(65, 80, 128, 200));
+
+TEST(EmblemTest, IntensityDamageWithinBudgetCorrected) {
+  // Flip cells corresponding to ~5% of the coded bytes: the inner RS code
+  // must absorb it (paper: up to 7.2% per emblem).
+  const int n = 128;
+  Rng rng(5);
+  const Bytes payload = RandomPayload(&rng, EmblemCapacity(n));
+  auto grid = BuildEmblem(MakeHeader(StreamId::kData, 0, payload), payload, n);
+  ASSERT_TRUE(grid.ok());
+  Bytes cells = GridToIntensities(grid.value(), n);
+  // Damage a contiguous horizontal band (localised damage; interleaving
+  // spreads it across blocks).
+  const int band_rows = 3;
+  for (int y = 40; y < 40 + band_rows; ++y) {
+    for (int x = 0; x < n; ++x) {
+      cells[static_cast<size_t>(y) * n + x] = 128;  // destroyed: mid-gray
+    }
+  }
+  EmblemDecodeInfo info;
+  auto back = DecodeEmblemIntensities(cells, n, nullptr, &info);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), payload);
+  EXPECT_GT(info.rs_errors_corrected, 0);
+}
+
+TEST(EmblemTest, ExcessDamageFailsCleanly) {
+  const int n = 65;
+  Rng rng(6);
+  const Bytes payload = RandomPayload(&rng, EmblemCapacity(n));
+  auto grid = BuildEmblem(MakeHeader(StreamId::kData, 0, payload), payload, n);
+  ASSERT_TRUE(grid.ok());
+  Bytes cells = GridToIntensities(grid.value(), n);
+  // Destroy half the data area.
+  for (int y = 1; y < n / 2; ++y) {
+    for (int x = 0; x < n; ++x) {
+      cells[static_cast<size_t>(y) * n + x] =
+          static_cast<uint8_t>(rng.Below(256));
+    }
+  }
+  auto back = DecodeEmblemIntensities(cells, n, nullptr);
+  EXPECT_FALSE(back.ok());
+}
+
+// ---------------- detection through print & scan ----------------
+
+TEST(DetectTest, CleanRenderAndSample) {
+  const int n = 80;
+  Rng rng(7);
+  const Bytes payload = RandomPayload(&rng, EmblemCapacity(n));
+  auto grid = BuildEmblem(MakeHeader(StreamId::kData, 0, payload), payload, n);
+  ASSERT_TRUE(grid.ok());
+  const media::Image img = RenderEmblem(grid.value(), 4);
+  DetectInfo dinfo;
+  auto cells = SampleEmblem(img, n, &dinfo);
+  ASSERT_TRUE(cells.ok()) << cells.status().ToString();
+  EXPECT_NEAR(dinfo.cell_pitch, 4.0, 0.1);
+  EXPECT_NEAR(dinfo.rotation_deg, 0.0, 0.2);
+  auto back = DecodeEmblemIntensities(cells.value(), n, nullptr);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), payload);
+}
+
+struct ScanCase {
+  const char* name;
+  double rotation;
+  double barrel;
+  double jitter;
+  double blur;
+  double noise;
+  double dust;
+};
+
+class DetectUnderDistortion : public ::testing::TestWithParam<ScanCase> {};
+
+TEST_P(DetectUnderDistortion, DecodesThroughScan) {
+  const ScanCase& c = GetParam();
+  const int n = 80;
+  Rng rng(8);
+  const Bytes payload = RandomPayload(&rng, EmblemCapacity(n));
+  auto grid = BuildEmblem(MakeHeader(StreamId::kData, 3, payload), payload, n);
+  ASSERT_TRUE(grid.ok());
+  const media::Image printed = RenderEmblem(grid.value(), 5);
+
+  media::ScanProfile sp;
+  sp.rotation_deg = c.rotation;
+  sp.barrel_k1 = c.barrel;
+  sp.jitter_amplitude = c.jitter;
+  sp.blur_sigma = c.blur;
+  sp.noise_sigma = c.noise;
+  sp.dust_per_megapixel = c.dust;
+  sp.seed = 77;
+  const media::Image scanned = media::Scan(printed, sp);
+
+  auto cells = SampleEmblem(scanned, n);
+  ASSERT_TRUE(cells.ok()) << c.name << ": " << cells.status().ToString();
+  EmblemHeader h;
+  auto back = DecodeEmblemIntensities(cells.value(), n, &h);
+  ASSERT_TRUE(back.ok()) << c.name << ": " << back.status().ToString();
+  EXPECT_EQ(back.value(), payload) << c.name;
+  EXPECT_EQ(h.seq, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, DetectUnderDistortion,
+    ::testing::Values(
+        ScanCase{"clean", 0, 0, 0, 0, 0, 0},
+        ScanCase{"rotated", 1.0, 0, 0, 0.3, 3, 0},
+        ScanCase{"lens", 0.2, 0.004, 0, 0.3, 3, 0},
+        ScanCase{"jitter", 0.2, 0, 0.5, 0.3, 3, 0},
+        ScanCase{"noisy", 0.3, 0.001, 0.3, 0.8, 10, 2},
+        ScanCase{"dusty", 0.2, 0.001, 0.2, 0.5, 5, 20}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(DetectTest, FailsWithoutEmblem) {
+  media::Image blank(200, 200, 255);
+  EXPECT_FALSE(SampleEmblem(blank, 65).ok());
+}
+
+// ---------------- outer code ----------------
+
+TEST(OuterTest, EmblemCounts) {
+  // 100 bytes at capacity 50 -> 2 data emblems -> 1 group -> 2+3 total.
+  EXPECT_EQ(DataEmblemCount(100, 50), 2);
+  EXPECT_EQ(TotalEmblemCount(100, 50), 5);
+  // 18 data emblems -> 2 groups -> 18 + 6.
+  EXPECT_EQ(TotalEmblemCount(18 * 50, 50), 24);
+  // Empty stream still ships one emblem + parity.
+  EXPECT_EQ(DataEmblemCount(0, 50), 1);
+  EXPECT_EQ(TotalEmblemCount(0, 50), 4);
+}
+
+TEST(OuterTest, RoundTripNoLoss) {
+  Rng rng(9);
+  const Bytes stream = RandomPayload(&rng, 1000);
+  const int cap = 64;
+  auto payloads = BuildGroupPayloads(stream, cap);
+  std::map<uint16_t, Bytes> present;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    if (payloads[i]) present[static_cast<uint16_t>(i)] = *payloads[i];
+  }
+  auto back = ReassembleStream(present, stream.size(), cap);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), stream);
+}
+
+class OuterLossSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OuterLossSweep, RecoversUpToThreeLostPerGroup) {
+  const int losses = GetParam();
+  Rng rng(static_cast<uint64_t>(10 + losses));
+  const Bytes stream = RandomPayload(&rng, 40 * 64);  // 40 data emblems
+  const int cap = 64;
+  auto payloads = BuildGroupPayloads(stream, cap);
+  std::map<uint16_t, Bytes> present;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    if (payloads[i]) present[static_cast<uint16_t>(i)] = *payloads[i];
+  }
+  // Drop `losses` emblems from each group.
+  const int groups = static_cast<int>(payloads.size()) / kGroupSize;
+  for (int g = 0; g < groups; ++g) {
+    int dropped = 0;
+    while (dropped < losses) {
+      const uint16_t seq = static_cast<uint16_t>(
+          g * kGroupSize + static_cast<int>(rng.Below(kGroupSize)));
+      if (present.erase(seq)) ++dropped;
+    }
+  }
+  auto back = ReassembleStream(present, stream.size(), cap);
+  if (losses <= kGroupParity) {
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back.value(), stream);
+  } else {
+    EXPECT_FALSE(back.ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Losses, OuterLossSweep, ::testing::Range(0, 6));
+
+// ---------------- full stream round trips ----------------
+
+TEST(MocoderTest, StreamRoundTripSampledGrids) {
+  Rng rng(11);
+  const Bytes stream = RandomPayload(&rng, 5000);
+  Options opt;
+  opt.data_side = 80;
+  auto emblems = EncodeStream(stream, StreamId::kData, opt);
+  ASSERT_TRUE(emblems.ok());
+  std::vector<Bytes> grids;
+  for (const auto& e : emblems.value()) {
+    grids.push_back(Bytes());
+    const int o = kFrameCells;
+    grids.back().resize(static_cast<size_t>(opt.data_side) * opt.data_side);
+    for (int y = 0; y < opt.data_side; ++y) {
+      for (int x = 0; x < opt.data_side; ++x) {
+        grids.back()[static_cast<size_t>(y) * opt.data_side + x] =
+            e.grid.at(o + x, o + y) ? 0 : 255;
+      }
+    }
+  }
+  DecodeStats stats;
+  auto back = DecodeSampledGrids(grids, StreamId::kData, opt, &stats);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), stream);
+  EXPECT_EQ(stats.emblems_decoded, stats.emblems_total);
+}
+
+class MediaProfileRoundTrip
+    : public ::testing::TestWithParam<media::MediaProfile> {};
+
+TEST_P(MediaProfileRoundTrip, PrintScanDecode) {
+  const media::MediaProfile profile = GetParam();
+  Rng rng(12);
+  const Bytes stream = RandomPayload(&rng, 2000);
+  Options opt;
+  opt.data_side = 80;
+  opt.dots_per_cell = profile.dots_per_cell;
+  auto emblems = EncodeStream(stream, StreamId::kData, opt);
+  ASSERT_TRUE(emblems.ok());
+
+  std::vector<media::Image> scans;
+  for (const auto& e : emblems.value()) {
+    media::Image printed = Render(e, opt);
+    if (profile.bitonal_write) {
+      for (auto& px : printed.mutable_pixels()) px = px < 128 ? 0 : 255;
+    }
+    scans.push_back(media::Scan(printed, profile.scan));
+  }
+  DecodeStats stats;
+  auto back = DecodeImages(scans, StreamId::kData, opt, &stats);
+  ASSERT_TRUE(back.ok()) << profile.name << ": " << back.status().ToString();
+  EXPECT_EQ(back.value(), stream) << profile.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMedia, MediaProfileRoundTrip,
+                         ::testing::ValuesIn(media::AllProfiles()),
+                         [](const auto& info) {
+                           std::string n = info.param.name;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(MocoderTest, LostEmblemsRecoveredThroughImages) {
+  Rng rng(13);
+  const Bytes stream = RandomPayload(&rng, 4000);
+  Options opt;
+  opt.data_side = 80;
+  auto emblems = EncodeStream(stream, StreamId::kData, opt);
+  ASSERT_TRUE(emblems.ok());
+  std::vector<media::Image> scans;
+  size_t skipped = 0;
+  for (const auto& e : emblems.value()) {
+    if (skipped < 2 && e.header.seq % 5 == 1) {
+      ++skipped;  // simulate two destroyed frames
+      continue;
+    }
+    scans.push_back(Render(e, opt));
+  }
+  ASSERT_EQ(skipped, 2u);
+  DecodeStats stats;
+  auto back = DecodeImages(scans, StreamId::kData, opt, &stats);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value(), stream);
+  EXPECT_GT(stats.emblems_recovered, 0);
+}
+
+TEST(MocoderTest, WrongStreamIdRejected) {
+  Rng rng(14);
+  const Bytes stream = RandomPayload(&rng, 100);
+  Options opt;
+  opt.data_side = 65;
+  auto emblems = EncodeStream(stream, StreamId::kSystem, opt);
+  ASSERT_TRUE(emblems.ok());
+  std::vector<media::Image> scans;
+  for (const auto& e : emblems.value()) scans.push_back(Render(e, opt));
+  EXPECT_FALSE(DecodeImages(scans, StreamId::kData, opt).ok());
+}
+
+}  // namespace
+}  // namespace mocoder
+}  // namespace ule

@@ -1,0 +1,414 @@
+// Tests for the Olonys nested emulator: the DynaRisc interpreter written in
+// VeRisc must agree with the native DynaRisc emulator, instruction for
+// instruction, on programs exercising the whole ISA. Also covers the
+// Bootstrap document round trip.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dynarisc/assembler.h"
+#include "dynarisc/machine.h"
+#include "olonys/bootstrap.h"
+#include "olonys/dynarisc_in_verisc.h"
+#include "support/random.h"
+#include "verisc/implementations.h"
+
+namespace ule {
+namespace olonys {
+namespace {
+
+dynarisc::Program Asm(const std::string& src) {
+  auto r = dynarisc::Assemble(src);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.TakeValue() : dynarisc::Program{};
+}
+
+// Runs a program both natively and nested, requiring identical output.
+void ExpectEquivalent(const dynarisc::Program& p, BytesView input) {
+  auto native = dynarisc::RunProgram(p, input);
+  ASSERT_TRUE(native.ok()) << native.status().ToString();
+  auto nested = RunNested(p, input);
+  ASSERT_TRUE(nested.ok()) << nested.status().ToString();
+  EXPECT_EQ(nested.value(), native.value());
+}
+
+TEST(InterpreterTest, GeneratesOnceAndIsDeterministic) {
+  const verisc::Program& a = DynaRiscInterpreter();
+  const verisc::Program& b = DynaRiscInterpreter();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GT(a.words.size(), 100u);
+  // Regeneration yields identical words (archivability).
+  EXPECT_EQ(a.words, verisc::Program::Deserialize(a.Serialize()).value().words);
+}
+
+TEST(InterpreterTest, EmptyProgramHaltImmediately) {
+  ExpectEquivalent(Asm("SYS #2"), {});
+}
+
+TEST(InterpreterTest, EchoProgram) {
+  Bytes input = {1, 2, 3, 0, 255, 128};
+  ExpectEquivalent(Asm("loop: SYS #0\nJC done\nSYS #1\nJUMP loop\ndone: SYS #2"),
+                   input);
+}
+
+TEST(InterpreterTest, ArithmeticSweep) {
+  // Adds/subtracts a grid of values and emits every result byte by byte.
+  const std::string src = R"(
+      LDI R5,#0x8000
+      MOVE D3,R5
+      LDI R0,#0          ; a
+outer:
+      LDI R1,#0          ; b
+inner:
+      MOVE R2,R0
+      ADD R2,R1          ; a+b
+      CALL emit16
+      MOVE R2,R0
+      SUB R2,R1          ; a-b
+      CALL emit16
+      MOVE R2,R0
+      MUL R2,R1          ; a*b low
+      CALL emit16
+      MOVE R2,HI         ; a*b high
+      CALL emit16
+      LDI R6,#0x1357
+      ADD R1,R6
+      JNC inner          ; until b wraps
+      LDI R6,#0x2468
+      ADD R0,R6
+      JNC outer
+      SYS #2
+emit16:
+      MOVE R7,R2
+      MOVE R3,R2
+      LSR R3,#8
+      MOVE R2,R3
+      CALL emit8
+      MOVE R2,R7
+      CALL emit8
+      RET
+emit8:
+      MOVE R4,R0         ; preserve R0 (SYS #1 writes R0)
+      MOVE R0,R2
+      SYS #1
+      MOVE R0,R4
+      RET
+  )";
+  ExpectEquivalent(Asm(".entry start\nstart: JUMP go\ngo:\n" + src), {});
+}
+
+TEST(InterpreterTest, FlagSemanticsAdcSbb) {
+  // Chain ADC/SBB through carries and emit intermediate flags as bytes.
+  const std::string src = R"(
+      LDI R5,#0x8000
+      MOVE D3,R5
+      LDI R0,#0xFFFF
+      LDI R1,#1
+      ADD R0,R1          ; C=1, Z=1
+      CALL emitflags
+      LDI R2,#5
+      LDI R3,#3
+      ADC R2,R3          ; 5+3+1=9, C=0
+      CALL emitflags
+      MOVE R0,R2
+      SYS #1             ; 9
+      LDI R2,#3
+      LDI R3,#5
+      SUB R2,R3          ; borrow
+      CALL emitflags
+      LDI R2,#10
+      LDI R3,#1
+      SBB R2,R3          ; 10-1-1=8
+      CALL emitflags
+      MOVE R0,R2
+      SYS #1             ; 8
+      SYS #2
+emitflags:               ; emits (C<<1)|Z without disturbing flags' meaning
+      LDI R6,#0
+      JC havec
+      JUMP testz
+havec:
+      LDI R6,#2
+testz:
+      JZ havez
+      JUMP emitf
+havez:
+      LDI R7,#1
+      OR R6,R7
+emitf:
+      MOVE R0,R6
+      SYS #1
+      RET
+  )";
+  ExpectEquivalent(Asm(src), {});
+}
+
+TEST(InterpreterTest, ShiftsAllFourOps) {
+  const std::string src = R"(
+      LDI R5,#0x8000
+      MOVE D3,R5
+      LDI R0,#0x8421
+      MOVE R1,R0
+      LSL R1,#1
+      CALL emit
+      MOVE R1,R0
+      LSR R1,#3
+      CALL emit
+      MOVE R1,R0
+      ASR R1,#3
+      CALL emit
+      MOVE R1,R0
+      ROR R1,#5
+      CALL emit
+      LDI R2,#11
+      MOVE R1,R0
+      LSL R1,R2
+      CALL emit
+      MOVE R1,R0
+      LSR R1,R2
+      CALL emit
+      LDI R2,#0
+      MOVE R1,R0
+      ROR R1,R2
+      CALL emit
+      SYS #2
+emit:                     ; emit R1 as two bytes
+      MOVE R3,R1
+      LSR R3,#8
+      MOVE R0,R3
+      SYS #1
+      MOVE R0,R1
+      SYS #1
+      RET
+  )";
+  ExpectEquivalent(Asm(src), {});
+}
+
+TEST(InterpreterTest, MemoryAndPointers) {
+  const std::string src = R"(
+      LDI R5,#0x8000
+      MOVE D3,R5
+      LDI R1,#0x4000
+      MOVE D0,R1
+      MOVE D1,R1
+      LDI R0,#0
+      LDI R2,#64
+      LDI R3,#1
+fill:                     ; mem[0x4000+i] = (i*7) & 0xFF
+      MOVE R4,R0
+      LDI R6,#7
+      MUL R4,R6
+      MOVE R7,R0
+      MOVE R0,R4
+      STM.B R0,[D0+]
+      MOVE R0,R7
+      ADD R0,R3
+      CMP R0,R2
+      JNZ fill
+      LDI R0,#0
+read:                     ; emit them back as words (pairs)
+      LDM.W R4,[D1+]
+      MOVE R7,R0
+      MOVE R0,R4
+      SYS #1
+      LSR R4,#8
+      MOVE R0,R4
+      SYS #1
+      MOVE R0,R7
+      LDI R6,#2
+      ADD R0,R6
+      CMP R0,R2
+      JNZ read
+      SYS #2
+  )";
+  ExpectEquivalent(Asm(src), {});
+}
+
+TEST(InterpreterTest, MoveAcrossAllSpaces) {
+  const std::string src = R"(
+      LDI R5,#0x8000
+      MOVE D3,R5
+      LDI R0,#0xBEEF
+      MOVE D0,R0
+      MOVE D1,D0
+      MOVE R1,D1
+      MOVE R0,R1
+      SYS #1
+      LSR R0,#8
+      SYS #1
+      LDI R2,#0x300
+      LDI R3,#0x500
+      MUL R2,R3          ; HI = 0x000F
+      MOVE R4,HI
+      MOVE R0,R4
+      SYS #1
+      SYS #2
+  )";
+  ExpectEquivalent(Asm(src), {});
+}
+
+TEST(InterpreterTest, StackRecursionFibonacci) {
+  // Recursive fib(10) via the D3 stack: exercises CALL/RET/LDM/STM deeply.
+  const std::string src = R"(
+      .entry main
+fib:                      ; input R0, output R1 = fib(R0), clobbers R2,R3
+      LDI R2,#2
+      CMP R0,R2
+      JC base            ; R0 < 2
+      MOVE R2,R0         ; n
+      SUB R0,R3          ; R3 == 1 (set by main) -> R0 = n-1
+      MOVE R4,D3
+      LDI R5,#2
+      SUB R4,R5
+      MOVE D3,R4
+      STM.W R2,[D3]      ; push n
+      CALL fib           ; R1 = fib(n-1)
+      LDM.W R2,[D3]      ; peek n
+      MOVE R6,R1         ; save fib(n-1)
+      STM.W R6,[D3]      ; replace slot with fib(n-1)
+      MOVE R0,R2
+      LDI R5,#2
+      SUB R0,R5          ; n-2
+      CALL fib           ; R1 = fib(n-2)
+      LDM.W R6,[D3]      ; fib(n-1)
+      ADD R1,R6
+      MOVE R4,D3         ; pop
+      LDI R5,#2
+      ADD R4,R5
+      MOVE D3,R4
+      RET
+base:
+      MOVE R1,R0
+      RET
+main:
+      LDI R7,#0x8000
+      MOVE D3,R7
+      LDI R3,#1
+      LDI R0,#10
+      CALL fib
+      MOVE R0,R1
+      SYS #1             ; fib(10) = 55
+      LSR R1,#8
+      MOVE R0,R1
+      SYS #1
+      SYS #2
+  )";
+  auto p = Asm(src);
+  auto native = dynarisc::RunProgram(p, {});
+  ASSERT_TRUE(native.ok());
+  ASSERT_EQ(native.value().size(), 2u);
+  EXPECT_EQ(native.value()[0], 55);
+  ExpectEquivalent(p, {});
+}
+
+TEST(InterpreterTest, IllegalOpcodeHaltsNested) {
+  // The archived interpreter defines illegal opcodes as halt (isa.h notes
+  // the native machine faults instead — divergence is documented).
+  dynarisc::Program p;
+  p.image = {0xFF, 0xFF};
+  auto nested = RunNested(p, {});
+  ASSERT_TRUE(nested.ok());
+  EXPECT_TRUE(nested.value().empty());
+}
+
+TEST(InterpreterTest, EntryPointRespected) {
+  dynarisc::Program p = Asm(
+      ".entry main\n"
+      "dead: LDI R0,#1\nSYS #1\nSYS #2\n"
+      "main: LDI R0,#7\nSYS #1\nSYS #2");
+  ExpectEquivalent(p, {});
+  auto nested = RunNested(p, {});
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(nested.value(), Bytes{7});
+}
+
+TEST(InterpreterTest, RunsOnEveryVeriscImplementation) {
+  // The full nested stack on each independently written VeRisc VM.
+  dynarisc::Program p =
+      Asm("loop: SYS #0\nJC done\nLDI R1,#1\nADD R0,R1\nSYS #1\nJUMP loop\n"
+          "done: SYS #2");
+  Bytes input = {10, 20, 30};
+  Bytes expected = {11, 21, 31};
+  for (const auto& impl : verisc::AllImplementations()) {
+    auto out = RunNested(p, input, {}, impl.run);
+    ASSERT_TRUE(out.ok()) << impl.name;
+    EXPECT_EQ(out.value(), expected) << impl.name;
+  }
+}
+
+// Property sweep: random linear programs (no backward jumps) must agree.
+class RandomProgramEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomProgramEquivalence, NativeMatchesNested) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  // Generate a straight-line program over R0..R7 ending in an output loop.
+  std::string src = "LDI R7,#0x8000\nMOVE D3,R7\n";
+  const char* kOps[] = {"ADD", "ADC", "SUB", "SBB", "CMP",
+                        "MUL", "AND", "OR",  "XOR"};
+  for (int i = 0; i < 40; ++i) {
+    const int kind = static_cast<int>(rng.Below(12));
+    const int rd = static_cast<int>(rng.Below(8));
+    const int rs = static_cast<int>(rng.Below(8));
+    if (kind < 9) {
+      src += std::string(kOps[kind]) + " R" + std::to_string(rd) + ",R" +
+             std::to_string(rs) + "\n";
+    } else if (kind == 9) {
+      src += "LDI R" + std::to_string(rd) + ",#" +
+             std::to_string(rng.Below(65536)) + "\n";
+    } else if (kind == 10) {
+      const char* shifts[] = {"LSL", "LSR", "ASR", "ROR"};
+      src += std::string(shifts[rng.Below(4)]) + " R" + std::to_string(rd) +
+             ",#" + std::to_string(rng.Below(16)) + "\n";
+    } else {
+      src += "MOVE R" + std::to_string(rd) + ",R" + std::to_string(rs) + "\n";
+    }
+  }
+  // Emit all 8 registers, low byte then high byte.
+  for (int r = 0; r < 8; ++r) {
+    src += "MOVE R0,R" + std::to_string(r) + "\nSYS #1\nLSR R0,#8\nSYS #1\n";
+    // note: R0 is overwritten progressively; emit R0 first
+    if (r == 0) continue;
+  }
+  src = "LDI R6,#0\n" + src + "SYS #2\n";
+  ExpectEquivalent(Asm(src), {});
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramEquivalence,
+                         ::testing::Range(0, 12));
+
+// ---------------- Bootstrap document ----------------
+
+TEST(BootstrapTest, RoundTrip) {
+  dynarisc::Program mocoder = Asm("SYS #0\nJC e\nSYS #1\ne: SYS #2");
+  const std::string text =
+      GenerateBootstrapText(DynaRiscInterpreter(), mocoder);
+  auto parsed = ParseBootstrapText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().dynarisc_emulator.words,
+            DynaRiscInterpreter().words);
+  EXPECT_EQ(parsed.value().mocoder.image, mocoder.image);
+}
+
+TEST(BootstrapTest, PseudocodeIsShort) {
+  // Paper: "less than 500 lines of code that can be implemented by anyone";
+  // "writing less than 300 lines of code" to bootstrap the emulator.
+  EXPECT_LT(PseudocodeLineCount(), 300);
+}
+
+TEST(BootstrapTest, CorruptedLettersDetected) {
+  dynarisc::Program mocoder = Asm("SYS #2");
+  std::string text = GenerateBootstrapText(DynaRiscInterpreter(), mocoder);
+  // Flip one letter inside the Part II section.
+  const size_t pos = text.find("-----BEGIN VERISC PROGRAM-----") + 40;
+  text[pos] = (text[pos] == 'A') ? 'B' : 'A';
+  EXPECT_FALSE(ParseBootstrapText(text).ok());
+}
+
+TEST(BootstrapTest, MissingSectionDetected) {
+  EXPECT_FALSE(ParseBootstrapText("not a bootstrap at all").ok());
+}
+
+}  // namespace
+}  // namespace olonys
+}  // namespace ule

@@ -1,0 +1,307 @@
+// Unit + property tests for GF(256) arithmetic and the Reed–Solomon codec,
+// including the paper's two concrete codes: inner RS(255,223) and outer
+// RS(20,17).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "rs/gf256.h"
+#include "rs/reed_solomon.h"
+#include "support/random.h"
+
+namespace ule {
+namespace rs {
+namespace {
+
+Bytes RandomPayload(Rng* rng, int n) {
+  Bytes out(static_cast<size_t>(n));
+  for (auto& b : out) b = static_cast<uint8_t>(rng->Below(256));
+  return out;
+}
+
+// ---------- GF(256) ----------
+
+TEST(Gf256Test, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(Gf256::Mul(static_cast<uint8_t>(a), 1), a);
+    EXPECT_EQ(Gf256::Mul(static_cast<uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(Gf256Test, MulCommutes) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const uint8_t a = static_cast<uint8_t>(rng.Below(256));
+    const uint8_t b = static_cast<uint8_t>(rng.Below(256));
+    EXPECT_EQ(Gf256::Mul(a, b), Gf256::Mul(b, a));
+  }
+}
+
+TEST(Gf256Test, MulMatchesCarrylessReference) {
+  // Bitwise (table-free) reference multiplication modulo 0x11D.
+  auto ref_mul = [](uint8_t a, uint8_t b) {
+    uint16_t acc = 0;
+    uint16_t aa = a;
+    for (int i = 0; i < 8; ++i) {
+      if (b & (1 << i)) acc ^= aa << i;
+    }
+    for (int bit = 15; bit >= 8; --bit) {
+      if (acc & (1 << bit)) acc ^= 0x11D << (bit - 8);
+    }
+    return static_cast<uint8_t>(acc);
+  };
+  Rng rng(2);
+  for (int i = 0; i < 4000; ++i) {
+    const uint8_t a = static_cast<uint8_t>(rng.Below(256));
+    const uint8_t b = static_cast<uint8_t>(rng.Below(256));
+    EXPECT_EQ(Gf256::Mul(a, b), ref_mul(a, b)) << static_cast<int>(a) << " * "
+                                               << static_cast<int>(b);
+  }
+}
+
+TEST(Gf256Test, InverseIsTwoSided) {
+  for (int a = 1; a < 256; ++a) {
+    const uint8_t inv = Gf256::Inv(static_cast<uint8_t>(a));
+    EXPECT_EQ(Gf256::Mul(static_cast<uint8_t>(a), inv), 1);
+  }
+}
+
+TEST(Gf256Test, DivUndoesMul) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const uint8_t a = static_cast<uint8_t>(rng.Below(256));
+    const uint8_t b = static_cast<uint8_t>(1 + rng.Below(255));
+    EXPECT_EQ(Gf256::Div(Gf256::Mul(a, b), b), a);
+  }
+}
+
+TEST(Gf256Test, ExpLogConsistent) {
+  for (int i = 0; i < 255; ++i) {
+    EXPECT_EQ(Gf256::Log(Gf256::Exp(i)), i);
+  }
+  EXPECT_EQ(Gf256::Exp(0), 1);
+  EXPECT_EQ(Gf256::Exp(1), 2);  // generator alpha = 2
+}
+
+TEST(Gf256Test, PowMatchesRepeatedMul) {
+  uint8_t acc = 1;
+  for (int p = 0; p < 300; ++p) {
+    EXPECT_EQ(Gf256::Pow(3, p), acc);
+    acc = Gf256::Mul(acc, 3);
+  }
+}
+
+// ---------- RS codec basics ----------
+
+TEST(ReedSolomonTest, EncodeIsSystematic) {
+  Codec codec(255, 223);
+  Rng rng(4);
+  const Bytes data = RandomPayload(&rng, 223);
+  auto cw = codec.Encode(data);
+  ASSERT_TRUE(cw.ok());
+  ASSERT_EQ(cw.value().size(), 255u);
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), cw.value().begin()));
+}
+
+TEST(ReedSolomonTest, EncodeRejectsWrongSize) {
+  Codec codec(255, 223);
+  EXPECT_FALSE(codec.Encode(Bytes(10)).ok());
+  Codec small(20, 17);
+  EXPECT_FALSE(small.Encode(Bytes(18)).ok());
+}
+
+TEST(ReedSolomonTest, DecodeCleanCodeword) {
+  Codec codec(255, 223);
+  Rng rng(5);
+  const Bytes data = RandomPayload(&rng, 223);
+  auto cw = codec.Encode(data);
+  ASSERT_TRUE(cw.ok());
+  DecodeInfo info;
+  auto back = codec.Decode(cw.value(), {}, &info);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+  EXPECT_EQ(info.errors_corrected, 0);
+  EXPECT_EQ(info.erasures_corrected, 0);
+}
+
+TEST(ReedSolomonTest, DecodeRejectsWrongLength) {
+  Codec codec(255, 223);
+  EXPECT_FALSE(codec.Decode(Bytes(100)).ok());
+}
+
+TEST(ReedSolomonTest, CorrectsMaxErrors) {
+  // RS(255,223) corrects exactly 16 unknown errors — the paper's 7.2%
+  // intra-emblem damage bound (32/2 = 16 of 223+32 block bytes).
+  Codec codec(255, 223);
+  Rng rng(6);
+  const Bytes data = RandomPayload(&rng, 223);
+  Bytes cw = codec.Encode(data).TakeValue();
+  std::set<int> positions;
+  while (positions.size() < 16) positions.insert(static_cast<int>(rng.Below(255)));
+  for (int p : positions) cw[static_cast<size_t>(p)] ^= static_cast<uint8_t>(1 + rng.Below(255));
+  DecodeInfo info;
+  auto back = codec.Decode(cw, {}, &info);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+  EXPECT_EQ(info.errors_corrected, 16);
+}
+
+TEST(ReedSolomonTest, SeventeenErrorsFail) {
+  Codec codec(255, 223);
+  Rng rng(7);
+  const Bytes data = RandomPayload(&rng, 223);
+  Bytes cw = codec.Encode(data).TakeValue();
+  std::set<int> positions;
+  while (positions.size() < 17) positions.insert(static_cast<int>(rng.Below(255)));
+  for (int p : positions) cw[static_cast<size_t>(p)] ^= static_cast<uint8_t>(1 + rng.Below(255));
+  auto back = codec.Decode(cw);
+  // Beyond-capacity decodes must not silently return wrong data: either an
+  // error status, or (vanishingly unlikely) a miscorrection — assert failure.
+  EXPECT_FALSE(back.ok());
+}
+
+TEST(ReedSolomonTest, CorrectsFullErasureBudget) {
+  // 32 erasures (known positions) are correctable with 32 parity bytes.
+  Codec codec(255, 223);
+  Rng rng(8);
+  const Bytes data = RandomPayload(&rng, 223);
+  Bytes cw = codec.Encode(data).TakeValue();
+  std::vector<int> erasures;
+  std::set<int> positions;
+  while (positions.size() < 32) positions.insert(static_cast<int>(rng.Below(255)));
+  for (int p : positions) {
+    cw[static_cast<size_t>(p)] = static_cast<uint8_t>(rng.Below(256));
+    erasures.push_back(p);
+  }
+  DecodeInfo info;
+  auto back = codec.Decode(cw, erasures, &info);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+}
+
+TEST(ReedSolomonTest, TooManyErasuresRejected) {
+  Codec codec(255, 223);
+  Bytes cw(255, 0);
+  std::vector<int> erasures;
+  for (int i = 0; i < 33; ++i) erasures.push_back(i);
+  EXPECT_FALSE(codec.Decode(cw, erasures).ok());
+}
+
+TEST(ReedSolomonTest, MixedErrorsAndErasures) {
+  // 2*errors + erasures <= 32: try 10 errors + 12 erasures.
+  Codec codec(255, 223);
+  Rng rng(9);
+  const Bytes data = RandomPayload(&rng, 223);
+  Bytes cw = codec.Encode(data).TakeValue();
+  std::set<int> all;
+  while (all.size() < 22) all.insert(static_cast<int>(rng.Below(255)));
+  std::vector<int> shuffled(all.begin(), all.end());
+  std::vector<int> erasures(shuffled.begin(), shuffled.begin() + 12);
+  for (size_t i = 0; i < shuffled.size(); ++i) {
+    cw[static_cast<size_t>(shuffled[i])] ^= static_cast<uint8_t>(1 + rng.Below(255));
+  }
+  DecodeInfo info;
+  auto back = codec.Decode(cw, erasures, &info);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+}
+
+TEST(ReedSolomonTest, OuterCodeRecoversThreeLostEmblems) {
+  // The paper's outer code: 17 data + 3 parity emblems; any 3 of 20 missing
+  // are recoverable by erasure decoding (here per byte position).
+  Codec outer(20, 17);
+  Rng rng(10);
+  const Bytes data = RandomPayload(&rng, 17);
+  Bytes cw = outer.Encode(data).TakeValue();
+  Bytes damaged = cw;
+  damaged[2] = 0;
+  damaged[9] = 0;
+  damaged[19] = 0;
+  auto back = outer.Decode(damaged, {2, 9, 19});
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+}
+
+TEST(ReedSolomonTest, OuterCodeFourLostEmblemsFail) {
+  Codec outer(20, 17);
+  Bytes cw(20, 1);
+  EXPECT_FALSE(outer.Decode(cw, {0, 1, 2, 3}).ok());
+}
+
+// ---------- Parameterized property sweeps ----------
+
+// (n, k, number of injected errors, number of injected erasures)
+using RsCase = std::tuple<int, int, int, int>;
+
+class RsRoundTrip : public ::testing::TestWithParam<RsCase> {};
+
+TEST_P(RsRoundTrip, CorrectsWithinBudget) {
+  const auto [n, k, nerr, nerase] = GetParam();
+  ASSERT_LE(2 * nerr + nerase, n - k) << "test case exceeds budget";
+  Codec codec(n, k);
+  Rng rng(static_cast<uint64_t>(n * 1000003 + k * 101 + nerr * 7 + nerase));
+  for (int trial = 0; trial < 20; ++trial) {
+    const Bytes data = RandomPayload(&rng, k);
+    Bytes cw = codec.Encode(data).TakeValue();
+
+    std::set<int> touched;
+    while (static_cast<int>(touched.size()) < nerr + nerase) {
+      touched.insert(static_cast<int>(rng.Below(static_cast<uint64_t>(n))));
+    }
+    std::vector<int> positions(touched.begin(), touched.end());
+    std::vector<int> erasures(positions.begin(), positions.begin() + nerase);
+    for (int p : positions) {
+      cw[static_cast<size_t>(p)] ^= static_cast<uint8_t>(1 + rng.Below(255));
+    }
+    auto back = codec.Decode(cw, erasures);
+    ASSERT_TRUE(back.ok()) << "n=" << n << " k=" << k << " errors=" << nerr
+                           << " erasures=" << nerase << " trial=" << trial
+                           << ": " << back.status().ToString();
+    EXPECT_EQ(back.value(), data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    InnerCode, RsRoundTrip,
+    ::testing::Values(RsCase{255, 223, 0, 0}, RsCase{255, 223, 1, 0},
+                      RsCase{255, 223, 8, 0}, RsCase{255, 223, 16, 0},
+                      RsCase{255, 223, 0, 32}, RsCase{255, 223, 0, 17},
+                      RsCase{255, 223, 5, 20}, RsCase{255, 223, 15, 2}));
+
+INSTANTIATE_TEST_SUITE_P(
+    OuterCode, RsRoundTrip,
+    ::testing::Values(RsCase{20, 17, 0, 0}, RsCase{20, 17, 1, 0},
+                      RsCase{20, 17, 0, 3}, RsCase{20, 17, 0, 2},
+                      RsCase{20, 17, 1, 1}, RsCase{20, 17, 0, 1}));
+
+INSTANTIATE_TEST_SUITE_P(
+    OddShapes, RsRoundTrip,
+    ::testing::Values(RsCase{15, 9, 3, 0}, RsCase{60, 40, 10, 0},
+                      RsCase{255, 128, 60, 7}, RsCase{100, 50, 20, 10},
+                      RsCase{10, 2, 4, 0}, RsCase{3, 1, 1, 0}));
+
+// Exhaustive single-error sweep over every position of the outer code.
+class RsSinglePosition : public ::testing::TestWithParam<int> {};
+
+TEST_P(RsSinglePosition, AnySinglePositionCorrectable) {
+  const int pos = GetParam();
+  Codec codec(20, 17);
+  Rng rng(42);
+  const Bytes data = RandomPayload(&rng, 17);
+  Bytes cw = codec.Encode(data).TakeValue();
+  cw[static_cast<size_t>(pos)] ^= 0xA5;
+  auto back = codec.Decode(cw);
+  ASSERT_TRUE(back.ok()) << "position " << pos;
+  EXPECT_EQ(back.value(), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, RsSinglePosition,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace rs
+}  // namespace ule

@@ -1,0 +1,238 @@
+// Unit tests for src/support: Status/Result, byte/bit streams, CRC32,
+// hex-letter Bootstrap codec, deterministic PRNG.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "support/bytes.h"
+#include "support/crc32.h"
+#include "support/hexletters.h"
+#include "support/random.h"
+#include "support/status.h"
+
+namespace ule {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Corruption("bad magic");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.message(), "bad magic");
+  EXPECT_EQ(s.ToString(), "Corruption: bad magic");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "Ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kExecutionFault), "ExecutionFault");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, TakeValueMoves) {
+  Result<std::string> r = std::string("payload");
+  ASSERT_TRUE(r.ok());
+  std::string v = r.TakeValue();
+  EXPECT_EQ(v, "payload");
+}
+
+Result<int> Doubler(Result<int> in) {
+  ULE_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubler(21).value(), 42);
+  Result<int> err = Doubler(Status::Corruption("x"));
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ByteWriterTest, LittleEndianLayout) {
+  ByteWriter w;
+  w.PutU8(0x01);
+  w.PutU16(0x2345);
+  w.PutU32(0x6789ABCD);
+  w.PutU64(0x1122334455667788ull);
+  const Bytes b = w.TakeBytes();
+  ASSERT_EQ(b.size(), 15u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[1], 0x45);
+  EXPECT_EQ(b[2], 0x23);
+  EXPECT_EQ(b[3], 0xCD);
+  EXPECT_EQ(b[6], 0x67);
+  EXPECT_EQ(b[7], 0x88);
+  EXPECT_EQ(b[14], 0x11);
+}
+
+TEST(ByteReaderTest, RoundTrip) {
+  ByteWriter w;
+  w.PutU8(7);
+  w.PutU16(1234);
+  w.PutU32(567890);
+  w.PutU64(0xDEADBEEFCAFEBABEull);
+  w.PutString("hello");
+  const Bytes b = w.TakeBytes();
+
+  ByteReader r(b);
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  Bytes s;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetU16(&u16).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetBytes(5, &s).ok());
+  EXPECT_EQ(u8, 7);
+  EXPECT_EQ(u16, 1234);
+  EXPECT_EQ(u32, 567890u);
+  EXPECT_EQ(u64, 0xDEADBEEFCAFEBABEull);
+  EXPECT_EQ(ToString(s), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteReaderTest, TruncationIsCorruption) {
+  Bytes b = {1, 2};
+  ByteReader r(b);
+  uint32_t v;
+  Status s = r.GetU32(&v);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(BitStreamTest, RoundTripBits) {
+  BitWriter w;
+  w.PutBits(0b10110, 5);
+  w.PutBit(1);
+  w.PutBits(0xABCD, 16);
+  const Bytes b = w.Finish();
+
+  BitReader r(b);
+  uint32_t v;
+  ASSERT_TRUE(r.GetBits(5, &v));
+  EXPECT_EQ(v, 0b10110u);
+  EXPECT_EQ(r.GetBit(), 1);
+  ASSERT_TRUE(r.GetBits(16, &v));
+  EXPECT_EQ(v, 0xABCDu);
+}
+
+TEST(BitStreamTest, ExhaustionReturnsMinusOne) {
+  Bytes b = {0xFF};
+  BitReader r(b);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(r.GetBit(), 1);
+  EXPECT_EQ(r.GetBit(), -1);
+  uint32_t v;
+  EXPECT_FALSE(r.GetBits(1, &v));
+}
+
+TEST(BitStreamTest, MsbFirstByteLayout) {
+  BitWriter w;
+  w.PutBit(1);  // becomes bit 7 of byte 0
+  const Bytes b = w.Finish();
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b[0], 0x80);
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard test vector: CRC32("123456789") = 0xCBF43926.
+  const std::string s = "123456789";
+  EXPECT_EQ(Crc32(ToBytes(s)), 0xCBF43926u);
+  EXPECT_EQ(Crc32(BytesView{}), 0u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  Bytes data(100, 0x5A);
+  const uint32_t clean = Crc32(data);
+  data[50] ^= 0x01;
+  EXPECT_NE(Crc32(data), clean);
+}
+
+TEST(HexLettersTest, AlphabetMapping) {
+  // 0xF0 -> 'A' (0xF) then 'P' (0x0).
+  Bytes one = {0xF0};
+  EXPECT_EQ(HexLettersEncode(one), "AP");
+  // 0x00 -> "PP", 0xFF -> "AA".
+  EXPECT_EQ(HexLettersEncode(Bytes{0x00}), "PP");
+  EXPECT_EQ(HexLettersEncode(Bytes{0xFF}), "AA");
+}
+
+TEST(HexLettersTest, RoundTripAllBytes) {
+  Bytes all(256);
+  for (int i = 0; i < 256; ++i) all[i] = static_cast<uint8_t>(i);
+  const std::string text = HexLettersEncode(all, 64);
+  auto back = HexLettersDecode(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), all);
+}
+
+TEST(HexLettersTest, RejectsForeignCharacters) {
+  EXPECT_FALSE(HexLettersDecode("AZ").ok());   // Z out of alphabet
+  EXPECT_FALSE(HexLettersDecode("ab").ok());   // lowercase rejected
+  EXPECT_FALSE(HexLettersDecode("APA").ok());  // odd letter count
+}
+
+TEST(HexLettersTest, WhitespaceIgnored) {
+  auto r = HexLettersDecode("A P\nAP");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (Bytes{0xF0, 0xF0}));
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, RangeStaysInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace ule

@@ -1,0 +1,109 @@
+// Tests for the TPC-H generator substrate.
+
+#include <gtest/gtest.h>
+
+#include "minidb/sqldump.h"
+#include "tpch/tpch.h"
+
+namespace ule {
+namespace tpch {
+namespace {
+
+TEST(TpchTest, AllEightTablesPresent) {
+  Options opt;
+  opt.scale_factor = 0.0005;
+  auto db = Generate(opt);
+  ASSERT_TRUE(db.ok());
+  const std::vector<std::string> expected = {"region",   "nation", "supplier",
+                                             "part",     "partsupp",
+                                             "customer", "orders", "lineitem"};
+  EXPECT_EQ(db.value().TableNames(), expected);
+}
+
+TEST(TpchTest, FixedTablesHaveSpecCardinality) {
+  Options opt;
+  opt.scale_factor = 0.001;
+  auto db = Generate(opt);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().GetTable("region")->row_count(), 5u);
+  EXPECT_EQ(db.value().GetTable("nation")->row_count(), 25u);
+}
+
+TEST(TpchTest, ScaledCardinalitiesTrackSpec) {
+  Options opt;
+  opt.scale_factor = 0.002;
+  auto db = Generate(opt);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db.value().GetTable("supplier")->row_count(), 20u);
+  EXPECT_EQ(db.value().GetTable("part")->row_count(), 400u);
+  EXPECT_EQ(db.value().GetTable("partsupp")->row_count(), 1600u);
+  EXPECT_EQ(db.value().GetTable("customer")->row_count(), 300u);
+  EXPECT_EQ(db.value().GetTable("orders")->row_count(), 3000u);
+  // lineitem: 1..7 lines per order
+  const size_t li = db.value().GetTable("lineitem")->row_count();
+  EXPECT_GT(li, 3000u);
+  EXPECT_LT(li, 21000u);
+}
+
+TEST(TpchTest, Deterministic) {
+  Options opt;
+  opt.scale_factor = 0.001;
+  auto a = Generate(opt);
+  auto b = Generate(opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(minidb::DumpSql(a.value()), minidb::DumpSql(b.value()));
+  opt.seed = 7;
+  auto c = Generate(opt);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(minidb::DumpSql(a.value()), minidb::DumpSql(c.value()));
+}
+
+TEST(TpchTest, RejectsBadScale) {
+  Options opt;
+  opt.scale_factor = 0;
+  EXPECT_FALSE(Generate(opt).ok());
+  opt.scale_factor = 2.0;
+  EXPECT_FALSE(Generate(opt).ok());
+}
+
+TEST(TpchTest, DumpRoundTripsThroughLoader) {
+  Options opt;
+  opt.scale_factor = 0.0005;
+  auto db = Generate(opt);
+  ASSERT_TRUE(db.ok());
+  const std::string dump = minidb::DumpSql(db.value());
+  auto back = minidb::LoadSql(dump);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back.value().SameContentAs(db.value()));
+}
+
+TEST(TpchTest, LineitemDatesAreConsistent) {
+  Options opt;
+  opt.scale_factor = 0.0005;
+  auto db = Generate(opt);
+  ASSERT_TRUE(db.ok());
+  const minidb::Table* li = db.value().GetTable("lineitem");
+  const int ship = li->schema().FindColumn("l_shipdate");
+  const int receipt = li->schema().FindColumn("l_receiptdate");
+  ASSERT_GE(ship, 0);
+  ASSERT_GE(receipt, 0);
+  li->Scan([&](const minidb::Row& r) {
+    EXPECT_LT(r[static_cast<size_t>(ship)].AsInt(),
+              r[static_cast<size_t>(receipt)].AsInt());
+    return true;
+  });
+}
+
+TEST(TpchTest, GenerateForDumpSizeHitsTarget) {
+  // The paper's experiment: "roughly 1MB in size (1.2MB)".
+  auto db = GenerateForDumpSize(300000);
+  ASSERT_TRUE(db.ok());
+  const size_t size = minidb::DumpSql(db.value()).size();
+  EXPECT_GT(size, 300000u * 7 / 10);
+  EXPECT_LT(size, 300000u * 13 / 10);
+}
+
+}  // namespace
+}  // namespace tpch
+}  // namespace ule

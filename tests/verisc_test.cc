@@ -1,0 +1,527 @@
+// Tests for the VeRisc machine (4-instruction universal VM), its builder
+// (macro-assembler) and the conformance of all independent implementations.
+
+#include <gtest/gtest.h>
+
+#include "support/random.h"
+#include "verisc/builder.h"
+#include "verisc/implementations.h"
+#include "verisc/verisc.h"
+
+namespace ule {
+namespace verisc {
+namespace {
+
+RunResult MustRun(const Program& p, BytesView input = {},
+                  const RunOptions& opts = {}) {
+  auto r = Run(p, input, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r.TakeValue() : RunResult{};
+}
+
+// ---------------- raw machine semantics ----------------
+
+TEST(VeriscTest, HaltStops) {
+  // ST 5 halts regardless of R.
+  Program p;
+  p.words = {Instr(kSt, 5)};
+  RunResult r = MustRun(p);
+  EXPECT_EQ(r.reason, StopReason::kHalted);
+  EXPECT_EQ(r.steps, 1u);
+}
+
+TEST(VeriscTest, OutputPortEmitsLowByte) {
+  // R starts 0; load a constant word stored in the program, emit it.
+  Program p;
+  p.words = {Instr(kLd, 16 + 3), Instr(kSt, 4), Instr(kSt, 5), 0x1ABCu};
+  RunResult r = MustRun(p);
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0], 0xBC);
+}
+
+TEST(VeriscTest, InputPortReadsAndEofIsAllOnes) {
+  // Echo two bytes then write the EOF marker's low byte (0xFF).
+  Program p;
+  p.words = {
+      Instr(kLd, 3), Instr(kSt, 4),  // echo byte 1
+      Instr(kLd, 3), Instr(kSt, 4),  // echo byte 2
+      Instr(kLd, 3), Instr(kSt, 4),  // EOF -> 0xFFFFFFFF -> low byte 0xFF
+      Instr(kSt, 5),
+  };
+  RunResult r = MustRun(p, Bytes{7, 8});
+  EXPECT_EQ(r.output, (Bytes{7, 8, 0xFF}));
+}
+
+TEST(VeriscTest, SbbComputesBorrow) {
+  // R=0; SBB of constant 1 -> R=0xFFFFFFFF, borrow=1; SBB of 0 subtracts
+  // the borrow -> R=0xFFFFFFFE; emit low byte.
+  Program p;
+  p.words = {
+      Instr(kSbb, 16 + 4),  // R = 0 - 1 = 0xFFFFFFFF, B=1
+      Instr(kSbb, 0),       // R = R - 0 - 1 = 0xFFFFFFFE, B=0
+      Instr(kSt, 4),
+      Instr(kSt, 5),
+      1u,
+  };
+  RunResult r = MustRun(p);
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0], 0xFE);
+}
+
+TEST(VeriscTest, BorrowMaskReadsAllOnesOrZero) {
+  // Set borrow via SBB, AND the mask with a constant, emit; then clear the
+  // borrow through a store to [2] and emit the (now zero) mask again.
+  Program p;
+  p.words = {
+      Instr(kSbb, 16 + 10),  // R = 0 - 1 -> borrow set
+      Instr(kLd, 2),         // mask = 0xFFFFFFFF
+      Instr(kAnd, 16 + 11),  // & 0x55
+      Instr(kSt, 4),         // emits 0x55
+      Instr(kLd, 0),         // R = 0
+      Instr(kSt, 2),         // borrow <- R & 1 = 0
+      Instr(kLd, 2),         // mask = 0
+      Instr(kSt, 4),         // emits 0x00
+      Instr(kSt, 5),         // halt
+      0u,                    // padding so the constants land at +10/+11
+      1u,
+      0x55u,
+  };
+  RunResult r = MustRun(p);
+  EXPECT_EQ(r.output, (Bytes{0x55, 0x00}));
+}
+
+TEST(VeriscTest, StToPcJumps) {
+  // Load the address of the halt instruction and store it to PC, skipping
+  // the two instructions that would emit a byte.
+  Program p;
+  p.words = {
+      Instr(kLd, 16 + 6),  // R = jump target (address of word 4)
+      Instr(kSt, 1),       // PC <- R
+      Instr(kLd, 16 + 7),  // skipped
+      Instr(kSt, 4),       // skipped
+      Instr(kSt, 5),       // halt
+      0u,
+      16u + 4u,            // the target constant
+      1u,
+  };
+  RunResult r = MustRun(p);
+  EXPECT_EQ(r.output.size(), 0u);
+  EXPECT_EQ(r.reason, StopReason::kHalted);
+}
+
+TEST(VeriscTest, SelfModificationExecutes) {
+  // The program plants an "ST 4" instruction word over a placeholder before
+  // reaching it: writes to code must be live (the spec forbids caching).
+  Program p;
+  p.words = {
+      Instr(kLd, 16 + 6),   // R = encoded "ST 4" instruction word
+      Instr(kSt, 16 + 4),   // patch the placeholder at word index 4
+      Instr(kLd, 16 + 7),   // R = 0xAA
+      Instr(kLd, 16 + 7),   // (repeat; keeps the layout simple)
+      Instr(kLd, 0),        // placeholder: becomes "ST 4" at run time
+      Instr(kSt, 5),        // halt
+      Instr(kSt, 4),        // data: the instruction word to plant
+      0xAAu,
+  };
+  RunResult r = MustRun(p);
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0], 0xAA);
+}
+
+TEST(VeriscTest, IllegalOpcodeFaults) {
+  Program p;
+  p.words = {0x40000000u};  // opcode 4
+  auto r = MustRun(p);
+  EXPECT_EQ(r.reason, StopReason::kFault);
+}
+
+TEST(VeriscTest, StepLimit) {
+  // Tight infinite loop: jump to self.
+  Program p;
+  p.words = {Instr(kLd, 16 + 2), Instr(kSt, 1), 16u};
+  RunOptions opts;
+  opts.max_steps = 5000;
+  auto r = MustRun(p, {}, opts);
+  EXPECT_EQ(r.reason, StopReason::kStepLimit);
+  EXPECT_EQ(r.steps, 5000u);
+}
+
+TEST(VeriscTest, ProgramSerializationRoundTrip) {
+  Program p;
+  p.words = {Instr(kLd, 3), Instr(kSt, 4), Instr(kSt, 5), 0xDEADBEEFu};
+  auto back = Program::Deserialize(p.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().words, p.words);
+}
+
+TEST(VeriscTest, SerializationCorruptionDetected) {
+  Program p;
+  p.words = {Instr(kSt, 5)};
+  Bytes blob = p.Serialize();
+  blob[9] ^= 0x40;
+  EXPECT_FALSE(Program::Deserialize(blob).ok());
+}
+
+// ---------------- builder macros ----------------
+
+// Builds a program with the builder, runs it, returns output.
+template <typename F>
+Bytes BuildAndRun(F&& body, BytesView input = {}) {
+  Builder b;
+  body(b);
+  auto p = b.Build();
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  if (!p.ok()) return {};
+  auto r = Run(p.value(), input);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.value().reason, StopReason::kHalted);
+  return r.value().output;
+}
+
+TEST(BuilderTest, LdImmAndOut) {
+  Bytes out = BuildAndRun([](Builder& b) {
+    b.LdImm(0x12345678);
+    b.OutByte();
+    b.Halt();
+  });
+  EXPECT_EQ(out, (Bytes{0x78}));
+}
+
+TEST(BuilderTest, AddSubImm) {
+  Bytes out = BuildAndRun([](Builder& b) {
+    b.LdImm(40);
+    b.AddImm(2);
+    b.OutByte();
+    b.SubImm(12);
+    b.OutByte();
+    b.Halt();
+  });
+  EXPECT_EQ(out, (Bytes{42, 30}));
+}
+
+TEST(BuilderTest, AddCellAndCells) {
+  Bytes out = BuildAndRun([](Builder& b) {
+    auto x = b.NewCell(100);
+    auto y = b.NewCell(55);
+    b.Ld(x);
+    b.AddCell(y);
+    b.OutByte();
+    b.Halt();
+  });
+  EXPECT_EQ(out, (Bytes{155}));
+}
+
+TEST(BuilderTest, NotAndAndImm) {
+  Bytes out = BuildAndRun([](Builder& b) {
+    b.LdImm(0x0F);
+    b.Not();          // 0xFFFFFFF0
+    b.AndImm(0xFF);   // 0xF0
+    b.OutByte();
+    b.Halt();
+  });
+  EXPECT_EQ(out, (Bytes{0xF0}));
+}
+
+TEST(BuilderTest, JumpAndLabels) {
+  Bytes out = BuildAndRun([](Builder& b) {
+    auto skip = b.NewLabel();
+    b.Jmp(skip);
+    b.LdImm(1);
+    b.OutByte();  // skipped
+    b.Bind(skip);
+    b.LdImm(2);
+    b.OutByte();
+    b.Halt();
+  });
+  EXPECT_EQ(out, (Bytes{2}));
+}
+
+TEST(BuilderTest, ConditionalJz) {
+  Bytes out = BuildAndRun([](Builder& b) {
+    auto zero_path = b.NewLabel();
+    auto end = b.NewLabel();
+    b.LdImm(0);
+    b.Jz(zero_path);
+    b.LdImm(9);
+    b.OutByte();
+    b.Jmp(end);
+    b.Bind(zero_path);
+    b.LdImm(1);
+    b.OutByte();
+    b.Bind(end);
+    // non-zero must not jump
+    auto zero_path2 = b.NewLabel();
+    auto end2 = b.NewLabel();
+    b.LdImm(5);
+    b.Jz(zero_path2);
+    b.LdImm(2);
+    b.OutByte();
+    b.Jmp(end2);
+    b.Bind(zero_path2);
+    b.LdImm(9);
+    b.OutByte();
+    b.Bind(end2);
+    b.Halt();
+  });
+  EXPECT_EQ(out, (Bytes{1, 2}));
+}
+
+TEST(BuilderTest, ConditionalJcJnc) {
+  Bytes out = BuildAndRun([](Builder& b) {
+    auto borrow_path = b.NewLabel();
+    auto end = b.NewLabel();
+    b.LdImm(3);
+    b.SubImm(5);  // borrow set
+    b.Jc(borrow_path);
+    b.LdImm(9);
+    b.OutByte();
+    b.Jmp(end);
+    b.Bind(borrow_path);
+    b.LdImm(1);
+    b.OutByte();
+    b.Bind(end);
+    auto no_borrow = b.NewLabel();
+    auto end2 = b.NewLabel();
+    b.LdImm(9);
+    b.SubImm(4);  // no borrow
+    b.Jnc(no_borrow);
+    b.LdImm(9);
+    b.OutByte();
+    b.Jmp(end2);
+    b.Bind(no_borrow);
+    b.LdImm(2);
+    b.OutByte();
+    b.Bind(end2);
+    b.Halt();
+  });
+  EXPECT_EQ(out, (Bytes{1, 2}));
+}
+
+TEST(BuilderTest, LoopWithCounter) {
+  // Sum 1..10 = 55 via a cell-based loop.
+  Bytes out = BuildAndRun([](Builder& b) {
+    auto i = b.NewCell(10);
+    auto acc = b.NewCell(0);
+    auto loop = b.NewLabel();
+    b.Bind(loop);
+    b.Ld(acc);
+    b.AddCell(i);
+    b.St(acc);
+    b.Ld(i);
+    b.SubImm(1);
+    b.St(i);
+    b.Jnz(loop);
+    b.Ld(acc);
+    b.OutByte();
+    b.Halt();
+  });
+  EXPECT_EQ(out, (Bytes{55}));
+}
+
+TEST(BuilderTest, IndexedLoadStore) {
+  Bytes out = BuildAndRun([](Builder& b) {
+    auto arr = b.NewArray(5, 0);
+    auto idx = b.NewCell(0);
+    // arr[i] = i * 3 for i in 0..4, then emit arr[0..4].
+    auto fill_loop = b.NewLabel();
+    auto emit_loop = b.NewLabel();
+    auto val = b.NewCell(0);
+    b.Bind(fill_loop);
+    b.Ld(val);
+    b.StIndexed(arr, idx);
+    b.AddImm(3);
+    b.St(val);
+    b.Ld(idx);
+    b.AddImm(1);
+    b.St(idx);
+    b.SubImm(5);
+    b.Jnz(fill_loop);
+    b.LdImm(0);
+    b.St(idx);
+    b.Bind(emit_loop);
+    b.LdIndexed(arr, idx);
+    b.OutByte();
+    b.Ld(idx);
+    b.AddImm(1);
+    b.St(idx);
+    b.SubImm(5);
+    b.Jnz(emit_loop);
+    b.Halt();
+  });
+  EXPECT_EQ(out, (Bytes{0, 3, 6, 9, 12}));
+}
+
+TEST(BuilderTest, FunctionsCallRet) {
+  Bytes out = BuildAndRun([](Builder& b) {
+    auto fn = b.DeclareFn();
+    auto x = b.NewCell(0);
+    auto start = b.NewLabel();
+    b.Jmp(start);
+    b.BeginFn(fn);  // doubles cell x
+    b.Ld(x);
+    b.AddCell(x);
+    b.St(x);
+    b.Ret(fn);
+    b.Bind(start);
+    b.LdImm(5);
+    b.St(x);
+    b.Call(fn);
+    b.Call(fn);
+    b.Ld(x);
+    b.OutByte();  // 20
+    b.Halt();
+  });
+  EXPECT_EQ(out, (Bytes{20}));
+}
+
+TEST(BuilderTest, InByteEofDetection) {
+  // Echo input until EOF using SubImm(0xFFFFFFFF)+Jz as EOF test.
+  Bytes out = BuildAndRun(
+      [](Builder& b) {
+        auto loop = b.NewLabel();
+        auto done = b.NewLabel();
+        auto v = b.NewCell(0);
+        b.Bind(loop);
+        b.InByte();
+        b.St(v);
+        b.SubImm(0xFFFFFFFFu);
+        b.Jz(done);
+        b.Ld(v);
+        b.OutByte();
+        b.Jmp(loop);
+        b.Bind(done);
+        b.Halt();
+      },
+      Bytes{1, 2, 3, 255});
+  EXPECT_EQ(out, (Bytes{1, 2, 3, 255}));
+}
+
+TEST(BuilderTest, UnboundLabelFailsBuild) {
+  Builder b;
+  auto l = b.NewLabel();
+  b.Jmp(l);
+  b.Halt();
+  EXPECT_FALSE(b.Build().ok());
+}
+
+// ---------------- implementation conformance (portability, E7) ----------------
+
+struct ConformanceCase {
+  std::string name;
+  Program program;
+  Bytes input;
+};
+
+std::vector<ConformanceCase> ConformanceCorpus() {
+  std::vector<ConformanceCase> cases;
+  {
+    // Echo program via builder.
+    Builder b;
+    auto loop = b.NewLabel();
+    auto done = b.NewLabel();
+    auto v = b.NewCell(0);
+    b.Bind(loop);
+    b.InByte();
+    b.St(v);
+    b.SubImm(0xFFFFFFFFu);
+    b.Jz(done);
+    b.Ld(v);
+    b.OutByte();
+    b.Jmp(loop);
+    b.Bind(done);
+    b.Halt();
+    Bytes input(97);
+    Rng rng(11);
+    for (auto& x : input) x = static_cast<uint8_t>(rng.Below(256));
+    cases.push_back({"echo", b.Build().TakeValue(), input});
+  }
+  {
+    // Checksum: sum of all input bytes mod 256, emitted once.
+    Builder b;
+    auto loop = b.NewLabel();
+    auto done = b.NewLabel();
+    auto v = b.NewCell(0);
+    auto acc = b.NewCell(0);
+    b.Bind(loop);
+    b.InByte();
+    b.St(v);
+    b.SubImm(0xFFFFFFFFu);
+    b.Jz(done);
+    b.Ld(acc);
+    b.AddCell(v);
+    b.St(acc);
+    b.Jmp(loop);
+    b.Bind(done);
+    b.Ld(acc);
+    b.OutByte();
+    b.Halt();
+    cases.push_back({"checksum", b.Build().TakeValue(), Bytes{1, 2, 3, 250}});
+  }
+  {
+    // Fibonacci bytes: emit fib(0..12) mod 256.
+    Builder b;
+    auto a = b.NewCell(0);
+    auto c = b.NewCell(1);
+    auto n = b.NewCell(13);
+    auto t = b.NewCell(0);
+    auto loop = b.NewLabel();
+    b.Bind(loop);
+    b.Ld(a);
+    b.OutByte();
+    b.Ld(a);
+    b.AddCell(c);
+    b.AndImm(0xFF);
+    b.St(t);
+    b.Ld(c);
+    b.St(a);
+    b.Ld(t);
+    b.St(c);
+    b.Ld(n);
+    b.SubImm(1);
+    b.St(n);
+    b.Jnz(loop);
+    b.Halt();
+    cases.push_back({"fibonacci", b.Build().TakeValue(), {}});
+  }
+  return cases;
+}
+
+class ImplementationConformance
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ImplementationConformance, MatchesReference) {
+  const auto [impl_idx, case_idx] = GetParam();
+  const auto& impls = AllImplementations();
+  const auto corpus = ConformanceCorpus();
+  const auto& impl = impls[static_cast<size_t>(impl_idx)];
+  const auto& c = corpus[static_cast<size_t>(case_idx)];
+
+  auto expected = ::ule::verisc::Run(c.program, c.input, {});
+  ASSERT_TRUE(expected.ok());
+  auto actual = impl.run(c.program, c.input, {});
+  ASSERT_TRUE(actual.ok()) << impl.name;
+  EXPECT_EQ(actual.value().output, expected.value().output)
+      << impl.name << " diverges on " << c.name;
+  EXPECT_EQ(actual.value().reason, expected.value().reason) << impl.name;
+  EXPECT_EQ(actual.value().steps, expected.value().steps)
+      << impl.name << " step count differs on " << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllImplsAllCases, ImplementationConformance,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Range(0, 3)));
+
+TEST(ImplementationsTest, RegistryShape) {
+  const auto& impls = AllImplementations();
+  ASSERT_EQ(impls.size(), 4u);
+  EXPECT_EQ(impls[0].name, "reference");
+  for (const auto& impl : impls) {
+    EXPECT_GT(impl.lines_of_code, 0) << impl.name;
+    // The paper's claim: an afternoon's worth of code, not a project.
+    EXPECT_LT(impl.lines_of_code, 300) << impl.name;
+  }
+}
+
+}  // namespace
+}  // namespace verisc
+}  // namespace ule
