@@ -19,13 +19,6 @@
 namespace ule {
 namespace {
 
-Bytes RandomBytes(uint64_t seed, size_t n) {
-  Rng rng(seed);
-  Bytes out(n);
-  for (auto& b : out) b = static_cast<uint8_t>(rng.Below(256));
-  return out;
-}
-
 void BM_RsEncode255(benchmark::State& state) {
   static const rs::Codec codec(255, 223);
   const Bytes data = RandomBytes(1, 223);

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 
+#include "support/bytes.h"
+
 namespace ule {
 
 /// \brief xoshiro256** seeded via SplitMix64. Deterministic across platforms.
@@ -68,6 +70,20 @@ class Rng {
 
   uint64_t s_[4];
 };
+
+/// `n` uniformly random bytes drawn from `*rng`. Shared by tests and
+/// benches (it used to be pasted into each of them).
+inline Bytes RandomBytes(Rng* rng, size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<uint8_t>(rng->Below(256));
+  return out;
+}
+
+/// Convenience overload: fresh deterministic stream from `seed`.
+inline Bytes RandomBytes(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  return RandomBytes(&rng, n);
+}
 
 }  // namespace ule
 

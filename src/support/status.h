@@ -36,7 +36,7 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy on the OK
 /// path (no allocation).
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -85,7 +85,7 @@ class Status {
 /// Access to the value of a non-OK Result is a programming error (asserts in
 /// debug builds); callers must check ok() first.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: `return some_t;`
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

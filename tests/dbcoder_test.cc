@@ -16,12 +16,6 @@ namespace ule {
 namespace dbcoder {
 namespace {
 
-Bytes RandomBytes(Rng* rng, size_t n) {
-  Bytes out(n);
-  for (auto& b : out) b = static_cast<uint8_t>(rng->Below(256));
-  return out;
-}
-
 Bytes CompressibleText(Rng* rng, size_t approx) {
   static const char* kWords[] = {"SELECT", "INSERT", "customer", "order",
                                  "lineitem", "1995-03-15", "0.04", "FRANCE",
@@ -139,6 +133,91 @@ TEST(RangeCoderTest, FirstByteIsZero) {
   const Bytes stream = enc.Finish();
   ASSERT_FALSE(stream.empty());
   EXPECT_EQ(stream[0], 0);  // the Bootstrap decoder spec discards one byte
+}
+
+// ---------------- LZ77 + range coder combined ----------------
+
+// Entropy-codes an LZ77 token stream through the range coder and back,
+// exactly the composition the LZAC scheme is built on: every token field
+// is sent bit-by-bit under its own adaptive context family.
+TEST(Lz77RangeCoderTest, TokenStreamRoundTripOnRandomBuffers) {
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    for (size_t n : {size_t{1}, size_t{37}, size_t{4096}, size_t{50000}}) {
+      Rng rng(seed);
+      // Half-random, half-repetitive so both literals and matches occur.
+      Bytes data = RandomBytes(&rng, n);
+      const Bytes prefix(data.begin(), data.begin() + n / 2);
+      data.insert(data.end(), prefix.begin(), prefix.end());
+      const auto tokens = Parse(data);
+
+      // One context per bit position of each field keeps the model tiny
+      // but adaptive, like the archived decoder's layout.
+      std::vector<uint8_t> kind(1, kProbInit), lit(8, kProbInit),
+          dist(kWindowBits, kProbInit), len(kLengthBits, kProbInit);
+      RangeEncoder enc;
+      auto put = [&enc](std::vector<uint8_t>& ctx, uint32_t v, int bits) {
+        for (int i = bits - 1; i >= 0; --i) {
+          enc.EncodeBit(&ctx[static_cast<size_t>(i)],
+                        static_cast<int>((v >> i) & 1));
+        }
+      };
+      for (const Token& t : tokens) {
+        put(kind, t.is_match ? 1 : 0, 1);
+        if (t.is_match) {
+          put(dist, static_cast<uint32_t>(t.distance - 1), kWindowBits);
+          put(len, static_cast<uint32_t>(t.length - kMinMatch), kLengthBits);
+        } else {
+          put(lit, t.literal, 8);
+        }
+      }
+      const Bytes stream = enc.Finish();
+
+      std::vector<uint8_t> dkind(1, kProbInit), dlit(8, kProbInit),
+          ddist(kWindowBits, kProbInit), dlen(kLengthBits, kProbInit);
+      RangeDecoder dec(stream);
+      auto get = [&dec](std::vector<uint8_t>& ctx, int bits) {
+        uint32_t v = 0;
+        for (int i = bits - 1; i >= 0; --i) {
+          v |= static_cast<uint32_t>(
+                   dec.DecodeBit(&ctx[static_cast<size_t>(i)]))
+               << i;
+        }
+        return v;
+      };
+      std::vector<Token> decoded;
+      decoded.reserve(tokens.size());
+      for (size_t i = 0; i < tokens.size(); ++i) {
+        Token t;
+        t.is_match = get(dkind, 1) != 0;
+        if (t.is_match) {
+          t.distance = static_cast<uint16_t>(get(ddist, kWindowBits) + 1);
+          t.length = static_cast<uint8_t>(get(dlen, kLengthBits) + kMinMatch);
+        } else {
+          t.literal = static_cast<uint8_t>(get(dlit, 8));
+        }
+        decoded.push_back(t);
+      }
+      ASSERT_EQ(Expand(decoded), data) << "seed " << seed << " n " << n;
+    }
+  }
+}
+
+// Full LZAC container pipeline (Parse + range coder inside Encode) across a
+// sweep of random buffer sizes, including boundary sizes around the LZ77
+// window.
+TEST(Lz77RangeCoderTest, LzacContainerSweepOnRandomBuffers) {
+  const size_t sizes[] = {0,    1,    2,    3,    255,   256,
+                          4095, 8192, 8193, 16384, 40000};
+  for (uint64_t seed : {31u, 32u}) {
+    for (size_t n : sizes) {
+      const Bytes data = RandomBytes(seed * 1000 + n, n);
+      auto packed = Encode(data, Scheme::kLzac);
+      ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+      auto unpacked = Decode(packed.value());
+      ASSERT_TRUE(unpacked.ok()) << unpacked.status().ToString();
+      EXPECT_EQ(unpacked.value(), data) << "seed " << seed << " n " << n;
+    }
+  }
 }
 
 // ---------------- container schemes ----------------

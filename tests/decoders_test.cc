@@ -18,12 +18,6 @@ namespace ule {
 namespace decoders {
 namespace {
 
-Bytes RandomBytes(Rng* rng, size_t n) {
-  Bytes out(n);
-  for (auto& b : out) b = static_cast<uint8_t>(rng->Below(256));
-  return out;
-}
-
 Bytes ArchiveText(Rng* rng, size_t approx) {
   static const char* kWords[] = {"INSERT", "INTO",  "lineitem", "VALUES",
                                  "1995-03-15", "0.07", "TRUCK", "COLLECT COD",

@@ -9,6 +9,7 @@
 #include "core/micr_olonys.h"
 #include "media/scanner.h"
 #include "minidb/sqldump.h"
+#include "tests/testutil.h"
 #include "tpch/tpch.h"
 #include "verisc/implementations.h"
 
@@ -16,20 +17,8 @@ namespace ule {
 namespace core {
 namespace {
 
-std::string SmallTpchDump() {
-  tpch::Options opt;
-  opt.scale_factor = 0.0002;
-  auto db = tpch::Generate(opt);
-  EXPECT_TRUE(db.ok());
-  return minidb::DumpSql(db.value());
-}
-
-ArchiveOptions SmallArchiveOptions() {
-  ArchiveOptions opt;
-  opt.emblem.data_side = 128;
-  opt.emblem.dots_per_cell = 4;
-  return opt;
-}
+using testutil::SmallArchiveOptions;
+using testutil::SmallTpchDump;
 
 TEST(EndToEndTest, ArchiveProducesAllArtifacts) {
   const std::string dump = SmallTpchDump();

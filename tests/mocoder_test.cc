@@ -19,9 +19,7 @@ namespace mocoder {
 namespace {
 
 Bytes RandomPayload(Rng* rng, int n) {
-  Bytes out(static_cast<size_t>(n));
-  for (auto& b : out) b = static_cast<uint8_t>(rng->Below(256));
-  return out;
+  return RandomBytes(rng, static_cast<size_t>(n));
 }
 
 EmblemHeader MakeHeader(StreamId stream, uint16_t seq, BytesView payload) {

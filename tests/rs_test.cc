@@ -18,9 +18,7 @@ namespace rs {
 namespace {
 
 Bytes RandomPayload(Rng* rng, int n) {
-  Bytes out(static_cast<size_t>(n));
-  for (auto& b : out) b = static_cast<uint8_t>(rng->Below(256));
-  return out;
+  return RandomBytes(rng, static_cast<size_t>(n));
 }
 
 // ---------- GF(256) ----------
@@ -231,6 +229,65 @@ TEST(ReedSolomonTest, OuterCodeFourLostEmblemsFail) {
   Bytes cw(20, 1);
   EXPECT_FALSE(outer.Decode(cw, {0, 1, 2, 3}).ok());
 }
+
+// ---------- Erasure recovery at the configured parity level ----------
+
+// The archive format fixes two codecs: inner RS(255,223) (32 parity bytes
+// per emblem block) and outer RS(20,17) (3 parity emblems per group).
+// Property: for BOTH codecs, ANY pattern of exactly parity() known-bad
+// positions is recoverable, and parity()+1 erasures are rejected rather
+// than miscorrected.
+class RsConfiguredParity
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RsConfiguredParity, RecoversAnyFullParityErasurePattern) {
+  const auto [n, k] = GetParam();
+  Codec codec(n, k);
+  const int parity = codec.parity();
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 977);
+    const Bytes data = RandomPayload(&rng, k);
+    const Bytes cw = codec.Encode(data).TakeValue();
+
+    Bytes damaged = cw;
+    std::set<int> positions;
+    while (static_cast<int>(positions.size()) < parity) {
+      positions.insert(static_cast<int>(rng.Below(static_cast<uint64_t>(n))));
+    }
+    std::vector<int> erasures(positions.begin(), positions.end());
+    for (int p : erasures) {
+      damaged[static_cast<size_t>(p)] =
+          static_cast<uint8_t>(rng.Below(256));
+    }
+
+    DecodeInfo info;
+    auto back = codec.Decode(damaged, erasures, &info);
+    ASSERT_TRUE(back.ok()) << "RS(" << n << "," << k << ") seed " << seed
+                           << ": " << back.status().ToString();
+    EXPECT_EQ(back.value(), data);
+    EXPECT_EQ(info.erasures_corrected, parity);
+  }
+}
+
+TEST_P(RsConfiguredParity, OneBeyondParityBudgetRejected) {
+  const auto [n, k] = GetParam();
+  Codec codec(n, k);
+  Rng rng(4242);
+  const Bytes data = RandomPayload(&rng, k);
+  Bytes cw = codec.Encode(data).TakeValue();
+  std::vector<int> erasures;
+  for (int i = 0; i <= codec.parity(); ++i) erasures.push_back(i);
+  EXPECT_FALSE(codec.Decode(cw, erasures).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchiveCodecs, RsConfiguredParity,
+    ::testing::Values(std::make_tuple(255, 223),   // inner, per-emblem
+                      std::make_tuple(20, 17)),    // outer, per-group
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& i) {
+      return "rs" + std::to_string(std::get<0>(i.param)) + "_" +
+             std::to_string(std::get<1>(i.param));
+    });
 
 // ---------- Parameterized property sweeps ----------
 
