@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "dbcoder/dbcoder.h"
 #include "decoders/dbdecode.h"
 #include "dynarisc/assembler.h"
@@ -20,6 +21,7 @@ using namespace ule;
 using Clock = std::chrono::steady_clock;
 
 int main() {
+  bench::BenchReport report;
   std::printf("=== E11: emulation tiers (LZAC decode of the same payload) "
               "===\n");
   Rng rng(11);
@@ -45,6 +47,7 @@ int main() {
   if (!native.ok() || native.value() != raw) return 1;
   std::printf("%-34s %12.4f %14.0f %9.1fx\n", "native C++ decoder", native_s,
               raw.size() / 1000.0 / native_s, 1.0);
+  report.Add("lzac_decode_native", 1, native_s, static_cast<double>(raw.size()));
 
   // Tier 1: archived DBDecode on the DynaRisc emulator.
   const auto t2 = Clock::now();
@@ -55,6 +58,7 @@ int main() {
   if (!emu.ok() || emu.value() != raw) return 1;
   std::printf("%-34s %12.4f %14.0f %9.1fx\n", "DBDecode on DynaRisc", emu_s,
               raw.size() / 1000.0 / emu_s, emu_s / native_s);
+  report.Add("lzac_decode_dynarisc", 1, emu_s, static_cast<double>(raw.size()));
 
   // Tier 2: nested (VeRisc hosting the DynaRisc interpreter), smaller
   // payload, throughput extrapolated.
@@ -70,6 +74,8 @@ int main() {
   std::printf("%-34s %12.4f %14.0f %9.1fx\n",
               "DBDecode nested (VeRisc, 4 KB)", nested_s, nested_kbs,
               (raw.size() / 1000.0 / nested_kbs) / native_s);
+  report.Add("lzac_decode_nested_4k", 1, nested_s,
+             static_cast<double>(small.size()));
 
   // Raw instruction throughput of both emulators on a busy loop.
   // Endless ALU loop; both runs stop at their step limits and report
@@ -89,6 +95,7 @@ int main() {
     const double s = std::chrono::duration<double>(b - a).count();
     std::printf("\nDynaRisc emulator:        %7.1f M guest instructions/s\n",
                 r.steps / 1e6 / s);
+    report.Add("dynarisc_steps", r.steps, s);
   }
   {
     const auto a = Clock::now();
@@ -101,8 +108,10 @@ int main() {
     const double s = std::chrono::duration<double>(b - a).count();
     std::printf("VeRisc emulator:          %7.1f M VeRisc instructions/s\n",
                 r.value().steps / 1e6 / s);
+    report.Add("verisc_nested_steps", r.value().steps, s);
   }
   std::printf("\nshape check: emulation cost confined to restore-time "
               "decoding; each tier trades portability for speed.\n");
+  report.Write("emulation");
   return 0;
 }

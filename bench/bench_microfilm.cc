@@ -6,8 +6,10 @@
 // The paper's payload was a TIFF image (already-compressed, incompressible
 // bytes); ours is random bytes of the same size.
 
+#include <chrono>
 #include <cstdio>
 
+#include "bench/bench_report.h"
 #include "core/micr_olonys.h"
 #include "media/profiles.h"
 #include "media/scanner.h"
@@ -15,6 +17,7 @@
 #include "support/random.h"
 
 using namespace ule;
+using Clock = std::chrono::steady_clock;
 
 namespace {
 
@@ -24,6 +27,8 @@ struct RunResult {
   int emblem_capacity = 0;
   bool exact = false;
   int rs_errors = 0;
+  double archive_s = 0;
+  double restore_s = 0;
 };
 
 RunResult RunOn(const media::MediaProfile& profile, const std::string& payload,
@@ -36,7 +41,9 @@ RunResult RunOn(const media::MediaProfile& profile, const std::string& payload,
 
   RunResult out;
   out.emblem_capacity = mocoder::EmblemCapacity(options.emblem.data_side);
+  const auto t0 = Clock::now();
   auto archive = core::ArchiveDump(payload, options);
+  out.archive_s = std::chrono::duration<double>(Clock::now() - t0).count();
   if (!archive.ok()) return out;
   for (const auto& e : archive.value().data_emblems) {
     if (mocoder::IsParitySlot(e.header.seq)) {
@@ -62,8 +69,10 @@ RunResult RunOn(const media::MediaProfile& profile, const std::string& payload,
     system_scans.push_back(media::Scan(printed, profile.scan));
   }
   core::RestoreStats stats;
+  const auto t1 = Clock::now();
   auto restored = core::RestoreNative(data_scans, system_scans,
                                       archive.value().emblem_options, &stats);
+  out.restore_s = std::chrono::duration<double>(Clock::now() - t1).count();
   out.exact = restored.ok() && restored.value() == payload;
   out.rs_errors = stats.data_stream.rs_errors_corrected;
   return out;
@@ -111,5 +120,13 @@ int main() {
               cf.rs_errors);
   std::printf("\nshape check: a handful of emblems per 100 KB payload on "
               "both media; both decode bit-exactly.\n");
+
+  bench::BenchReport report;
+  const double bytes = static_cast<double>(payload.size());
+  report.Add("microfilm_archive", 1, mf.archive_s, bytes);
+  report.Add("microfilm_restore_native", 1, mf.restore_s, bytes);
+  report.Add("cinema_archive", 1, cf.archive_s, bytes);
+  report.Add("cinema_restore_native", 1, cf.restore_s, bytes);
+  report.Write("microfilm");
   return (mf.exact && cf.exact) ? 0 : 1;
 }

@@ -1,0 +1,83 @@
+// Machine-readable bench output: each experiment binary appends records
+// and writes a BENCH_<name>.json next to its stdout tables, so the perf
+// trajectory of the repo can be tracked across PRs by diffing/plotting
+// the JSON instead of scraping printf tables.
+//
+// Schema: a JSON array of objects
+//   {"name": str, "iters": int, "ns_per_op": float, "mb_per_s": float}
+// where ns_per_op is wall time per iteration and mb_per_s is 0 when a
+// record has no natural byte volume.
+
+#ifndef ULE_BENCH_BENCH_REPORT_H_
+#define ULE_BENCH_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ule {
+namespace bench {
+
+struct BenchRecord {
+  std::string name;
+  uint64_t iters = 1;
+  double ns_per_op = 0.0;
+  double mb_per_s = 0.0;
+};
+
+class BenchReport {
+ public:
+  void Add(std::string name, uint64_t iters, double seconds_total,
+           double bytes_total = 0.0) {
+    BenchRecord r;
+    r.name = std::move(name);
+    r.iters = iters > 0 ? iters : 1;
+    r.ns_per_op = seconds_total * 1e9 / static_cast<double>(r.iters);
+    r.mb_per_s =
+        seconds_total > 0 ? bytes_total / 1e6 / seconds_total : 0.0;
+    records_.push_back(std::move(r));
+  }
+
+  /// Writes BENCH_<name>.json in the current directory. Returns false (and
+  /// prints a warning) when the file cannot be written.
+  bool Write(const std::string& bench_name) const {
+    const std::string path = "BENCH_" + bench_name + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"iters\": %llu, "
+                   "\"ns_per_op\": %.3f, \"mb_per_s\": %.3f}%s\n",
+                   Escaped(r.name).c_str(),
+                   static_cast<unsigned long long>(r.iters), r.ns_per_op,
+                   r.mb_per_s, i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+    return true;
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace bench
+}  // namespace ule
+
+#endif  // ULE_BENCH_BENCH_REPORT_H_

@@ -9,46 +9,68 @@
 #include "olonys/bootstrap.h"
 #include "olonys/dynarisc_in_verisc.h"
 #include "support/crc32.h"
+#include "support/parallel.h"
 
 namespace ule {
 namespace core {
 
 Result<Archive> ArchiveDump(const std::string& sql_dump,
                             const ArchiveOptions& options) {
+  ULE_RETURN_IF_ERROR(mocoder::ValidateOptions(options.emblem));
   Archive archive;
   archive.emblem_options = options.emblem;
+  // The recorded options describe the archived *geometry*; the archiving
+  // machine's thread count is not an archival parameter and must not leak
+  // into (and silently serialize) a future restorer's environment.
+  archive.emblem_options.threads = 0;
   archive.dump_bytes = sql_dump.size();
 
-  // Step 2: DBCoder.
+  // Step 2: DBCoder (sequential: everything downstream needs it).
   ULE_ASSIGN_OR_RETURN(Bytes container,
                        dbcoder::Encode(ToBytes(sql_dump), options.scheme));
   archive.compressed_bytes = container.size();
 
-  // Step 3: data emblems.
-  ULE_ASSIGN_OR_RETURN(
-      archive.data_emblems,
-      mocoder::EncodeStream(container, mocoder::StreamId::kData,
-                            options.emblem));
-
-  // Steps 4-5: the DBDecode instruction stream becomes system emblems.
+  // Steps 3-6 fan out across the two emblem streams and the Bootstrap
+  // document; each task writes its own archive field. Emblem construction
+  // inside each stream fans out further (mocoder::EncodeStream) on a
+  // split thread budget, so the nesting does not oversubscribe the CPUs.
   const Bytes dbdecode_stream = decoders::DbDecodeProgram().Serialize();
-  ULE_ASSIGN_OR_RETURN(
-      archive.system_emblems,
-      mocoder::EncodeStream(dbdecode_stream, mocoder::StreamId::kSystem,
-                            options.emblem));
+  mocoder::Options inner_emblem = options.emblem;
+  inner_emblem.threads = SplitThreads(options.emblem.threads, 2);
+  ULE_RETURN_IF_ERROR(ParallelTasks(
+      {
+          // Step 3: data emblems.
+          [&]() -> Status {
+            ULE_ASSIGN_OR_RETURN(
+                archive.data_emblems,
+                mocoder::EncodeStream(container, mocoder::StreamId::kData,
+                                      inner_emblem));
+            return Status::OK();
+          },
+          // Steps 4-5: DBDecode instruction stream -> system emblems.
+          [&]() -> Status {
+            ULE_ASSIGN_OR_RETURN(
+                archive.system_emblems,
+                mocoder::EncodeStream(dbdecode_stream,
+                                      mocoder::StreamId::kSystem,
+                                      inner_emblem));
+            return Status::OK();
+          },
+          // Step 6: Bootstrap document (MODecode + DynaRisc emulator).
+          [&]() -> Status {
+            archive.bootstrap_text = olonys::GenerateBootstrapText(
+                olonys::DynaRiscInterpreter(), decoders::ModecodeProgram());
+            return Status::OK();
+          },
+      },
+      options.emblem.threads));
 
-  // Step 6: Bootstrap document (MODecode + the DynaRisc emulator as text).
-  archive.bootstrap_text = olonys::GenerateBootstrapText(
-      olonys::DynaRiscInterpreter(), decoders::ModecodeProgram());
-
-  // Step 7: render frames.
+  // Step 7: render frames (parallel across emblems, deterministic order).
   if (options.render_images) {
-    for (const auto& e : archive.data_emblems) {
-      archive.data_images.push_back(mocoder::Render(e, options.emblem));
-    }
-    for (const auto& e : archive.system_emblems) {
-      archive.system_images.push_back(mocoder::Render(e, options.emblem));
-    }
+    archive.data_images =
+        mocoder::RenderAll(archive.data_emblems, options.emblem);
+    archive.system_images =
+        mocoder::RenderAll(archive.system_emblems, options.emblem);
   }
   return archive;
 }
@@ -57,18 +79,34 @@ Result<std::string> RestoreNative(const std::vector<media::Image>& data_scans,
                                   const std::vector<media::Image>& system_scans,
                                   const mocoder::Options& emblem_options,
                                   RestoreStats* stats) {
+  ULE_RETURN_IF_ERROR(mocoder::ValidateOptions(emblem_options));
   RestoreStats local;
-  // The system stream is decoded too (it must match the in-tree decoder,
-  // which the emulated path actually runs).
-  if (!system_scans.empty()) {
-    auto system = mocoder::DecodeImages(system_scans, mocoder::StreamId::kSystem,
-                                        emblem_options, &local.system_stream);
-    ULE_RETURN_IF_ERROR(system.status());
-  }
-  ULE_ASSIGN_OR_RETURN(
-      Bytes container,
-      mocoder::DecodeImages(data_scans, mocoder::StreamId::kData,
-                            emblem_options, &local.data_stream));
+  Bytes container;
+  // The two streams decode concurrently; each decode parallelizes further
+  // across its scans on a split thread budget. Stats land in per-stream
+  // slots (no shared counters).
+  mocoder::Options inner_options = emblem_options;
+  inner_options.threads = SplitThreads(emblem_options.threads, 2);
+  ULE_RETURN_IF_ERROR(ParallelTasks(
+      {
+          // The system stream is decoded too (it must match the in-tree
+          // decoder, which the emulated path actually runs).
+          [&]() -> Status {
+            if (system_scans.empty()) return Status::OK();
+            auto system = mocoder::DecodeImages(
+                system_scans, mocoder::StreamId::kSystem, inner_options,
+                &local.system_stream);
+            return system.status();
+          },
+          [&]() -> Status {
+            ULE_ASSIGN_OR_RETURN(
+                container,
+                mocoder::DecodeImages(data_scans, mocoder::StreamId::kData,
+                                      inner_options, &local.data_stream));
+            return Status::OK();
+          },
+      },
+      emblem_options.threads));
   ULE_ASSIGN_OR_RETURN(Bytes dump, dbcoder::Decode(container));
   if (stats) *stats = local;
   return ToString(dump);
@@ -94,6 +132,8 @@ Result<Bytes> RunViaBootstrap(const verisc::Program& interpreter,
 
 /// Decodes one stream of emblem scans with the archived MODecode program
 /// (under nested emulation), then reassembles it with the outer code.
+/// Per-scan nested decodes fan out across workers (each worker has its own
+/// per-thread VeRisc machine); results merge serially in scan order.
 Result<Bytes> DecodeStreamEmulated(const std::vector<media::Image>& scans,
                                    mocoder::StreamId id,
                                    const mocoder::Options& emblem_options,
@@ -105,35 +145,56 @@ Result<Bytes> DecodeStreamEmulated(const std::vector<media::Image>& scans,
   const int n = emblem_options.data_side;
   const int blocks = mocoder::EmblemBlocks(n);
   const int capacity = mocoder::EmblemCapacity(n);
+
+  struct Decoded {
+    bool ok = false;
+    mocoder::EmblemHeader header;
+    Bytes payload;
+    uint64_t steps = 0;
+  };
+  std::vector<Decoded> decoded(scans.size());
+  ULE_RETURN_IF_ERROR(ParallelFor(
+      0, scans.size(),
+      [&](size_t i) -> Status {
+        Decoded& d = decoded[i];
+        // Host-side preprocessing (Bootstrap step 5): sample the lattice.
+        auto cells = mocoder::SampleEmblem(scans[i], n);
+        if (!cells.ok()) return Status::OK();
+        // Archived MODecode under nested emulation.
+        const Bytes input = decoders::PackModecodeInput(cells.value(), n);
+        auto container =
+            RunViaBootstrap(interpreter, modecode, input, vm, &d.steps);
+        if (!container.ok()) return Status::OK();
+        if (container.value().size() != static_cast<size_t>(blocks) * 223) {
+          return Status::OK();  // MODecode halted early: unrecoverable
+        }
+        // Bootstrap-documented header parse + CRC check.
+        auto header = mocoder::ParseHeader(container.value());
+        if (!header.ok()) return Status::OK();
+        if (header.value().stream != id) return Status::OK();
+        Bytes payload(
+            container.value().begin() + mocoder::kHeaderSize,
+            container.value().begin() + mocoder::kHeaderSize + capacity);
+        if (Crc32(payload) != header.value().payload_crc) return Status::OK();
+        d.ok = true;
+        d.header = header.value();
+        d.payload = std::move(payload);
+        return Status::OK();
+      },
+      emblem_options.threads));
+
   std::map<uint16_t, Bytes> payloads;
   uint32_t stream_len = 0;
   bool have_len = false;
   mocoder::DecodeStats local;
   local.emblems_total = static_cast<int>(scans.size());
-
-  for (const media::Image& scan : scans) {
-    // Host-side preprocessing (Bootstrap step 5): sample the cell lattice.
-    auto cells = mocoder::SampleEmblem(scan, n);
-    if (!cells.ok()) continue;
-    // Archived MODecode under nested emulation.
-    const Bytes input = decoders::PackModecodeInput(cells.value(), n);
-    auto container = RunViaBootstrap(interpreter, modecode, input, vm, steps);
-    if (!container.ok()) continue;
-    if (container.value().size() !=
-        static_cast<size_t>(blocks) * 223) {
-      continue;  // MODecode halted early: unrecoverable emblem
-    }
-    // Bootstrap-documented header parse + CRC check.
-    auto header = mocoder::ParseHeader(container.value());
-    if (!header.ok()) continue;
-    if (header.value().stream != id) continue;
-    Bytes payload(container.value().begin() + mocoder::kHeaderSize,
-                  container.value().begin() + mocoder::kHeaderSize + capacity);
-    if (Crc32(payload) != header.value().payload_crc) continue;
+  for (Decoded& d : decoded) {
+    if (steps) *steps += d.steps;
+    if (!d.ok) continue;
     local.emblems_decoded += 1;
-    stream_len = header.value().stream_len;
+    stream_len = d.header.stream_len;
     have_len = true;
-    payloads[header.value().seq] = std::move(payload);
+    payloads[d.header.seq] = std::move(d.payload);
   }
   if (!have_len) {
     return Status::Corruption("no emblem of the requested stream decoded");
@@ -159,6 +220,7 @@ Result<std::string> RestoreEmulated(
     const std::vector<media::Image>& system_scans,
     const std::string& bootstrap_text, const mocoder::Options& emblem_options,
     RestoreStats* stats, verisc::VmFunction vm) {
+  ULE_RETURN_IF_ERROR(mocoder::ValidateOptions(emblem_options));
   RestoreStats local;
 
   // Step 1-2 (Fig. 2b): parse the Bootstrap; it yields the DynaRisc
@@ -166,23 +228,45 @@ Result<std::string> RestoreEmulated(
   ULE_ASSIGN_OR_RETURN(olonys::ParsedBootstrap bootstrap,
                        olonys::ParseBootstrapText(bootstrap_text));
 
-  // Step 4: system emblems -> the DBDecode program.
-  ULE_ASSIGN_OR_RETURN(
-      Bytes dbdecode_stream,
-      DecodeStreamEmulated(system_scans, mocoder::StreamId::kSystem,
-                           emblem_options, bootstrap.dynarisc_emulator,
-                           bootstrap.mocoder, vm, &local.system_stream,
-                           &local.emulated_steps));
+  // Steps 4-5 fan out: the system and data streams decode concurrently,
+  // each further parallelized per scan on a split thread budget. Step
+  // counters are per-task and summed afterwards, so the aggregate is
+  // race-free and deterministic.
+  Bytes dbdecode_stream;
+  Bytes container;
+  uint64_t system_steps = 0;
+  uint64_t data_steps = 0;
+  mocoder::Options inner_options = emblem_options;
+  inner_options.threads = SplitThreads(emblem_options.threads, 2);
+  ULE_RETURN_IF_ERROR(ParallelTasks(
+      {
+          [&]() -> Status {
+            ULE_ASSIGN_OR_RETURN(
+                dbdecode_stream,
+                DecodeStreamEmulated(system_scans, mocoder::StreamId::kSystem,
+                                     inner_options,
+                                     bootstrap.dynarisc_emulator,
+                                     bootstrap.mocoder, vm,
+                                     &local.system_stream, &system_steps));
+            return Status::OK();
+          },
+          [&]() -> Status {
+            ULE_ASSIGN_OR_RETURN(
+                container,
+                DecodeStreamEmulated(data_scans, mocoder::StreamId::kData,
+                                     inner_options,
+                                     bootstrap.dynarisc_emulator,
+                                     bootstrap.mocoder, vm,
+                                     &local.data_stream, &data_steps));
+            return Status::OK();
+          },
+      },
+      emblem_options.threads));
+  local.emulated_steps += system_steps + data_steps;
+
+  // Step 5 (tail): the recovered DBDecode decompresses the data stream.
   ULE_ASSIGN_OR_RETURN(dynarisc::Program dbdecode,
                        dynarisc::Program::Deserialize(dbdecode_stream));
-
-  // Step 5: data emblems -> DBCoder container -> DBDecode -> SQL text.
-  ULE_ASSIGN_OR_RETURN(
-      Bytes container,
-      DecodeStreamEmulated(data_scans, mocoder::StreamId::kData,
-                           emblem_options, bootstrap.dynarisc_emulator,
-                           bootstrap.mocoder, vm, &local.data_stream,
-                           &local.emulated_steps));
   ULE_ASSIGN_OR_RETURN(Bytes dump,
                        RunViaBootstrap(bootstrap.dynarisc_emulator, dbdecode,
                                        container, vm, &local.emulated_steps));

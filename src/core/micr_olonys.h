@@ -35,6 +35,11 @@ namespace ule {
 namespace core {
 
 /// Archival parameters.
+///
+/// `emblem.threads` is the pipeline-wide parallelism knob: emblem
+/// encode/render/decode and the data/system stream fan-out all honour it
+/// (0 = automatic via `ULE_THREADS`/hardware threads, 1 = fully serial).
+/// Output is byte-identical at any thread count.
 struct ArchiveOptions {
   dbcoder::Scheme scheme = dbcoder::Scheme::kLzac;  ///< DBCoder scheme
   mocoder::Options emblem;                          ///< emblem geometry
@@ -77,6 +82,9 @@ Result<std::string> RestoreNative(const std::vector<media::Image>& data_scans,
 /// The system emblems are decoded by the archived MODecode running under
 /// nested emulation, which recovers the archived DBDecode program; DBDecode
 /// (again under nested emulation) then decompresses the data stream.
+/// Per-emblem nested decodes run on `emblem_options.threads` workers; `vm`
+/// must therefore be reentrant (true for all of AllImplementations — each
+/// run uses only local state).
 Result<std::string> RestoreEmulated(
     const std::vector<media::Image>& data_scans,
     const std::vector<media::Image>& system_scans,

@@ -1,12 +1,33 @@
 #include "mocoder/mocoder.h"
 
+#include <map>
+#include <optional>
+
 #include "support/crc32.h"
+#include "support/parallel.h"
 
 namespace ule {
 namespace mocoder {
 
+Status ValidateOptions(const Options& options) {
+  if (options.data_side <= 0) {
+    return Status::InvalidArgument("emblem data_side must be positive");
+  }
+  if (options.dots_per_cell <= 0) {
+    return Status::InvalidArgument("emblem dots_per_cell must be positive");
+  }
+  if (options.quiet_cells < 0) {
+    return Status::InvalidArgument("emblem quiet_cells must be >= 0");
+  }
+  if (options.threads < 0) {
+    return Status::InvalidArgument("emblem threads must be >= 0");
+  }
+  return Status::OK();
+}
+
 Result<std::vector<EncodedEmblem>> EncodeStream(BytesView stream, StreamId id,
                                                 const Options& options) {
+  ULE_RETURN_IF_ERROR(ValidateOptions(options));
   const int capacity = EmblemCapacity(options.data_side);
   if (capacity <= 0) {
     return Status::InvalidArgument("data_side too small for one RS block");
@@ -17,19 +38,31 @@ Result<std::vector<EncodedEmblem>> EncodeStream(BytesView stream, StreamId id,
   const auto payloads = BuildGroupPayloads(stream, capacity);
   const int total = TotalEmblemCount(stream.size(), capacity);
 
+  // Per-emblem grid construction fans out across workers; each slot is
+  // written by exactly one iteration and collected in sequence order, so
+  // the result is identical to the serial loop.
+  std::vector<std::optional<EncodedEmblem>> slots(payloads.size());
+  ULE_RETURN_IF_ERROR(ParallelFor(
+      0, payloads.size(),
+      [&](size_t seq) -> Status {
+        if (!payloads[seq]) return Status::OK();  // virtual zero emblem
+        EmblemHeader h;
+        h.stream = id;
+        h.seq = static_cast<uint16_t>(seq);
+        h.total = static_cast<uint16_t>(total);
+        h.stream_len = static_cast<uint32_t>(stream.size());
+        h.payload_crc = Crc32(*payloads[seq]);
+        ULE_ASSIGN_OR_RETURN(
+            CellGrid grid, BuildEmblem(h, *payloads[seq], options.data_side));
+        slots[seq] = EncodedEmblem{h, std::move(grid)};
+        return Status::OK();
+      },
+      options.threads));
+
   std::vector<EncodedEmblem> out;
-  out.reserve(payloads.size());
-  for (size_t seq = 0; seq < payloads.size(); ++seq) {
-    if (!payloads[seq]) continue;  // virtual zero emblem
-    EmblemHeader h;
-    h.stream = id;
-    h.seq = static_cast<uint16_t>(seq);
-    h.total = static_cast<uint16_t>(total);
-    h.stream_len = static_cast<uint32_t>(stream.size());
-    h.payload_crc = Crc32(*payloads[seq]);
-    ULE_ASSIGN_OR_RETURN(CellGrid grid,
-                         BuildEmblem(h, *payloads[seq], options.data_side));
-    out.push_back(EncodedEmblem{h, std::move(grid)});
+  out.reserve(slots.size());
+  for (auto& slot : slots) {
+    if (slot) out.push_back(std::move(*slot));
   }
   return out;
 }
@@ -38,25 +71,62 @@ media::Image Render(const EncodedEmblem& emblem, const Options& options) {
   return RenderEmblem(emblem.grid, options.dots_per_cell, options.quiet_cells);
 }
 
+std::vector<media::Image> RenderAll(const std::vector<EncodedEmblem>& emblems,
+                                    const Options& options) {
+  std::vector<media::Image> images(emblems.size());
+  (void)ParallelFor(
+      0, emblems.size(),
+      [&](size_t i) -> Status {
+        images[i] = Render(emblems[i], options);
+        return Status::OK();
+      },
+      options.threads);
+  return images;
+}
+
 Result<Bytes> DecodeSampledGrids(const std::vector<Bytes>& grids, StreamId id,
                                  const Options& options, DecodeStats* stats) {
+  ULE_RETURN_IF_ERROR(ValidateOptions(options));
+
+  // Stage 1 (parallel): independent per-emblem inner decode into
+  // per-index slots.
+  struct Decoded {
+    bool ok = false;
+    EmblemHeader header;
+    Bytes payload;
+    int rs_errors_corrected = 0;
+  };
+  std::vector<Decoded> decoded(grids.size());
+  ULE_RETURN_IF_ERROR(ParallelFor(
+      0, grids.size(),
+      [&](size_t i) -> Status {
+        EmblemHeader h;
+        EmblemDecodeInfo info;
+        auto payload =
+            DecodeEmblemIntensities(grids[i], options.data_side, &h, &info);
+        if (!payload.ok()) return Status::OK();  // lost emblem; outer code
+        if (h.stream != id) return Status::OK();
+        decoded[i] = Decoded{true, h, payload.TakeValue(),
+                             info.rs_errors_corrected};
+        return Status::OK();
+      },
+      options.threads));
+
+  // Stage 2 (serial, index order): merge + stats aggregation. Later
+  // duplicates of a sequence number overwrite earlier ones, exactly like
+  // the serial loop did.
   std::map<uint16_t, Bytes> payloads;
   uint32_t stream_len = 0;
   bool have_len = false;
   DecodeStats local;
   local.emblems_total = static_cast<int>(grids.size());
-
-  for (const Bytes& grid : grids) {
-    EmblemHeader h;
-    EmblemDecodeInfo info;
-    auto payload = DecodeEmblemIntensities(grid, options.data_side, &h, &info);
-    if (!payload.ok()) continue;  // lost emblem; the outer code's problem
-    if (h.stream != id) continue;
+  for (Decoded& d : decoded) {
+    if (!d.ok) continue;
     local.emblems_decoded += 1;
-    local.rs_errors_corrected += info.rs_errors_corrected;
-    stream_len = h.stream_len;
+    local.rs_errors_corrected += d.rs_errors_corrected;
+    stream_len = d.header.stream_len;
     have_len = true;
-    payloads[h.seq] = payload.TakeValue();
+    payloads[d.header.seq] = std::move(d.payload);
   }
   if (!have_len) {
     return Status::Corruption("no emblem of the requested stream decoded");
@@ -76,11 +146,23 @@ Result<Bytes> DecodeSampledGrids(const std::vector<Bytes>& grids, StreamId id,
 
 Result<Bytes> DecodeImages(const std::vector<media::Image>& scans, StreamId id,
                            const Options& options, DecodeStats* stats) {
+  ULE_RETURN_IF_ERROR(ValidateOptions(options));
+
+  // Sample each scan in parallel, then collect in scan order (failed
+  // detections are dropped, as before).
+  std::vector<std::optional<Bytes>> sampled(scans.size());
+  ULE_RETURN_IF_ERROR(ParallelFor(
+      0, scans.size(),
+      [&](size_t i) -> Status {
+        auto cells = SampleEmblem(scans[i], options.data_side);
+        if (cells.ok()) sampled[i] = cells.TakeValue();
+        return Status::OK();
+      },
+      options.threads));
   std::vector<Bytes> grids;
   grids.reserve(scans.size());
-  for (const media::Image& scan : scans) {
-    auto sampled = SampleEmblem(scan, options.data_side);
-    if (sampled.ok()) grids.push_back(sampled.TakeValue());
+  for (auto& s : sampled) {
+    if (s) grids.push_back(std::move(*s));
   }
   return DecodeSampledGrids(grids, id, options, stats);
 }

@@ -27,7 +27,16 @@ struct Options {
   int data_side = 128;     ///< data-area cells per side (N)
   int dots_per_cell = 4;   ///< print pitch
   int quiet_cells = 2;     ///< white margin around the border
+  /// Worker threads for per-emblem encode/render/decode fan-out.
+  /// 0 = automatic (`ULE_THREADS` env or all hardware threads); 1 = serial.
+  /// Not an archival parameter: output is byte-identical at any setting.
+  int threads = 0;
 };
+
+/// Rejects nonsensical format parameters (non-positive data_side /
+/// dots_per_cell, negative quiet_cells or threads) with InvalidArgument.
+/// Every encode/decode entry point validates through this.
+Status ValidateOptions(const Options& options);
 
 /// One encoded emblem with its rendered image.
 struct EncodedEmblem {
@@ -43,6 +52,11 @@ Result<std::vector<EncodedEmblem>> EncodeStream(BytesView stream, StreamId id,
 
 /// Renders one encoded emblem to pixels.
 media::Image Render(const EncodedEmblem& emblem, const Options& options);
+
+/// Renders a batch of emblems (in parallel across emblems, deterministic
+/// output order: result[i] is emblems[i] rendered).
+std::vector<media::Image> RenderAll(const std::vector<EncodedEmblem>& emblems,
+                                    const Options& options);
 
 /// Per-run statistics of DecodeImages (experiment E8/E12 report these).
 struct DecodeStats {

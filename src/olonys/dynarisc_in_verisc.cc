@@ -1,9 +1,11 @@
 #include "olonys/dynarisc_in_verisc.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "dynarisc/isa.h"
 #include "verisc/builder.h"
+#include "verisc/machine.h"
 
 namespace ule {
 namespace olonys {
@@ -13,6 +15,10 @@ using verisc::Builder;
 using Cell = Builder::Cell;
 using Label = Builder::Label;
 using Fn = Builder::Fn;
+
+/// Engine slice size for incremental nested emulation (~tens of ms per
+/// slice at current dispatch throughput).
+inline constexpr uint64_t kNestedSliceSteps = 1ull << 24;
 
 /// Generates the interpreter. Structured as one long emitter; every guest
 /// architectural element is an interpreter cell, every opcode a handler.
@@ -848,6 +854,34 @@ Result<Bytes> RunNested(const dynarisc::Program& program, BytesView input,
                         const verisc::RunOptions& options,
                         verisc::VmFunction vm) {
   const Bytes packed = PackNestedInput(program, input);
+
+  // Default path: drive the execution engine incrementally, in bounded
+  // slices, instead of one monolithic run. The per-thread machine keeps
+  // its 4 MiB memory image across nested invocations, and the slice loop
+  // is where future callers can interleave progress reporting or
+  // cancellation without touching the engine.
+  if (vm == nullptr || vm == &verisc::Run) {
+    verisc::Machine& machine = verisc::ThreadLocalMachine();
+    ULE_RETURN_IF_ERROR(machine.Load(DynaRiscInterpreter()));
+    machine.SetInput(packed);
+    for (;;) {
+      const uint64_t left = options.max_steps - machine.steps();
+      switch (machine.RunFor(std::min<uint64_t>(left, kNestedSliceSteps))) {
+        case verisc::MachineState::kHalted:
+          return machine.TakeOutput();
+        case verisc::MachineState::kFault:
+          return Status::ExecutionFault("nested emulation fault");
+        default:
+          if (machine.steps() >= options.max_steps) {
+            return Status::ResourceExhausted(
+                "nested emulation exceeded step limit");
+          }
+      }
+    }
+  }
+
+  // Portability path: an independently written VeRisc implementation that
+  // only offers the monolithic VmFunction entry point.
   ULE_ASSIGN_OR_RETURN(verisc::RunResult r,
                        vm(DynaRiscInterpreter(), packed, options));
   switch (r.reason) {

@@ -1,0 +1,145 @@
+#include "support/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace ule {
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("ULE_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int ResolveThreadCount(int threads) {
+  return threads > 0 ? threads : DefaultThreadCount();
+}
+
+int SplitThreads(int threads, int branches) {
+  if (branches < 1) branches = 1;
+  const int total = ResolveThreadCount(threads);
+  return total / branches > 0 ? total / branches : 1;
+}
+
+ThreadPool::ThreadPool(int thread_count) {
+  const int n = ResolveThreadCount(thread_count);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+Status ParallelFor(size_t begin, size_t end,
+                   const std::function<Status(size_t)>& fn, int threads) {
+  if (begin >= end) return Status::OK();
+  const size_t count = end - begin;
+  int workers = ResolveThreadCount(threads);
+  if (static_cast<size_t>(workers) > count) {
+    workers = static_cast<int>(count);
+  }
+  if (workers <= 1) {
+    for (size_t i = begin; i < end; ++i) ULE_RETURN_IF_ERROR(fn(i));
+    return Status::OK();
+  }
+
+  std::atomic<size_t> next(begin);
+  // Lowest failing index so far (`end` = none). Workers consult the atomic
+  // on the fast path; the mutex orders updates of the index/status/
+  // exception triple.
+  std::atomic<size_t> first_bad(end);
+  std::mutex fail_mu;
+  Status first_status;
+  std::exception_ptr first_exception;
+
+  auto record_failure = [&](size_t i, Status status, std::exception_ptr ep) {
+    std::unique_lock<std::mutex> lock(fail_mu);
+    if (i < first_bad.load(std::memory_order_relaxed)) {
+      first_bad.store(i, std::memory_order_relaxed);
+      first_status = std::move(status);
+      first_exception = ep;
+    }
+  };
+
+  auto worker = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      // Once a failure is recorded, higher indices may be skipped (a
+      // serial loop would not have reached them either) — but an index
+      // below the recorded failure must still run: it could fail too and
+      // is the one a serial loop would have reported.
+      if (i > first_bad.load(std::memory_order_relaxed)) continue;
+      try {
+        Status s = fn(i);
+        if (!s.ok()) record_failure(i, std::move(s), nullptr);
+      } catch (...) {
+        record_failure(i, Status::OK(), std::current_exception());
+      }
+    }
+  };
+
+  {
+    ThreadPool pool(workers);
+    for (int t = 0; t < workers; ++t) pool.Submit(worker);
+    pool.Wait();
+  }
+  if (first_bad.load(std::memory_order_relaxed) < end) {
+    if (first_exception) std::rethrow_exception(first_exception);
+    return first_status;
+  }
+  return Status::OK();
+}
+
+Status ParallelTasks(const std::vector<std::function<Status()>>& tasks,
+                     int threads) {
+  return ParallelFor(
+      0, tasks.size(), [&tasks](size_t i) { return tasks[i](); }, threads);
+}
+
+}  // namespace ule

@@ -1,0 +1,110 @@
+/// \file parallel.h
+/// \brief Minimal data-parallel primitives for the archive/restore paths.
+///
+/// The emblem pipeline is embarrassingly parallel across frames, and the
+/// archive/restore hot paths fan out across the data/system streams. This
+/// header provides exactly what those call sites need — a plain
+/// fixed-size thread pool (no work stealing) and index-based ParallelFor /
+/// ParallelTasks helpers with deterministic error semantics — and nothing
+/// more.
+///
+/// Determinism contract: workers claim indices from a shared counter, so
+/// *scheduling* is nondeterministic, but callers write results into
+/// per-index slots and merge them in index order afterwards, which makes
+/// the observable output identical to a serial run. On failure, the
+/// status (or exception) of the lowest failing index wins, matching what
+/// a serial loop would have reported first; unstarted iterations above
+/// the lowest recorded failing index may be skipped (indices below it
+/// always still run — one of them could be the serial loop's failure).
+///
+/// Thread-count knobs, in priority order: an explicit `threads` argument
+/// (> 0), the `ULE_THREADS` environment variable, then
+/// std::thread::hardware_concurrency().
+
+#ifndef ULE_SUPPORT_PARALLEL_H_
+#define ULE_SUPPORT_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/status.h"
+
+namespace ule {
+
+/// Worker threads to use when the caller does not say: `ULE_THREADS` if
+/// set to a positive integer, else std::thread::hardware_concurrency(),
+/// never less than 1.
+int DefaultThreadCount();
+
+/// Resolves a thread-count knob: `threads` if positive, else
+/// DefaultThreadCount().
+int ResolveThreadCount(int threads);
+
+/// \brief Splits a thread budget across `branches` concurrent subtasks.
+///
+/// Nested fan-out (e.g. two streams each encoding emblems in parallel)
+/// passes the result as the inner level's thread knob so the tree's total
+/// worker count stays near the resolved budget instead of multiplying by
+/// the nesting depth. Never returns less than 1.
+int SplitThreads(int threads, int branches);
+
+/// \brief A fixed-size thread pool with a shared FIFO queue.
+///
+/// Deliberately simple (no work stealing, no priorities): tasks in the
+/// archive pipeline are coarse — an emblem encode, a frame decode, a whole
+/// stream — so a single mutex-protected queue is nowhere near contended.
+class ThreadPool {
+ public:
+  /// Starts `thread_count` workers (<= 0 means ResolveThreadCount(0)).
+  explicit ThreadPool(int thread_count = 0);
+  /// Waits for queued tasks to finish, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw (wrap with your own capture —
+  /// ParallelFor does); submitting after the destructor has begun is UB.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed. The pool
+  /// remains usable afterwards.
+  void Wait();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;
+  bool stopping_ = false;
+};
+
+/// \brief Calls `fn(i)` for every i in [begin, end), on up to `threads`
+/// workers, and blocks until all iterations finished.
+///
+/// Returns the Status of the lowest failing index (OK when none fail);
+/// exceptions are captured and the lowest-index one is rethrown in the
+/// caller. With an empty range this is a no-op; with one worker (or a
+/// one-element range) it degenerates to the serial loop.
+Status ParallelFor(size_t begin, size_t end,
+                   const std::function<Status(size_t)>& fn, int threads = 0);
+
+/// Runs each task once, concurrently; same error semantics as ParallelFor
+/// (task order index = position in the vector).
+Status ParallelTasks(const std::vector<std::function<Status()>>& tasks,
+                     int threads = 0);
+
+}  // namespace ule
+
+#endif  // ULE_SUPPORT_PARALLEL_H_

@@ -294,7 +294,10 @@ constexpr int kArchivistEnd = __LINE__;
 
 const std::vector<Implementation>& AllImplementations() {
   static const std::vector<Implementation> kAll = {
-      {"reference", "library reference implementation (verisc.cc)", &Run, 90},
+      {"reference",
+       "the execution engine (machine.cc): reusable memory, pluggable "
+       "ports, opcode x address-class threaded dispatch",
+       &Run, 210},
       {"student", "plain procedural transliteration, local variables only",
        &RunStudent, kStudentEnd - kStudentBegin},
       {"engineer", "struct state + function-pointer dispatch table",

@@ -1,0 +1,304 @@
+#include "verisc/machine.h"
+
+#include <algorithm>
+
+namespace ule {
+namespace verisc {
+namespace {
+
+/// An instruction word is legal iff its opcode (top 4 bits) is <= 3 and its
+/// address (low 28 bits) is < 2^20: both conditions collapse into "none of
+/// bits 31,30 (opcode >= 4) or 27..20 (address >= 2^20) are set".
+inline constexpr uint32_t kIllegalMask = 0xCFF00000u;
+/// With kIllegalMask checked, the address fits in the low 20 bits.
+inline constexpr uint32_t kAddrMask = 0x000FFFFFu;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define ULE_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define ULE_UNLIKELY(x) (x)
+#endif
+
+/// Read interception for the mapped addresses 0..15. Only LD/SBB/AND reach
+/// this (ST never reads its operand), so the input port is consumed exactly
+/// once per reading instruction, as the spec requires.
+inline uint32_t ReadMapped(uint32_t addr, uint32_t pc, uint32_t borrow,
+                           InputPort* in) {
+  switch (addr) {
+    case 1:
+      return pc;  // address of the next instruction (PC already advanced)
+    case 2:
+      return borrow ? 0xFFFFFFFFu : 0u;
+    case 3:
+      return in->ReadByte();
+    default:
+      return 0;  // 0, 4, 5, 6..15
+  }
+}
+
+}  // namespace
+
+// One guard word past the end of memory. PC only leaves [0, kMemoryWords)
+// by incrementing past the last word (stores to PC are masked), so fetching
+// the guard — an illegal instruction — is exactly the out-of-range-PC fault,
+// and the dispatch core needs no per-instruction PC bounds check.
+Machine::Machine() : mem_(kMemoryWords + 1, 0) {
+  mem_[kMemoryWords] = 0xFFFFFFFFu;
+}
+
+Status Machine::Load(const Program& program) {
+  if (program.words.size() > kMemoryWords - kProgramOrigin) {
+    return Status::InvalidArgument("VeRisc program exceeds memory");
+  }
+  const uint32_t program_end =
+      kProgramOrigin + static_cast<uint32_t>(program.words.size());
+  std::copy(program.words.begin(), program.words.end(),
+            mem_.begin() + kProgramOrigin);
+  if (dirty_end_ > program_end) {
+    std::fill(mem_.begin() + program_end, mem_.begin() + dirty_end_, 0u);
+  }
+  dirty_end_ = program_end;
+  r_ = 0;
+  borrow_ = 0;
+  pc_ = kProgramOrigin;
+  steps_ = 0;
+  state_ = MachineState::kReady;
+  default_in_.Reset({});
+  default_out_.Clear();
+  in_ = &default_in_;
+  out_ = &default_out_;
+  return Status::OK();
+}
+
+void Machine::SetInput(BytesView input) {
+  default_in_.Reset(input);
+  in_ = &default_in_;
+}
+
+void Machine::SetPorts(InputPort* input, OutputPort* output) {
+  in_ = input != nullptr ? input : &default_in_;
+  out_ = output != nullptr ? output : &default_out_;
+}
+
+#if defined(ULE_THREADED_DISPATCH) && (defined(__GNUC__) || defined(__clang__))
+#define ULE_USE_COMPUTED_GOTO 1
+#else
+#define ULE_USE_COMPUTED_GOTO 0
+#endif
+
+MachineState Machine::RunFor(uint64_t budget) {
+  if (state_ == MachineState::kHalted || state_ == MachineState::kFault) {
+    return state_;
+  }
+  uint32_t* const mem = mem_.data();
+  InputPort* const in = in_;
+  OutputPort* const out = out_;
+  uint32_t r = r_;
+  uint32_t borrow = borrow_;
+  uint32_t pc = pc_;
+  // Bitwise-OR accumulator over store addresses: one ALU op per store, and
+  // `dirty_top + 1` still bounds every dirtied index from above (the OR of
+  // a set of values is >= each of them).
+  uint32_t dirty_top = dirty_end_ - 1;
+  uint64_t remaining = budget;
+  MachineState state;
+  uint32_t word;
+  uint32_t addr;
+
+#if ULE_USE_COMPUTED_GOTO
+  // Direct-threaded core: each handler re-dispatches itself, so there is
+  // no central loop branch to mispredict and the plain-memory handlers
+  // never touch the mapped-address logic.
+  //
+  // Dispatch key: for a legal word bit 27 is zero, so `word >> 27` is
+  // exactly opcode*2; the address-class bit ((addr + 0xFFFF0) >> 20 is 1
+  // iff addr >= 16) selects the mapped or plain-memory handler.
+  static const void* const kTargets[8] = {
+      &&op_ld_mapped,  &&op_ld_mem,  &&op_st_mapped,  &&op_st_mem,
+      &&op_sbb_mapped, &&op_sbb_mem, &&op_and_mapped, &&op_and_mem};
+  // Pin the table base in a register: without the barrier GCC re-forms the
+  // rip-relative address at every dispatch site.
+  const void* const* targets = kTargets;
+  asm("" : "+r"(targets));
+
+#define ULE_DISPATCH()                                                \
+  do {                                                                \
+    if (ULE_UNLIKELY(remaining == 0)) goto out_paused;                \
+    word = mem[pc];                                                   \
+    ++pc;                                                             \
+    --remaining;                                                      \
+    if (ULE_UNLIKELY((word & kIllegalMask) != 0)) goto out_fault;     \
+    addr = word & kAddrMask;                                          \
+    goto* targets[(word >> 27) + ((addr + 0xFFFF0u) >> 20)];          \
+  } while (0)
+
+  ULE_DISPATCH();
+
+op_ld_mem:
+  r = mem[addr];
+  ULE_DISPATCH();
+op_ld_mapped:
+  r = ReadMapped(addr, pc, borrow, in);
+  ULE_DISPATCH();
+op_st_mem:
+  mem[addr] = r;
+  dirty_top |= addr;
+  ULE_DISPATCH();
+op_st_mapped:
+  switch (addr) {
+    case 1:
+      pc = r & (kMemoryWords - 1);
+      break;
+    case 2:
+      borrow = r & 1u;
+      break;
+    case 4:
+      out->WriteByte(static_cast<uint8_t>(r & 0xFFu));
+      break;
+    case 5:
+      goto out_halted;
+    default:
+      break;  // writes to 0, 3, 6..15 ignored
+  }
+  ULE_DISPATCH();
+op_sbb_mem: {
+  const uint64_t rhs = static_cast<uint64_t>(mem[addr]) + borrow;
+  borrow = r < rhs ? 1u : 0u;
+  r = static_cast<uint32_t>(r - rhs);
+  ULE_DISPATCH();
+}
+op_sbb_mapped: {
+  const uint64_t rhs =
+      static_cast<uint64_t>(ReadMapped(addr, pc, borrow, in)) + borrow;
+  borrow = r < rhs ? 1u : 0u;
+  r = static_cast<uint32_t>(r - rhs);
+  ULE_DISPATCH();
+}
+op_and_mem:
+  r &= mem[addr];
+  ULE_DISPATCH();
+op_and_mapped:
+  r &= ReadMapped(addr, pc, borrow, in);
+  ULE_DISPATCH();
+
+#undef ULE_DISPATCH
+
+#else  // !ULE_USE_COMPUTED_GOTO
+
+  // Portable core: same opcode×address-class specialization, one switch.
+  for (;;) {
+    if (ULE_UNLIKELY(remaining == 0)) goto out_paused;
+    word = mem[pc];
+    ++pc;
+    --remaining;
+    if (ULE_UNLIKELY((word & kIllegalMask) != 0)) goto out_fault;
+    addr = word & kAddrMask;
+    // For a legal word bit 27 is zero, so `word >> 27` is exactly op*2.
+    switch ((word >> 27) | (addr >= 16u ? 1u : 0u)) {
+      case 0:  // LD mapped
+        r = ReadMapped(addr, pc, borrow, in);
+        break;
+      case 1:  // LD memory
+        r = mem[addr];
+        break;
+      case 2:  // ST mapped
+        switch (addr) {
+          case 1:
+            pc = r & (kMemoryWords - 1);
+            break;
+          case 2:
+            borrow = r & 1u;
+            break;
+          case 4:
+            out->WriteByte(static_cast<uint8_t>(r & 0xFFu));
+            break;
+          case 5:
+            goto out_halted;
+          default:
+            break;  // writes to 0, 3, 6..15 ignored
+        }
+        break;
+      case 3:  // ST memory
+        mem[addr] = r;
+        dirty_top |= addr;
+        break;
+      case 4: {  // SBB mapped
+        const uint64_t rhs =
+            static_cast<uint64_t>(ReadMapped(addr, pc, borrow, in)) + borrow;
+        borrow = r < rhs ? 1u : 0u;
+        r = static_cast<uint32_t>(r - rhs);
+        break;
+      }
+      case 5: {  // SBB memory
+        const uint64_t rhs = static_cast<uint64_t>(mem[addr]) + borrow;
+        borrow = r < rhs ? 1u : 0u;
+        r = static_cast<uint32_t>(r - rhs);
+        break;
+      }
+      case 6:  // AND mapped
+        r &= ReadMapped(addr, pc, borrow, in);
+        break;
+      case 7:  // AND memory
+        r &= mem[addr];
+        break;
+    }
+  }
+
+#endif  // ULE_USE_COMPUTED_GOTO
+
+out_paused:
+  state = MachineState::kPaused;
+  goto out_done;
+out_halted:
+  state = MachineState::kHalted;
+  goto out_done;
+out_fault:
+  state = MachineState::kFault;
+  // A fault from fetching the guard word is the out-of-range-PC fault; the
+  // reference semantics do not count that attempted fetch as a step.
+  if (pc == kMemoryWords + 1) {
+    ++remaining;
+    pc = kMemoryWords;
+  }
+  goto out_done;
+out_done:
+  r_ = r;
+  borrow_ = borrow;
+  pc_ = pc;
+  dirty_end_ = dirty_top + 1;
+  steps_ += budget - remaining;
+  state_ = state;
+  return state;
+}
+
+Result<RunResult> Machine::RunProgram(const Program& program, BytesView input,
+                                      const RunOptions& options) {
+  ULE_RETURN_IF_ERROR(Load(program));
+  SetInput(input);
+  const MachineState st = RunFor(options.max_steps);
+  RunResult result;
+  result.output = TakeOutput();
+  switch (st) {
+    case MachineState::kHalted:
+      result.reason = StopReason::kHalted;
+      result.steps = steps_;
+      break;
+    case MachineState::kFault:
+      result.reason = StopReason::kFault;
+      result.steps = steps_;
+      break;
+    default:
+      result.reason = StopReason::kStepLimit;
+      result.steps = options.max_steps;
+      break;
+  }
+  return result;
+}
+
+Machine& ThreadLocalMachine() {
+  thread_local Machine machine;
+  return machine;
+}
+
+}  // namespace verisc
+}  // namespace ule

@@ -1,6 +1,7 @@
 #include "verisc/verisc.h"
 
 #include "support/crc32.h"
+#include "verisc/machine.h"
 
 namespace ule {
 namespace verisc {
@@ -47,92 +48,10 @@ Result<Program> Program::Deserialize(BytesView bytes) {
 
 Result<RunResult> Run(const Program& program, BytesView input,
                       const RunOptions& options) {
-  if (program.words.size() > kMemoryWords - kProgramOrigin) {
-    return Status::InvalidArgument("VeRisc program exceeds memory");
-  }
-
-  // Flat memory; mapped addresses are intercepted below.
-  std::vector<uint32_t> mem(kMemoryWords, 0);
-  std::copy(program.words.begin(), program.words.end(),
-            mem.begin() + kProgramOrigin);
-
-  uint32_t r = 0;
-  uint32_t borrow = 0;
-  uint32_t pc = kProgramOrigin;
-  size_t in_pos = 0;
-
-  RunResult result;
-
-  auto read = [&](uint32_t addr) -> uint32_t {
-    switch (addr) {
-      case 0:
-        return 0;
-      case 1:
-        return pc;
-      case 2:
-        return borrow ? 0xFFFFFFFFu : 0u;
-      case 3:
-        return in_pos < input.size() ? input[in_pos++] : 0xFFFFFFFFu;
-      case 4:
-      case 5:
-        return 0;
-      default:
-        if (addr < 16) return 0;
-        return mem[addr];
-    }
-  };
-
-  for (uint64_t step = 0; step < options.max_steps; ++step) {
-    if (pc >= kMemoryWords) {
-      result.reason = StopReason::kFault;
-      result.steps = step;
-      return result;
-    }
-    const uint32_t word = mem[pc];
-    ++pc;
-    const uint32_t op = word >> 28;
-    const uint32_t addr = word & 0x0FFFFFFFu;
-    if (op > 3 || addr >= kMemoryWords) {
-      result.reason = StopReason::kFault;
-      result.steps = step + 1;
-      return result;
-    }
-    switch (op) {
-      case kLd:
-        r = read(addr);
-        break;
-      case kSt:
-        if (addr == 1) {
-          pc = r & (kMemoryWords - 1);
-        } else if (addr == 2) {
-          borrow = r & 1;
-        } else if (addr == 4) {
-          result.output.push_back(static_cast<uint8_t>(r & 0xFF));
-        } else if (addr == 5) {
-          result.reason = StopReason::kHalted;
-          result.steps = step + 1;
-          return result;
-        } else if (addr >= 16) {
-          mem[addr] = r;
-        }
-        // writes to 0, 3, 6..15 ignored
-        break;
-      case kSbb: {
-        const uint64_t rhs =
-            static_cast<uint64_t>(read(addr)) + static_cast<uint64_t>(borrow);
-        const uint64_t lhs = r;
-        borrow = lhs < rhs ? 1u : 0u;
-        r = static_cast<uint32_t>(lhs - rhs);
-        break;
-      }
-      case kAnd:
-        r &= read(addr);
-        break;
-    }
-  }
-  result.reason = StopReason::kStepLimit;
-  result.steps = options.max_steps;
-  return result;
+  // Thin adapter over the engine: the per-thread Machine keeps the 4 MiB
+  // memory image alive across calls, so repeated runs neither reallocate
+  // nor zero-fill the whole address space.
+  return ThreadLocalMachine().RunProgram(program, input, options);
 }
 
 }  // namespace verisc

@@ -99,7 +99,10 @@ struct RunResult {
 
 /// \brief Runs `program` with `input` available on the input port until halt,
 /// fault, or step limit. This is the library's reference implementation —
-/// the same algorithm the Bootstrap document describes in pseudocode.
+/// the same semantics the Bootstrap document describes in pseudocode. It is
+/// a thin adapter over the reusable execution engine (machine.h); callers
+/// that need incremental execution or pluggable I/O ports should use
+/// `verisc::Machine` directly.
 Result<RunResult> Run(const Program& program, BytesView input,
                       const RunOptions& options = {});
 

@@ -134,6 +134,89 @@ TEST(EndToEndTest, EmulatedRestoreOnIndependentVm) {
   EXPECT_EQ(restored.value(), dump);
 }
 
+TEST(EndToEndTest, ParallelArchiveAndRestoreMatchSerialByteForByte) {
+  // The determinism contract of the parallel pipeline: any thread count
+  // produces byte-identical artifacts and restores byte-identical output.
+  const std::string dump = SmallTpchDump();
+  ArchiveOptions serial_opt = SmallArchiveOptions();
+  serial_opt.emblem.threads = 1;
+  ArchiveOptions parallel_opt = SmallArchiveOptions();
+  parallel_opt.emblem.threads = 4;
+
+  auto serial = ArchiveDump(dump, serial_opt);
+  auto parallel = ArchiveDump(dump, parallel_opt);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(serial.value().bootstrap_text, parallel.value().bootstrap_text);
+  ASSERT_EQ(serial.value().data_emblems.size(),
+            parallel.value().data_emblems.size());
+  for (size_t i = 0; i < serial.value().data_emblems.size(); ++i) {
+    EXPECT_EQ(serial.value().data_emblems[i].header.seq,
+              parallel.value().data_emblems[i].header.seq);
+    EXPECT_EQ(serial.value().data_emblems[i].grid.cells,
+              parallel.value().data_emblems[i].grid.cells);
+  }
+  ASSERT_EQ(serial.value().data_images.size(),
+            parallel.value().data_images.size());
+  for (size_t i = 0; i < serial.value().data_images.size(); ++i) {
+    EXPECT_EQ(serial.value().data_images[i].pixels(),
+              parallel.value().data_images[i].pixels());
+  }
+  ASSERT_EQ(serial.value().system_images.size(),
+            parallel.value().system_images.size());
+  for (size_t i = 0; i < serial.value().system_images.size(); ++i) {
+    EXPECT_EQ(serial.value().system_images[i].pixels(),
+              parallel.value().system_images[i].pixels());
+  }
+
+  // Cross-restore: parallel restore of the serial archive and vice versa,
+  // so a mode-dependent decode bug cannot hide behind a same-mode pairing.
+  RestoreStats serial_stats, parallel_stats;
+  auto restored_serial =
+      RestoreNative(parallel.value().data_images,
+                    parallel.value().system_images, serial_opt.emblem,
+                    &serial_stats);
+  auto restored_parallel =
+      RestoreNative(serial.value().data_images, serial.value().system_images,
+                    parallel_opt.emblem, &parallel_stats);
+  ASSERT_TRUE(restored_serial.ok()) << restored_serial.status().ToString();
+  ASSERT_TRUE(restored_parallel.ok()) << restored_parallel.status().ToString();
+  EXPECT_EQ(restored_serial.value(), dump);
+  EXPECT_EQ(restored_parallel.value(), restored_serial.value());
+  EXPECT_EQ(parallel_stats.data_stream.emblems_decoded,
+            serial_stats.data_stream.emblems_decoded);
+  EXPECT_EQ(parallel_stats.data_stream.rs_errors_corrected,
+            serial_stats.data_stream.rs_errors_corrected);
+}
+
+TEST(EndToEndTest, ParallelEmulatedRestoreMatchesSerial) {
+  // Nested emulation fans out per emblem; output must stay byte-identical.
+  const std::string dump = "CREATE TABLE t (\n    a bigint\n);\n"
+                           "COPY t (a) FROM stdin;\n1\n2\n3\n\\.\n";
+  ArchiveOptions opt;
+  opt.emblem.data_side = 65;  // smallest emblems: fastest emulation
+  auto archive = ArchiveDump(dump, opt);
+  ASSERT_TRUE(archive.ok());
+
+  mocoder::Options serial_opt = archive.value().emblem_options;
+  serial_opt.threads = 1;
+  mocoder::Options parallel_opt = archive.value().emblem_options;
+  parallel_opt.threads = 4;
+  RestoreStats serial_stats, parallel_stats;
+  auto serial = RestoreEmulated(
+      archive.value().data_images, archive.value().system_images,
+      archive.value().bootstrap_text, serial_opt, &serial_stats);
+  auto parallel = RestoreEmulated(
+      archive.value().data_images, archive.value().system_images,
+      archive.value().bootstrap_text, parallel_opt, &parallel_stats);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(serial.value(), dump);
+  EXPECT_EQ(parallel.value(), serial.value());
+  // Step accounting is summed deterministically regardless of scheduling.
+  EXPECT_EQ(parallel_stats.emulated_steps, serial_stats.emulated_steps);
+}
+
 TEST(EndToEndTest, SurvivesLostEmblems) {
   const std::string dump = SmallTpchDump();
   auto archive = ArchiveDump(dump, SmallArchiveOptions());

@@ -368,6 +368,71 @@ INSTANTIATE_TEST_SUITE_P(Losses, OuterLossSweep, ::testing::Range(0, 6));
 
 // ---------------- full stream round trips ----------------
 
+TEST(MocoderTest, OptionsValidationRejectsNonsense) {
+  const Bytes stream{1, 2, 3};
+  Options bad_side;
+  bad_side.data_side = 0;
+  EXPECT_EQ(EncodeStream(stream, StreamId::kData, bad_side).status().code(),
+            StatusCode::kInvalidArgument);
+  bad_side.data_side = -128;
+  EXPECT_EQ(EncodeStream(stream, StreamId::kData, bad_side).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Options bad_dots;
+  bad_dots.dots_per_cell = 0;
+  EXPECT_EQ(EncodeStream(stream, StreamId::kData, bad_dots).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeImages({}, StreamId::kData, bad_dots).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Options bad_quiet;
+  bad_quiet.quiet_cells = -1;
+  EXPECT_EQ(DecodeSampledGrids({}, StreamId::kData, bad_quiet).status().code(),
+            StatusCode::kInvalidArgument);
+
+  Options bad_threads;
+  bad_threads.threads = -4;
+  EXPECT_EQ(EncodeStream(stream, StreamId::kData, bad_threads).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_TRUE(ValidateOptions(Options{}).ok());
+}
+
+TEST(MocoderTest, ParallelEncodeDecodeMatchesSerial) {
+  Rng rng(77);
+  const Bytes stream = RandomPayload(&rng, 9000);
+  Options serial;
+  serial.data_side = 80;
+  serial.threads = 1;
+  Options parallel = serial;
+  parallel.threads = 4;
+
+  auto a = EncodeStream(stream, StreamId::kData, serial);
+  auto b = EncodeStream(stream, StreamId::kData, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_EQ(a.value()[i].header.seq, b.value()[i].header.seq);
+    EXPECT_EQ(a.value()[i].grid.cells, b.value()[i].grid.cells);
+  }
+  const auto images_a = RenderAll(a.value(), serial);
+  const auto images_b = RenderAll(b.value(), parallel);
+  ASSERT_EQ(images_a.size(), images_b.size());
+  for (size_t i = 0; i < images_a.size(); ++i) {
+    EXPECT_EQ(images_a[i].pixels(), images_b[i].pixels());
+  }
+  DecodeStats stats_a, stats_b;
+  auto dec_a = DecodeImages(images_a, StreamId::kData, serial, &stats_a);
+  auto dec_b = DecodeImages(images_b, StreamId::kData, parallel, &stats_b);
+  ASSERT_TRUE(dec_a.ok());
+  ASSERT_TRUE(dec_b.ok());
+  EXPECT_EQ(dec_a.value(), stream);
+  EXPECT_EQ(dec_b.value(), dec_a.value());
+  EXPECT_EQ(stats_b.emblems_decoded, stats_a.emblems_decoded);
+  EXPECT_EQ(stats_b.rs_errors_corrected, stats_a.rs_errors_corrected);
+}
+
 TEST(MocoderTest, StreamRoundTripSampledGrids) {
   Rng rng(11);
   const Bytes stream = RandomPayload(&rng, 5000);

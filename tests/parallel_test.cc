@@ -1,0 +1,251 @@
+// Tests for support/parallel.h: pool lifecycle, ParallelFor bounds and
+// determinism, Status/exception propagation. Thread counts are passed
+// explicitly so the concurrent paths are exercised even on small CI
+// machines (where DefaultThreadCount() may be 1).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/micr_olonys.h"
+#include "dynarisc/assembler.h"
+#include "olonys/dynarisc_in_verisc.h"
+#include "support/parallel.h"
+
+namespace ule {
+namespace {
+
+TEST(ThreadCountTest, DefaultIsPositive) {
+  EXPECT_GE(DefaultThreadCount(), 1);
+}
+
+TEST(ThreadCountTest, EnvOverrideWins) {
+  // Restore the prior value afterwards: the TSan CI job runs this binary
+  // with ULE_THREADS=4 and later tests must keep seeing that cap.
+  const char* prior_raw = std::getenv("ULE_THREADS");
+  const std::string prior = prior_raw != nullptr ? prior_raw : "";
+  ASSERT_EQ(setenv("ULE_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(DefaultThreadCount(), 3);
+  ASSERT_EQ(setenv("ULE_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(DefaultThreadCount(), 1);  // nonsense ignored
+  if (prior_raw != nullptr) {
+    ASSERT_EQ(setenv("ULE_THREADS", prior.c_str(), 1), 0);
+  } else {
+    ASSERT_EQ(unsetenv("ULE_THREADS"), 0);
+  }
+}
+
+TEST(ThreadCountTest, ResolvePrefersExplicit) {
+  EXPECT_EQ(ResolveThreadCount(7), 7);
+  EXPECT_GE(ResolveThreadCount(0), 1);
+  EXPECT_GE(ResolveThreadCount(-2), 1);
+}
+
+// ---------------- ThreadPool lifecycle ----------------
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> count(0);
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  std::atomic<int> count(0);
+  ThreadPool pool(2);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count(0);
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // No Wait(): the destructor must still run everything already queued.
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing submitted; must not hang
+}
+
+// ---------------- ParallelFor ----------------
+
+TEST(ParallelForTest, CoversExactRange) {
+  std::vector<int> hits(64, 0);
+  Status s = ParallelFor(
+      3, 61, [&](size_t i) { hits[i] += 1; return Status::OK(); }, 4);
+  ASSERT_TRUE(s.ok());
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], (i >= 3 && i < 61) ? 1 : 0) << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyAndReversedRangesAreNoOps) {
+  int calls = 0;
+  auto fn = [&](size_t) { ++calls; return Status::OK(); };
+  EXPECT_TRUE(ParallelFor(5, 5, fn, 4).ok());
+  EXPECT_TRUE(ParallelFor(9, 2, fn, 4).ok());
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, SingleWorkerIsSerialInOrder) {
+  std::vector<size_t> order;
+  Status s = ParallelFor(
+      0, 10, [&](size_t i) { order.push_back(i); return Status::OK(); }, 1);
+  ASSERT_TRUE(s.ok());
+  std::vector<size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForTest, DeterministicResultSlots) {
+  // Scheduling is free-form but per-index outputs must be stable.
+  std::vector<uint64_t> out(500, 0);
+  Status s = ParallelFor(
+      0, out.size(),
+      [&](size_t i) { out[i] = i * i + 1; return Status::OK(); }, 8);
+  ASSERT_TRUE(s.ok());
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i + 1);
+}
+
+TEST(ParallelForTest, FirstFailingIndexWins) {
+  Status s = ParallelFor(
+      0, 100,
+      [&](size_t i) -> Status {
+        if (i == 7 || i == 93) {
+          return Status::Corruption("bad " + std::to_string(i));
+        }
+        return Status::OK();
+      },
+      4);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.message(), "bad 7");
+}
+
+TEST(ParallelForTest, SerialPathStopsAtFirstFailure) {
+  int ran = 0;
+  Status s = ParallelFor(
+      0, 100000,
+      [&](size_t i) -> Status {
+        ++ran;
+        if (i == 2) return Status::InvalidArgument("stop");
+        return Status::OK();
+      },
+      1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(ran, 3);  // indices 0,1,2 — nothing after the failure
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      (void)ParallelFor(
+          0, 50,
+          [&](size_t i) -> Status {
+            if (i == 11) throw std::runtime_error("boom");
+            return Status::OK();
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, ManyMoreItemsThanWorkers) {
+  std::atomic<uint64_t> sum(0);
+  Status s = ParallelFor(
+      0, 10000, [&](size_t i) { sum.fetch_add(i); return Status::OK(); }, 3);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(sum.load(), 10000ull * 9999 / 2);
+}
+
+// ---------------- ParallelTasks ----------------
+
+TEST(ParallelTasksTest, RunsAllTasksAndReportsFirstError) {
+  std::atomic<int> ran(0);
+  std::vector<std::function<Status()>> tasks;
+  tasks.emplace_back([&] { ran.fetch_add(1); return Status::OK(); });
+  tasks.emplace_back([&]() -> Status {
+    ran.fetch_add(1);
+    return Status::NotFound("task 1 failed");
+  });
+  tasks.emplace_back([&] { ran.fetch_add(1); return Status::OK(); });
+  Status s = ParallelTasks(tasks, 2);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_GE(ran.load(), 2);  // the failing task and at least one other
+}
+
+TEST(ParallelTasksTest, EmptyVectorIsOk) {
+  EXPECT_TRUE(ParallelTasks({}, 4).ok());
+}
+
+TEST(ThreadCountTest, SplitDividesBudget) {
+  EXPECT_EQ(SplitThreads(8, 2), 4);
+  EXPECT_EQ(SplitThreads(8, 3), 2);
+  EXPECT_EQ(SplitThreads(1, 2), 1);   // never below one
+  EXPECT_EQ(SplitThreads(4, 0), 4);   // degenerate branch count
+  EXPECT_GE(SplitThreads(0, 2), 1);   // automatic budget resolves first
+}
+
+// ---------------- core-level parallel paths (fast TSan coverage) --------
+// These live in the fast suite deliberately: the CI ThreadSanitizer job
+// only runs `-L fast`, and the heavyweight end-to-end suites are the only
+// other callers of the core fan-out (ParallelTasks in ArchiveDump /
+// RestoreNative, per-thread VeRisc machines from pool workers).
+
+TEST(CoreParallelSmokeTest, ArchiveAndRestoreNativeUnderFanOut) {
+  const std::string dump = "CREATE TABLE t (\n    a bigint\n);\n"
+                           "COPY t (a) FROM stdin;\n1\n2\n3\n\\.\n";
+  core::ArchiveOptions opt;
+  opt.emblem.data_side = 65;  // small emblems: fast, several frames
+  opt.emblem.threads = 4;
+  auto archive = core::ArchiveDump(dump, opt);
+  ASSERT_TRUE(archive.ok()) << archive.status().ToString();
+  core::RestoreStats stats;
+  auto restored =
+      core::RestoreNative(archive.value().data_images,
+                          archive.value().system_images, opt.emblem, &stats);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value(), dump);
+}
+
+TEST(CoreParallelSmokeTest, NestedEmulationFromPoolWorkers) {
+  // The shape of DecodeStreamEmulated's fan-out: concurrent RunNested
+  // calls on pool workers, each using its own per-thread VeRisc machine.
+  auto guest = dynarisc::Assemble(
+      "loop: SYS #0\nJC done\nSYS #1\nJUMP loop\ndone: SYS #2");
+  ASSERT_TRUE(guest.ok());
+  const Bytes input{9, 8, 7};
+  std::vector<Bytes> outputs(4);
+  Status s = ParallelFor(
+      0, outputs.size(),
+      [&](size_t i) -> Status {
+        ULE_ASSIGN_OR_RETURN(outputs[i],
+                             olonys::RunNested(guest.value(), input));
+        return Status::OK();
+      },
+      4);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  for (const Bytes& out : outputs) EXPECT_EQ(out, input);
+}
+
+}  // namespace
+}  // namespace ule

@@ -6,6 +6,7 @@
 #include "support/random.h"
 #include "verisc/builder.h"
 #include "verisc/implementations.h"
+#include "verisc/machine.h"
 #include "verisc/verisc.h"
 
 namespace ule {
@@ -402,6 +403,147 @@ TEST(BuilderTest, UnboundLabelFailsBuild) {
   b.Jmp(l);
   b.Halt();
   EXPECT_FALSE(b.Build().ok());
+}
+
+// ---------------- the execution engine (machine.h) ----------------
+
+// Echo-until-EOF program used by several engine tests.
+Program EchoProgram() {
+  Builder b;
+  auto loop = b.NewLabel();
+  auto done = b.NewLabel();
+  auto v = b.NewCell(0);
+  b.Bind(loop);
+  b.InByte();
+  b.St(v);
+  b.SubImm(0xFFFFFFFFu);
+  b.Jz(done);
+  b.Ld(v);
+  b.OutByte();
+  b.Jmp(loop);
+  b.Bind(done);
+  b.Halt();
+  return b.Build().TakeValue();
+}
+
+TEST(MachineTest, IncrementalSlicesMatchMonolithicRun) {
+  const Program p = EchoProgram();
+  const Bytes input{10, 20, 30, 40, 50};
+  auto mono = ::ule::verisc::Run(p, input, {});
+  ASSERT_TRUE(mono.ok());
+
+  Machine m;
+  ASSERT_TRUE(m.Load(p).ok());
+  m.SetInput(input);
+  int slices = 0;
+  MachineState st = MachineState::kReady;
+  while ((st = m.RunFor(7)) == MachineState::kPaused) ++slices;
+  EXPECT_EQ(st, MachineState::kHalted);
+  EXPECT_GT(slices, 1);  // the run really was sliced
+  EXPECT_EQ(m.output(), mono.value().output);
+  EXPECT_EQ(m.steps(), mono.value().steps);
+}
+
+TEST(MachineTest, RunForAfterHaltIsIdempotent) {
+  Program p;
+  p.words = {Instr(kSt, 5)};
+  Machine m;
+  ASSERT_TRUE(m.Load(p).ok());
+  EXPECT_EQ(m.RunFor(100), MachineState::kHalted);
+  const uint64_t steps = m.steps();
+  EXPECT_EQ(m.RunFor(100), MachineState::kHalted);
+  EXPECT_EQ(m.steps(), steps);
+}
+
+TEST(MachineTest, MemoryReuseIsolatesConsecutivePrograms) {
+  // Program A dirties a far cell; after reloading, program B must read 0
+  // from it (the engine re-zeroes the dirtied region, not 4 MiB).
+  const uint32_t far_cell = 0x80000;
+  Program a;
+  a.words = {Instr(kLd, 16 + 3), Instr(kSt, far_cell), Instr(kSt, 5), 0xAB};
+  Program b;
+  b.words = {Instr(kLd, far_cell), Instr(kSt, 4), Instr(kSt, 5)};
+  Machine m;
+  ASSERT_TRUE(m.Load(a).ok());
+  EXPECT_EQ(m.RunFor(10), MachineState::kHalted);
+  ASSERT_TRUE(m.Load(b).ok());
+  EXPECT_EQ(m.RunFor(10), MachineState::kHalted);
+  ASSERT_EQ(m.output().size(), 1u);
+  EXPECT_EQ(m.output()[0], 0);
+}
+
+TEST(MachineTest, ReloadShrinkingProgramClearsOldTail) {
+  // A longer program followed by a shorter one: the tail words of the old
+  // image must not shine through into the new run.
+  Program longer;
+  longer.words = {Instr(kSt, 5), 0u, 0u, 0u, 0xDEADu};
+  Program shorter;
+  // Reads the word where `longer` had 0xDEAD (index 16+4).
+  shorter.words = {Instr(kLd, 16 + 4), Instr(kSt, 4), Instr(kSt, 5)};
+  Machine m;
+  ASSERT_TRUE(m.Load(longer).ok());
+  EXPECT_EQ(m.RunFor(10), MachineState::kHalted);
+  ASSERT_TRUE(m.Load(shorter).ok());
+  EXPECT_EQ(m.RunFor(10), MachineState::kHalted);
+  ASSERT_EQ(m.output().size(), 1u);
+  EXPECT_EQ(m.output()[0], 0);
+}
+
+namespace {
+class CountingOutput final : public OutputPort {
+ public:
+  void WriteByte(uint8_t byte) override {
+    ++writes;
+    last = byte;
+  }
+  int writes = 0;
+  uint8_t last = 0;
+};
+}  // namespace
+
+TEST(MachineTest, PluggablePortsReceiveTraffic) {
+  const Program p = EchoProgram();
+  const Bytes input{1, 2, 3};  // must outlive the run (the port holds a view)
+  BytesInputPort in(input);
+  CountingOutput out;
+  Machine m;
+  ASSERT_TRUE(m.Load(p).ok());
+  m.SetPorts(&in, &out);
+  EXPECT_EQ(m.RunFor(1'000'000), MachineState::kHalted);
+  EXPECT_EQ(out.writes, 3);
+  EXPECT_EQ(out.last, 3);
+  EXPECT_TRUE(m.output().empty());  // built-in sink unused
+}
+
+TEST(MachineTest, PausedExactlyAtBudget) {
+  // Tight infinite loop; the engine must execute exactly the budget.
+  Program p;
+  p.words = {Instr(kLd, 16 + 2), Instr(kSt, 1), 16u};
+  Machine m;
+  ASSERT_TRUE(m.Load(p).ok());
+  EXPECT_EQ(m.RunFor(12345), MachineState::kPaused);
+  EXPECT_EQ(m.steps(), 12345u);
+  EXPECT_EQ(m.RunFor(55), MachineState::kPaused);
+  EXPECT_EQ(m.steps(), 12400u);
+}
+
+TEST(MachineTest, PcRunOffEndFaults) {
+  // No halt: execution runs off the loaded words into zeroed memory (LD 0
+  // all the way) and must fault at the end of the address space, counting
+  // only executed instructions.
+  Program p;
+  p.words = {Instr(kLd, 0)};
+  Machine m;
+  ASSERT_TRUE(m.Load(p).ok());
+  EXPECT_EQ(m.RunFor(2 * kMemoryWords), MachineState::kFault);
+  EXPECT_EQ(m.steps(), static_cast<uint64_t>(kMemoryWords - kProgramOrigin));
+}
+
+TEST(MachineTest, ProgramTooLargeRejected) {
+  Program p;
+  p.words.assign(kMemoryWords, 0);
+  Machine m;
+  EXPECT_FALSE(m.Load(p).ok());
 }
 
 // ---------------- implementation conformance (portability, E7) ----------------
