@@ -11,15 +11,31 @@
 
 #include "bench/bench_report.h"
 #include "core/micr_olonys.h"
+#include "dbcoder/dbcoder.h"
 #include "media/profiles.h"
 #include "media/scanner.h"
 #include "mocoder/outer.h"
+#include "support/parallel.h"
 #include "support/random.h"
 
 using namespace ule;
 using Clock = std::chrono::steady_clock;
 
 namespace {
+
+/// Shared archive setup for one media profile: incompressible-payload
+/// scheme and an emblem sized to the frame (ring + quiet-zone geometry).
+/// Both the materialized and streaming runs must archive with identical
+/// options or the memory comparison is meaningless.
+core::ArchiveOptions MakeArchiveOptions(const media::MediaProfile& profile,
+                                        int dots_per_cell) {
+  core::ArchiveOptions options;
+  options.scheme = dbcoder::Scheme::kStore;  // incompressible payload
+  options.emblem.dots_per_cell = dots_per_cell;
+  const int usable = std::min(profile.frame_width, profile.frame_height);
+  options.emblem.data_side = usable / dots_per_cell - 2 * 5 - 2 * 2;
+  return options;
+}
 
 struct RunResult {
   size_t data_emblems = 0;    // data slots only
@@ -33,12 +49,8 @@ struct RunResult {
 
 RunResult RunOn(const media::MediaProfile& profile, const std::string& payload,
                 int dots_per_cell) {
-  core::ArchiveOptions options;
-  options.scheme = dbcoder::Scheme::kStore;  // incompressible payload
-  options.emblem.dots_per_cell = dots_per_cell;
-  const int usable = std::min(profile.frame_width, profile.frame_height);
-  options.emblem.data_side = usable / dots_per_cell - 2 * 5 - 2 * 2;
-
+  const core::ArchiveOptions options = MakeArchiveOptions(profile,
+                                                          dots_per_cell);
   RunResult out;
   out.emblem_capacity = mocoder::EmblemCapacity(options.emblem.data_side);
   const auto t0 = Clock::now();
@@ -78,15 +90,114 @@ RunResult RunOn(const media::MediaProfile& profile, const std::string& payload,
   return out;
 }
 
+/// End-to-end *streaming* pipeline on the same media profile: frames flow
+/// archive → print/scan simulation → streaming decoders one at a time,
+/// bounded by the pipeline window, with no vector of frames or scans ever
+/// materialized. Returns wall seconds; fills gauges for the memory story.
+struct StreamingResult {
+  bool exact = false;
+  double seconds = 0;
+  size_t frames = 0;
+  size_t frame_bytes = 0;        ///< pixels of one frame
+  size_t peak_window_frames = 0; ///< most frames alive in the pipe at once
+};
+
+StreamingResult RunStreaming(const media::MediaProfile& profile,
+                             const std::string& payload, int dots_per_cell) {
+  const core::ArchiveOptions options = MakeArchiveOptions(profile,
+                                                          dots_per_cell);
+  StreamingResult out;
+  mocoder::Options decode_options = options.emblem;
+  mocoder::StreamDecoder data_decoder(mocoder::StreamId::kData,
+                                      decode_options);
+  mocoder::StreamDecoder system_decoder(mocoder::StreamId::kSystem,
+                                        decode_options);
+  const auto t0 = Clock::now();
+  auto summary = core::ArchiveDumpStreaming(
+      payload, options,
+      [&](mocoder::StreamId id, const mocoder::EncodedEmblem&,
+          media::Image&& frame) -> Status {
+        // One frame in hand: "print" it, "scan" it, push the scan into
+        // the matching stream decoder. Nothing accumulates here.
+        out.frames += 1;
+        out.frame_bytes = frame.pixels().size();
+        if (profile.bitonal_write) {
+          for (auto& px : frame.mutable_pixels()) px = px < 128 ? 0 : 255;
+        }
+        media::Image scan = media::Scan(frame, profile.scan);
+        auto& decoder = id == mocoder::StreamId::kData ? data_decoder
+                                                       : system_decoder;
+        return decoder.Push(std::move(scan));
+      });
+  if (!summary.ok()) return out;
+  auto container = data_decoder.Finish();
+  auto system_stream = system_decoder.Finish();
+  if (!container.ok() || !system_stream.ok()) return out;
+  auto restored = dbcoder::Decode(container.value());
+  out.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  out.exact = restored.ok() && ToString(restored.value()) == payload;
+  // The documented window contract: at most 2×threads frames in the
+  // encode ring plus 2×threads scans in a decoder channel.
+  out.peak_window_frames = 4 * static_cast<size_t>(ResolveThreadCount(0));
+  return out;
+}
+
 }  // namespace
 
 int main() {
+  bench::BenchReport report;
   // 102 KB of incompressible payload (the paper archived a 102 KB TIFF).
   Rng rng(9600);
   std::string payload(102 * 1000, '\0');
   for (auto& c : payload) c = static_cast<char>(rng.Below(256));
 
-  std::printf("=== E5: microfilm archive (IMAGELINK 9600 geometry) ===\n");
+  // ---- Streaming pipeline first (so the process RSS high-water mark
+  // still reflects the bounded pipeline, not a materialized baseline):
+  // a multi-emblem payload archived, printed, scanned and restored with
+  // no frame vector ever held. ----
+  std::printf("=== streaming pipeline: bounded-memory archive+restore ===\n");
+  std::string big_payload(300 * 1000, '\0');
+  for (auto& c : big_payload) c = static_cast<char>(rng.Below(256));
+  const auto film_profile = media::Microfilm16mm();
+  const StreamingResult st =
+      RunStreaming(film_profile, big_payload, film_profile.dots_per_cell);
+  const uint64_t rss_after_streaming = bench::MaxRssBytes();
+  std::printf("%-42s %10zu\n", "frames through the pipe (300 KB payload)",
+              st.frames);
+  std::printf("%-42s %10s\n", "streamed restore byte-exact",
+              st.exact ? "yes" : "NO");
+  std::printf("%-42s %9.1fM\n", "one frame (pixels)", st.frame_bytes / 1e6);
+  std::printf("%-42s %10zu\n", "max frames alive (window model)",
+              st.peak_window_frames);
+  std::printf("%-42s %9.1fM\n", "materialized would hold (frames+scans)",
+              2.0 * st.frames * st.frame_bytes / 1e6);
+  std::printf("%-42s %9.1fM\n", "peak RSS after streaming run",
+              rss_after_streaming / 1e6);
+  report.Add("microfilm_stream_archive_restore", 1, st.seconds,
+             static_cast<double>(big_payload.size()));
+  report.AddGauge("stream_frame_bytes", static_cast<double>(st.frame_bytes),
+                  "bytes");
+  report.AddGauge("stream_window_frames",
+                  static_cast<double>(st.peak_window_frames), "frames");
+  report.AddGauge("peak_rss_after_streaming",
+                  static_cast<double>(rss_after_streaming), "bytes");
+
+  // The same payload materialized (every frame and scan in vectors): the
+  // RSS delta against the gauge above is the bounded-memory win.
+  const RunResult big_mat =
+      RunOn(film_profile, big_payload, film_profile.dots_per_cell);
+  const uint64_t rss_after_materialized = bench::MaxRssBytes();
+  std::printf("%-42s %10s\n", "materialized restore byte-exact (same)",
+              big_mat.exact ? "yes" : "NO");
+  std::printf("%-42s %9.1fM\n", "peak RSS after materialized run",
+              rss_after_materialized / 1e6);
+  report.Add("microfilm_materialized_archive_restore", 1,
+             big_mat.archive_s + big_mat.restore_s,
+             static_cast<double>(big_payload.size()));
+  report.AddGauge("peak_rss_after_materialized",
+                  static_cast<double>(rss_after_materialized), "bytes");
+
+  std::printf("\n=== E5: microfilm archive (IMAGELINK 9600 geometry) ===\n");
   const auto film = media::Microfilm16mm();
   const RunResult mf = RunOn(film, payload, film.dots_per_cell);
   std::printf("%-42s %10s %10s\n", "quantity", "paper", "measured");
@@ -121,12 +232,11 @@ int main() {
   std::printf("\nshape check: a handful of emblems per 100 KB payload on "
               "both media; both decode bit-exactly.\n");
 
-  bench::BenchReport report;
   const double bytes = static_cast<double>(payload.size());
   report.Add("microfilm_archive", 1, mf.archive_s, bytes);
   report.Add("microfilm_restore_native", 1, mf.restore_s, bytes);
   report.Add("cinema_archive", 1, cf.archive_s, bytes);
   report.Add("cinema_restore_native", 1, cf.restore_s, bytes);
   report.Write("microfilm");
-  return (mf.exact && cf.exact) ? 0 : 1;
+  return (mf.exact && cf.exact && st.exact && big_mat.exact) ? 0 : 1;
 }

@@ -3,10 +3,13 @@
 // trajectory of the repo can be tracked across PRs by diffing/plotting
 // the JSON instead of scraping printf tables.
 //
-// Schema: a JSON array of objects
-//   {"name": str, "iters": int, "ns_per_op": float, "mb_per_s": float}
-// where ns_per_op is wall time per iteration and mb_per_s is 0 when a
-// record has no natural byte volume.
+// Schema: a JSON array of objects, two record shapes:
+//   timing: {"name": str, "iters": int, "ns_per_op": float,
+//            "mb_per_s": float}
+//   gauge:  {"name": str, "value": float, "unit": str}
+// where ns_per_op is wall time per iteration, mb_per_s is 0 when a
+// record has no natural byte volume, and gauges carry point-in-time
+// measurements (e.g. peak RSS in bytes).
 
 #ifndef ULE_BENCH_BENCH_REPORT_H_
 #define ULE_BENCH_BENCH_REPORT_H_
@@ -16,15 +19,39 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace ule {
 namespace bench {
 
 struct BenchRecord {
   std::string name;
+  bool is_gauge = false;
   uint64_t iters = 1;
   double ns_per_op = 0.0;
   double mb_per_s = 0.0;
+  double value = 0.0;
+  std::string unit;
 };
+
+/// Peak resident set size of this process so far, in bytes (0 where the
+/// platform offers no getrusage). Monotone: record the streaming run's
+/// peak *before* running a materialized baseline in the same process.
+inline uint64_t MaxRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 class BenchReport {
  public:
@@ -36,6 +63,16 @@ class BenchReport {
     r.ns_per_op = seconds_total * 1e9 / static_cast<double>(r.iters);
     r.mb_per_s =
         seconds_total > 0 ? bytes_total / 1e6 / seconds_total : 0.0;
+    records_.push_back(std::move(r));
+  }
+
+  /// Adds a point-in-time measurement (peak RSS, live bytes, counters).
+  void AddGauge(std::string name, double value, std::string unit) {
+    BenchRecord r;
+    r.name = std::move(name);
+    r.is_gauge = true;
+    r.value = value;
+    r.unit = std::move(unit);
     records_.push_back(std::move(r));
   }
 
@@ -51,12 +88,20 @@ class BenchReport {
     std::fprintf(f, "[\n");
     for (size_t i = 0; i < records_.size(); ++i) {
       const BenchRecord& r = records_[i];
-      std::fprintf(f,
-                   "  {\"name\": \"%s\", \"iters\": %llu, "
-                   "\"ns_per_op\": %.3f, \"mb_per_s\": %.3f}%s\n",
-                   Escaped(r.name).c_str(),
-                   static_cast<unsigned long long>(r.iters), r.ns_per_op,
-                   r.mb_per_s, i + 1 < records_.size() ? "," : "");
+      const char* sep = i + 1 < records_.size() ? "," : "";
+      if (r.is_gauge) {
+        std::fprintf(f, "  {\"name\": \"%s\", \"value\": %.3f, "
+                     "\"unit\": \"%s\"}%s\n",
+                     Escaped(r.name).c_str(), r.value,
+                     Escaped(r.unit).c_str(), sep);
+      } else {
+        std::fprintf(f,
+                     "  {\"name\": \"%s\", \"iters\": %llu, "
+                     "\"ns_per_op\": %.3f, \"mb_per_s\": %.3f}%s\n",
+                     Escaped(r.name).c_str(),
+                     static_cast<unsigned long long>(r.iters), r.ns_per_op,
+                     r.mb_per_s, sep);
+      }
     }
     std::fprintf(f, "]\n");
     std::fclose(f);

@@ -8,6 +8,11 @@
 // is one of the independently written implementations in
 // src/verisc/implementations.cc, and restoration goes exclusively through
 // core::RestoreEmulated (nested emulation of the archived decoders).
+//
+// Everything the historian must know about what is on the film — emblem
+// geometry, the two RS layers, the container formats, the Bootstrap
+// letter encoding and restoration chain — is specified for them in
+// docs/FORMAT.md (format version core::kUleFormatVersion).
 
 #include <cstdio>
 

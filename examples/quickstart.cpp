@@ -3,16 +3,25 @@
 // Demonstrates the whole public API surface in ~60 lines: build a database,
 // dump it (db_dump), archive the dump (DBCoder + MOCoder + Bootstrap),
 // pretend decades pass, then restore and reload it.
+//
+// Usage: quickstart [threads]
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/micr_olonys.h"
 #include "minidb/database.h"
 #include "minidb/sqldump.h"
+#include "support/parallel.h"
 
 using namespace ule;
 
-int main() {
+int main(int argc, char** argv) {
+  // Pipeline parallelism knob, in priority order: argv[1] here, the
+  // ULE_THREADS environment variable, then all hardware threads. 1 means
+  // fully serial. Output is byte-identical at any setting — the thread
+  // count is a property of this machine, never of the archive.
+  const int threads = argc > 1 ? std::atoi(argv[1]) : 0;
   // 1. A database worth keeping for 50 years.
   minidb::Database db;
   minidb::Schema schema;
@@ -32,6 +41,8 @@ int main() {
   // 3. Archive: compress, encode to emblems, generate the Bootstrap.
   core::ArchiveOptions options;
   options.emblem.data_side = 65;  // small emblems for a small database
+  options.emblem.threads = threads;
+  std::printf("pipeline threads: %d\n", ResolveThreadCount(threads));
   auto archive = core::ArchiveDump(dump, options);
   if (!archive.ok()) {
     std::printf("archive failed: %s\n", archive.status().ToString().c_str());
@@ -43,10 +54,14 @@ int main() {
               archive.value().system_emblems.size(),
               archive.value().bootstrap_text.size());
 
-  // 4. Decades later: restore from the rendered frames.
+  // 4. Decades later: restore from the rendered frames. The recorded
+  // emblem_options carry threads = 0 (the restorer picks its own
+  // parallelism); re-apply this machine's knob for the restore side.
+  mocoder::Options restore_options = archive.value().emblem_options;
+  restore_options.threads = threads;
   auto restored = core::RestoreNative(archive.value().data_images,
                                       archive.value().system_images,
-                                      archive.value().emblem_options);
+                                      restore_options);
   if (!restored.ok()) {
     std::printf("restore failed: %s\n", restored.status().ToString().c_str());
     return 1;

@@ -10,16 +10,21 @@
 #include "core/micr_olonys.h"
 #include "media/profiles.h"
 #include "minidb/sqldump.h"
+#include "support/parallel.h"
 #include "tpch/tpch.h"
 
 using namespace ule;
 using Clock = std::chrono::steady_clock;
 
 int main(int argc, char** argv) {
+  // Usage: tpch_archival [dump_bytes] [threads]
   // Default 120 KB keeps the example fast; pass a size for the full-paper
   // 1.2 MB run (bench_paper_archive does that with timing tables).
   const size_t target = argc > 1 ? std::strtoul(argv[1], nullptr, 10)
                                  : 120 * 1000;
+  // Archive/restore parallelism: argv[2] if given, else ULE_THREADS, else
+  // all hardware threads (1 = serial; output is identical either way).
+  const int threads = argc > 2 ? std::atoi(argv[2]) : 0;
 
   std::printf("generating TPC-H for a ~%zu byte dump...\n", target);
   auto db = tpch::GenerateForDumpSize(target);
@@ -34,6 +39,8 @@ int main(int argc, char** argv) {
   options.emblem.dots_per_cell = 5;
   options.emblem.data_side =
       profile.frame_width / 5 - 2 * 5 - 2 * 2;  // frame/pitch - rings - quiet
+  options.emblem.threads = threads;
+  std::printf("pipeline threads: %d\n", ResolveThreadCount(threads));
 
   const auto t0 = Clock::now();
   auto archive = core::ArchiveDump(dump, options);
@@ -54,9 +61,11 @@ int main(int argc, char** argv) {
   std::printf("encode time: %.2f s\n", encode_s);
 
   const auto t2 = Clock::now();
+  mocoder::Options restore_options = archive.value().emblem_options;
+  restore_options.threads = threads;  // recorded options are always auto
   auto restored = core::RestoreNative(archive.value().data_images,
                                       archive.value().system_images,
-                                      archive.value().emblem_options);
+                                      restore_options);
   const auto t3 = Clock::now();
   if (!restored.ok()) {
     std::printf("restore failed: %s\n", restored.status().ToString().c_str());

@@ -30,31 +30,38 @@ Result<Archive> ArchiveDump(const std::string& sql_dump,
                        dbcoder::Encode(ToBytes(sql_dump), options.scheme));
   archive.compressed_bytes = container.size();
 
-  // Steps 3-6 fan out across the two emblem streams and the Bootstrap
-  // document; each task writes its own archive field. Emblem construction
-  // inside each stream fans out further (mocoder::EncodeStream) on a
-  // split thread budget, so the nesting does not oversubscribe the CPUs.
+  // Steps 3-7 fan out across the two emblem streams and the Bootstrap
+  // document; each task writes its own archive field. Within each stream,
+  // emblem construction and frame rendering run fused per emblem through
+  // the streaming encoder (on a split thread budget, so the nesting does
+  // not oversubscribe the CPUs) — the materialized Archive is just the
+  // streaming pipeline with vector sinks.
   const Bytes dbdecode_stream = decoders::DbDecodeProgram().Serialize();
   mocoder::Options inner_emblem = options.emblem;
   inner_emblem.threads = SplitThreads(options.emblem.threads, 2);
+  auto encode_into = [&](BytesView stream, mocoder::StreamId id,
+                         std::vector<mocoder::EncodedEmblem>* emblems,
+                         std::vector<media::Image>* images) -> Status {
+    return mocoder::EncodeToSink(
+        stream, id, inner_emblem, options.render_images,
+        [&](mocoder::EncodedEmblem&& emblem, media::Image&& frame) -> Status {
+          emblems->push_back(std::move(emblem));
+          if (options.render_images) images->push_back(std::move(frame));
+          return Status::OK();
+        });
+  };
   ULE_RETURN_IF_ERROR(ParallelTasks(
       {
-          // Step 3: data emblems.
+          // Steps 3 + 7: data emblems and their frames.
           [&]() -> Status {
-            ULE_ASSIGN_OR_RETURN(
-                archive.data_emblems,
-                mocoder::EncodeStream(container, mocoder::StreamId::kData,
-                                      inner_emblem));
-            return Status::OK();
+            return encode_into(container, mocoder::StreamId::kData,
+                               &archive.data_emblems, &archive.data_images);
           },
-          // Steps 4-5: DBDecode instruction stream -> system emblems.
+          // Steps 4-5 + 7: DBDecode instruction stream -> system emblems.
           [&]() -> Status {
-            ULE_ASSIGN_OR_RETURN(
-                archive.system_emblems,
-                mocoder::EncodeStream(dbdecode_stream,
-                                      mocoder::StreamId::kSystem,
-                                      inner_emblem));
-            return Status::OK();
+            return encode_into(dbdecode_stream, mocoder::StreamId::kSystem,
+                               &archive.system_emblems,
+                               &archive.system_images);
           },
           // Step 6: Bootstrap document (MODecode + DynaRisc emulator).
           [&]() -> Status {
@@ -64,15 +71,42 @@ Result<Archive> ArchiveDump(const std::string& sql_dump,
           },
       },
       options.emblem.threads));
-
-  // Step 7: render frames (parallel across emblems, deterministic order).
-  if (options.render_images) {
-    archive.data_images =
-        mocoder::RenderAll(archive.data_emblems, options.emblem);
-    archive.system_images =
-        mocoder::RenderAll(archive.system_emblems, options.emblem);
-  }
   return archive;
+}
+
+Result<ArchiveSummary> ArchiveDumpStreaming(const std::string& sql_dump,
+                                            const ArchiveOptions& options,
+                                            const FrameSink& sink) {
+  ULE_RETURN_IF_ERROR(mocoder::ValidateOptions(options.emblem));
+  ArchiveSummary summary;
+  summary.emblem_options = options.emblem;
+  summary.emblem_options.threads = 0;  // geometry only; see ArchiveDump
+  summary.dump_bytes = sql_dump.size();
+
+  ULE_ASSIGN_OR_RETURN(Bytes container,
+                       dbcoder::Encode(ToBytes(sql_dump), options.scheme));
+  summary.compressed_bytes = container.size();
+  summary.bootstrap_text = olonys::GenerateBootstrapText(
+      olonys::DynaRiscInterpreter(), decoders::ModecodeProgram());
+
+  // The two streams are emitted back to back (data first) so the sink
+  // sees frames in reel order; each stream parallelizes internally with
+  // the full thread budget. Only O(threads) frames exist at any moment.
+  const Bytes dbdecode_stream = decoders::DbDecodeProgram().Serialize();
+  auto stream_out = [&](BytesView stream, mocoder::StreamId id,
+                        size_t* frames) -> Status {
+    return mocoder::EncodeToSink(
+        stream, id, options.emblem, /*render=*/true,
+        [&](mocoder::EncodedEmblem&& emblem, media::Image&& frame) -> Status {
+          *frames += 1;
+          return sink(id, emblem, std::move(frame));
+        });
+  };
+  ULE_RETURN_IF_ERROR(stream_out(container, mocoder::StreamId::kData,
+                                 &summary.data_frames));
+  ULE_RETURN_IF_ERROR(stream_out(dbdecode_stream, mocoder::StreamId::kSystem,
+                                 &summary.system_frames));
+  return summary;
 }
 
 Result<std::string> RestoreNative(const std::vector<media::Image>& data_scans,
@@ -112,6 +146,46 @@ Result<std::string> RestoreNative(const std::vector<media::Image>& data_scans,
   return ToString(dump);
 }
 
+Result<std::string> RestoreNativeStreaming(
+    const FrameSource& data_frames, const FrameSource& system_frames,
+    const mocoder::Options& emblem_options, RestoreStats* stats) {
+  ULE_RETURN_IF_ERROR(mocoder::ValidateOptions(emblem_options));
+  RestoreStats local;
+
+  // Pull-decode one stream: frames go straight into the streaming decoder,
+  // which keeps at most O(threads) of them alive. The streams are decoded
+  // back to back (reel order), each with the full thread budget.
+  auto decode_stream = [&](const FrameSource& source, mocoder::StreamId id,
+                           mocoder::DecodeStats* st,
+                           bool skip_if_empty) -> Result<Bytes> {
+    mocoder::StreamDecoder decoder(id, emblem_options);
+    size_t pushed = 0;
+    while (auto frame = source()) {
+      ++pushed;
+      ULE_RETURN_IF_ERROR(decoder.Push(std::move(*frame)));
+    }
+    if (skip_if_empty && pushed == 0) return Bytes();
+    return decoder.Finish(st);
+  };
+
+  if (system_frames) {
+    // Decoded for the same reason RestoreNative decodes it: the system
+    // stream must match the in-tree decoder the emulated path runs. An
+    // empty source is skipped, like an empty system_scans vector.
+    ULE_RETURN_IF_ERROR(decode_stream(system_frames, mocoder::StreamId::kSystem,
+                                      &local.system_stream,
+                                      /*skip_if_empty=*/true)
+                            .status());
+  }
+  ULE_ASSIGN_OR_RETURN(Bytes container,
+                       decode_stream(data_frames, mocoder::StreamId::kData,
+                                     &local.data_stream,
+                                     /*skip_if_empty=*/false));
+  ULE_ASSIGN_OR_RETURN(Bytes dump, dbcoder::Decode(container));
+  if (stats) *stats = local;
+  return ToString(dump);
+}
+
 namespace {
 
 /// Runs a DynaRisc program under nested emulation via the *parsed
@@ -132,8 +206,9 @@ Result<Bytes> RunViaBootstrap(const verisc::Program& interpreter,
 
 /// Decodes one stream of emblem scans with the archived MODecode program
 /// (under nested emulation), then reassembles it with the outer code.
-/// Per-scan nested decodes fan out across workers (each worker has its own
-/// per-thread VeRisc machine); results merge serially in scan order.
+/// The scans flow through the streaming decoder: per-scan nested decodes
+/// fan out across pool workers (each reusing its thread-local VeRisc
+/// machine across emblems and stages); the merge is serial in scan order.
 Result<Bytes> DecodeStreamEmulated(const std::vector<media::Image>& scans,
                                    mocoder::StreamId id,
                                    const mocoder::Options& emblem_options,
@@ -146,71 +221,40 @@ Result<Bytes> DecodeStreamEmulated(const std::vector<media::Image>& scans,
   const int blocks = mocoder::EmblemBlocks(n);
   const int capacity = mocoder::EmblemCapacity(n);
 
-  struct Decoded {
-    bool ok = false;
-    mocoder::EmblemHeader header;
-    Bytes payload;
-    uint64_t steps = 0;
-  };
-  std::vector<Decoded> decoded(scans.size());
-  ULE_RETURN_IF_ERROR(ParallelFor(
-      0, scans.size(),
-      [&](size_t i) -> Status {
-        Decoded& d = decoded[i];
-        // Host-side preprocessing (Bootstrap step 5): sample the lattice.
-        auto cells = mocoder::SampleEmblem(scans[i], n);
-        if (!cells.ok()) return Status::OK();
-        // Archived MODecode under nested emulation.
-        const Bytes input = decoders::PackModecodeInput(cells.value(), n);
+  // The archived decode of one sampled grid (Bootstrap steps 5-7): pack
+  // the lattice, run MODecode under nested emulation, then apply the
+  // Bootstrap-documented header parse + CRC check. Thread-safe: each call
+  // uses only local state plus the caller thread's scratch machine.
+  mocoder::GridDecodeFn nested_decode =
+      [&, n, blocks, capacity](BytesView grid) {
+        mocoder::GridDecodeResult out;
+        const Bytes input = decoders::PackModecodeInput(grid, n);
         auto container =
-            RunViaBootstrap(interpreter, modecode, input, vm, &d.steps);
-        if (!container.ok()) return Status::OK();
+            RunViaBootstrap(interpreter, modecode, input, vm, &out.steps);
+        if (!container.ok()) return out;
         if (container.value().size() != static_cast<size_t>(blocks) * 223) {
-          return Status::OK();  // MODecode halted early: unrecoverable
+          return out;  // MODecode halted early: unrecoverable
         }
-        // Bootstrap-documented header parse + CRC check.
         auto header = mocoder::ParseHeader(container.value());
-        if (!header.ok()) return Status::OK();
-        if (header.value().stream != id) return Status::OK();
+        if (!header.ok()) return out;
         Bytes payload(
             container.value().begin() + mocoder::kHeaderSize,
             container.value().begin() + mocoder::kHeaderSize + capacity);
-        if (Crc32(payload) != header.value().payload_crc) return Status::OK();
-        d.ok = true;
-        d.header = header.value();
-        d.payload = std::move(payload);
-        return Status::OK();
-      },
-      emblem_options.threads));
+        if (Crc32(payload) != header.value().payload_crc) return out;
+        out.ok = true;
+        out.header = header.value();
+        out.payload = std::move(payload);
+        return out;
+      };
 
-  std::map<uint16_t, Bytes> payloads;
-  uint32_t stream_len = 0;
-  bool have_len = false;
-  mocoder::DecodeStats local;
-  local.emblems_total = static_cast<int>(scans.size());
-  for (Decoded& d : decoded) {
-    if (steps) *steps += d.steps;
-    if (!d.ok) continue;
-    local.emblems_decoded += 1;
-    stream_len = d.header.stream_len;
-    have_len = true;
-    payloads[d.header.seq] = std::move(d.payload);
+  // Every scan counts into emblems_total here (unlike DecodeImages): the
+  // historian's stats are about the reel, not about what sampled cleanly.
+  mocoder::StreamDecoder decoder(id, emblem_options, nested_decode,
+                                 /*count_unsampled=*/true);
+  for (const media::Image& scan : scans) {
+    ULE_RETURN_IF_ERROR(decoder.PushShared(scan));
   }
-  if (!have_len) {
-    return Status::Corruption("no emblem of the requested stream decoded");
-  }
-  const int data_count = mocoder::DataEmblemCount(stream_len, capacity);
-  int present = 0;
-  for (const auto& [seq, payload] : payloads) {
-    if (!mocoder::IsParitySlot(seq) && mocoder::DataIndexOf(seq) < data_count) {
-      ++present;
-    }
-  }
-  ULE_ASSIGN_OR_RETURN(
-      Bytes stream, mocoder::ReassembleStream(payloads, stream_len, capacity));
-  local.emblems_recovered = data_count - present;
-  if (stats) *stats = local;
-  return stream;
+  return decoder.Finish(stats, steps);
 }
 
 }  // namespace

@@ -21,6 +21,8 @@
 #ifndef ULE_CORE_MICR_OLONYS_H_
 #define ULE_CORE_MICR_OLONYS_H_
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,6 +35,17 @@
 
 namespace ule {
 namespace core {
+
+/// \brief Version string of the complete on-film archival format.
+///
+/// Covers every layer a future historian must understand: the emblem
+/// geometry and header, the outer RS(20,17) grouping, the DBCoder
+/// container, and the Bootstrap document chain. The normative,
+/// human-readable specification lives in docs/FORMAT.md, which records
+/// this exact string; the docs check (tools/check_docs.py) fails the
+/// build when the two diverge. Bump only with a documented, decodable
+/// migration path — archived media cannot be re-written.
+inline constexpr char kUleFormatVersion[] = "ULE-F1";
 
 /// Archival parameters.
 ///
@@ -62,6 +75,35 @@ struct Archive {
 Result<Archive> ArchiveDump(const std::string& sql_dump,
                             const ArchiveOptions& options);
 
+/// \brief Receives one rendered frame (and its encoded emblem) during a
+/// streaming archive. Frames arrive grouped by stream — every data frame,
+/// then every system frame — in sequence order within each stream, i.e.
+/// exactly the order `Archive::data_images` / `system_images` would hold
+/// them. A non-OK status aborts the archive.
+using FrameSink = std::function<Status(mocoder::StreamId id,
+                                       const mocoder::EncodedEmblem& emblem,
+                                       media::Image&& frame)>;
+
+/// What remains of a streaming archive after the frames have been written
+/// out: the Bootstrap document and the numbers the benches report.
+struct ArchiveSummary {
+  std::string bootstrap_text;       ///< the seven-page document
+  mocoder::Options emblem_options;  ///< recorded for restoration
+  size_t dump_bytes = 0;
+  size_t compressed_bytes = 0;
+  size_t data_frames = 0;
+  size_t system_frames = 0;
+};
+
+/// \brief Steps 1-7 with bounded memory: frames flow to `sink` through
+/// the shared-pool streaming pipeline instead of materializing in an
+/// Archive, so peak frame memory is O(threads × emblem) — the shape a
+/// film recorder consumes. The emblems and frames handed to `sink` are
+/// byte-identical to ArchiveDump's at any thread count.
+Result<ArchiveSummary> ArchiveDumpStreaming(const std::string& sql_dump,
+                                            const ArchiveOptions& options,
+                                            const FrameSink& sink);
+
 /// Restoration statistics (reported by the benches).
 struct RestoreStats {
   mocoder::DecodeStats data_stream;
@@ -74,6 +116,22 @@ Result<std::string> RestoreNative(const std::vector<media::Image>& data_scans,
                                   const std::vector<media::Image>& system_scans,
                                   const mocoder::Options& emblem_options,
                                   RestoreStats* stats = nullptr);
+
+/// \brief Pull source of scanned frames for streaming restoration: yields
+/// the next frame, or nullopt when the reel is exhausted. Called serially
+/// from the restoring thread.
+using FrameSource = std::function<std::optional<media::Image>()>;
+
+/// \brief RestoreNative with bounded memory: frames are pulled one at a
+/// time (e.g. straight off a scanner) and decoded concurrently with at
+/// most O(threads) frames in flight, instead of requiring every scan in a
+/// vector up front. Output and per-stream DecodeStats are byte-identical
+/// to RestoreNative over the same frames. A null `system_frames` (or one
+/// yielding nothing) skips the system-stream verification, like an empty
+/// `system_scans` vector.
+Result<std::string> RestoreNativeStreaming(
+    const FrameSource& data_frames, const FrameSource& system_frames,
+    const mocoder::Options& emblem_options, RestoreStats* stats = nullptr);
 
 /// \brief The full ULE path: restores using ONLY the Bootstrap text and the
 /// scans. `vm` is the user's VeRisc implementation (any of

@@ -5,10 +5,24 @@
 /// (inner RS + differential-Manchester modulation) → printable images.
 /// Decoding: scanned images → sampled intensity grids → per-emblem decode
 /// → outer reassembly (erasure recovery of whole lost emblems).
+///
+/// Two API shapes cover the same pipeline (byte-identical results):
+///
+///   * Materialized (`EncodeStream`/`RenderAll`/`DecodeImages`): vectors
+///     in, vectors out. Convenient; peak memory is O(archive).
+///   * Streaming (`EncodeToSink` / `StreamDecoder`): emblems flow
+///     stage-to-stage through a bounded window on the shared thread pool,
+///     so peak memory for grids and frames is O(threads × emblem) — the
+///     shape `core::ArchiveDumpStreaming` / `RestoreNativeStreaming` and
+///     real scanners use. The on-film format is specified in
+///     docs/FORMAT.md.
 
 #ifndef ULE_MOCODER_MOCODER_H_
 #define ULE_MOCODER_MOCODER_H_
 
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "media/image.h"
@@ -50,6 +64,21 @@ struct EncodedEmblem {
 Result<std::vector<EncodedEmblem>> EncodeStream(BytesView stream, StreamId id,
                                                 const Options& options);
 
+/// \brief Receives one encoded emblem (and, when rendering was requested,
+/// its frame) in sequence order. A non-OK status aborts the encode.
+using EmblemSink =
+    std::function<Status(EncodedEmblem&& emblem, media::Image&& frame)>;
+
+/// \brief Streaming encode: builds the same emblems as EncodeStream (and,
+/// with `render`, the same frames as RenderAll) but hands each one to
+/// `sink` in sequence order through a bounded window instead of
+/// materializing the whole vector — peak grid/frame memory is
+/// O(threads × emblem). Emblem construction and rendering for different
+/// sequence numbers run fused on the shared pool workers; `sink` runs on
+/// the calling thread. `frame` is an empty image when `render` is false.
+Status EncodeToSink(BytesView stream, StreamId id, const Options& options,
+                    bool render, const EmblemSink& sink);
+
 /// Renders one encoded emblem to pixels.
 media::Image Render(const EncodedEmblem& emblem, const Options& options);
 
@@ -78,6 +107,74 @@ Result<Bytes> DecodeImages(const std::vector<media::Image>& scans, StreamId id,
 Result<Bytes> DecodeSampledGrids(const std::vector<Bytes>& grids, StreamId id,
                                  const Options& options,
                                  DecodeStats* stats = nullptr);
+
+/// Outcome of decoding one sampled intensity grid (see GridDecodeFn).
+struct GridDecodeResult {
+  bool ok = false;      ///< header+payload recovered (any stream id)
+  EmblemHeader header;  ///< valid when ok
+  Bytes payload;        ///< exactly EmblemCapacity(data_side) bytes when ok
+  int rs_errors_corrected = 0;
+  uint64_t steps = 0;   ///< VM instructions (emulated decoders; else 0)
+};
+
+/// \brief Decodes one data_side × data_side intensity grid into header +
+/// payload. Must be thread-safe (called concurrently from pool workers).
+/// The default is the native inner decode (DecodeEmblemIntensities); the
+/// emulated restore path plugs in the archived MODecode program running
+/// under nested emulation.
+using GridDecodeFn = std::function<GridDecodeResult(BytesView grid)>;
+
+/// \brief Push-driven streaming decoder for one emblem stream.
+///
+/// Scans (or pre-sampled grids) are pushed one at a time — from a vector,
+/// a scanner, or a frame generator — and are sampled + inner-decoded
+/// concurrently on the shared pool with a bounded number in flight, so
+/// peak image/grid memory is O(threads × emblem) regardless of archive
+/// size. Only the small per-emblem records (header + payload) accumulate.
+/// `Finish` performs the deterministic serial merge (outer-code
+/// reassembly) in push order, making output and DecodeStats byte-identical
+/// to the materialized `DecodeImages`/`DecodeSampledGrids` at any thread
+/// count.
+///
+/// Not thread-safe: Push*/Finish must be called from one thread.
+class StreamDecoder {
+ public:
+  /// Native inner decode. `count_unsampled` controls whether scans whose
+  /// emblem could not be sampled at all count into DecodeStats::
+  /// emblems_total (DecodeImages excludes them; the emulated restore path
+  /// counts every scan).
+  StreamDecoder(StreamId id, const Options& options,
+                GridDecodeFn decode = nullptr, bool count_unsampled = false);
+  /// Drains outstanding work (discarding results) if Finish was not called.
+  ~StreamDecoder();
+
+  StreamDecoder(const StreamDecoder&) = delete;
+  StreamDecoder& operator=(const StreamDecoder&) = delete;
+
+  /// Queues one scan, transferring ownership. Blocks (by helping decode)
+  /// when the bounded window is full.
+  Status Push(media::Image scan);
+  /// Queues one scan without copying; `scan` must stay alive until Finish.
+  Status PushShared(const media::Image& scan);
+  /// Queues one pre-sampled grid; the view must stay alive until Finish.
+  Status PushGrid(BytesView grid);
+
+  /// Completes all queued work and reassembles the stream. `steps`, when
+  /// given, receives the summed VM step counts of every grid decode (in
+  /// push order). An exception thrown by the decode function (or during
+  /// sampling) is captured on the worker and rethrown here, lowest push
+  /// index first — the ParallelFor contract. Call at most once.
+  Result<Bytes> Finish(DecodeStats* stats = nullptr,
+                       uint64_t* steps = nullptr);
+
+ private:
+  struct Impl;
+  /// Common queueing path; `item` points at an Impl::Item (type-erased
+  /// because Impl is private to the .cc).
+  Status PushItem(void* item);
+
+  std::shared_ptr<Impl> impl_;
+};
 
 }  // namespace mocoder
 }  // namespace ule

@@ -1,6 +1,7 @@
 #include "verisc/machine.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace ule {
 namespace verisc {
@@ -42,8 +43,17 @@ inline uint32_t ReadMapped(uint32_t addr, uint32_t pc, uint32_t borrow,
 // by incrementing past the last word (stores to PC are masked), so fetching
 // the guard — an illegal instruction — is exactly the out-of-range-PC fault,
 // and the dispatch core needs no per-instruction PC bounds check.
+namespace {
+std::atomic<uint64_t> g_machines_constructed{0};
+}  // namespace
+
 Machine::Machine() : mem_(kMemoryWords + 1, 0) {
   mem_[kMemoryWords] = 0xFFFFFFFFu;
+  g_machines_constructed.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Machine::TotalConstructed() {
+  return g_machines_constructed.load(std::memory_order_relaxed);
 }
 
 Status Machine::Load(const Program& program) {

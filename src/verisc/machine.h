@@ -93,6 +93,12 @@ class Machine {
   /// Allocates (and zeroes) the 4 MiB memory image once.
   Machine();
 
+  /// Machines constructed process-wide since start. Each construction is a
+  /// 4 MiB allocate-and-zero, so the pipeline keeps this flat: the pool
+  /// persistence tests assert that consecutive parallel stages reuse the
+  /// per-thread machines instead of building new ones.
+  static uint64_t TotalConstructed();
+
   /// \brief Loads `program` at kProgramOrigin and resets R/B/PC/steps.
   ///
   /// Memory is reused: only the region dirtied by previous loads/stores is

@@ -217,6 +217,81 @@ TEST(EndToEndTest, ParallelEmulatedRestoreMatchesSerial) {
   EXPECT_EQ(parallel_stats.emulated_steps, serial_stats.emulated_steps);
 }
 
+TEST(EndToEndTest, StreamingArchiveAndRestoreMatchMaterializedByteForByte) {
+  // The bounded-memory pipeline contract: ArchiveDumpStreaming emits the
+  // exact frames ArchiveDump materializes, and RestoreNativeStreaming
+  // restores the exact bytes (and DecodeStats) RestoreNative does.
+  const std::string dump = SmallTpchDump();
+  ArchiveOptions opt = SmallArchiveOptions();
+  opt.emblem.threads = 4;
+
+  auto materialized = ArchiveDump(dump, opt);
+  ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+
+  std::vector<media::Image> data_frames, system_frames;
+  auto summary = ArchiveDumpStreaming(
+      dump, opt,
+      [&](mocoder::StreamId id, const mocoder::EncodedEmblem& emblem,
+          media::Image&& frame) -> Status {
+        EXPECT_EQ(emblem.header.stream, id);
+        auto& frames = id == mocoder::StreamId::kData ? data_frames
+                                                      : system_frames;
+        frames.push_back(std::move(frame));
+        return Status::OK();
+      });
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary.value().bootstrap_text,
+            materialized.value().bootstrap_text);
+  EXPECT_EQ(summary.value().dump_bytes, materialized.value().dump_bytes);
+  EXPECT_EQ(summary.value().compressed_bytes,
+            materialized.value().compressed_bytes);
+  EXPECT_EQ(summary.value().data_frames, data_frames.size());
+  EXPECT_EQ(summary.value().system_frames, system_frames.size());
+
+  ASSERT_EQ(data_frames.size(), materialized.value().data_images.size());
+  for (size_t i = 0; i < data_frames.size(); ++i) {
+    EXPECT_EQ(data_frames[i].pixels(),
+              materialized.value().data_images[i].pixels());
+  }
+  ASSERT_EQ(system_frames.size(), materialized.value().system_images.size());
+  for (size_t i = 0; i < system_frames.size(); ++i) {
+    EXPECT_EQ(system_frames[i].pixels(),
+              materialized.value().system_images[i].pixels());
+  }
+
+  // Restore both ways from the same frames; outputs and stats must agree.
+  RestoreStats mat_stats, stream_stats;
+  auto mat_restored =
+      RestoreNative(materialized.value().data_images,
+                    materialized.value().system_images,
+                    materialized.value().emblem_options, &mat_stats);
+  ASSERT_TRUE(mat_restored.ok()) << mat_restored.status().ToString();
+  size_t di = 0, si = 0;
+  auto stream_restored = RestoreNativeStreaming(
+      [&]() -> std::optional<media::Image> {
+        if (di >= data_frames.size()) return std::nullopt;
+        return data_frames[di++];
+      },
+      [&]() -> std::optional<media::Image> {
+        if (si >= system_frames.size()) return std::nullopt;
+        return system_frames[si++];
+      },
+      summary.value().emblem_options, &stream_stats);
+  ASSERT_TRUE(stream_restored.ok()) << stream_restored.status().ToString();
+  EXPECT_EQ(stream_restored.value(), dump);
+  EXPECT_EQ(stream_restored.value(), mat_restored.value());
+  EXPECT_EQ(stream_stats.data_stream.emblems_total,
+            mat_stats.data_stream.emblems_total);
+  EXPECT_EQ(stream_stats.data_stream.emblems_decoded,
+            mat_stats.data_stream.emblems_decoded);
+  EXPECT_EQ(stream_stats.data_stream.emblems_recovered,
+            mat_stats.data_stream.emblems_recovered);
+  EXPECT_EQ(stream_stats.data_stream.rs_errors_corrected,
+            mat_stats.data_stream.rs_errors_corrected);
+  EXPECT_EQ(stream_stats.system_stream.emblems_decoded,
+            mat_stats.system_stream.emblems_decoded);
+}
+
 TEST(EndToEndTest, SurvivesLostEmblems) {
   const std::string dump = SmallTpchDump();
   auto archive = ArchiveDump(dump, SmallArchiveOptions());

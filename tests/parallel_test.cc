@@ -1,20 +1,27 @@
-// Tests for support/parallel.h: pool lifecycle, ParallelFor bounds and
-// determinism, Status/exception propagation. Thread counts are passed
-// explicitly so the concurrent paths are exercised even on small CI
-// machines (where DefaultThreadCount() may be 1).
+// Tests for support/parallel.h: pool lifecycle and persistence, ParallelFor
+// bounds and determinism, ordered streaming, bounded channels,
+// Status/exception propagation. Thread counts are passed explicitly so the
+// concurrent paths are exercised even on small CI machines (where
+// DefaultThreadCount() may be 1).
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdlib>
+#include <map>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/micr_olonys.h"
 #include "dynarisc/assembler.h"
 #include "olonys/dynarisc_in_verisc.h"
 #include "support/parallel.h"
+#include "verisc/machine.h"
 
 namespace ule {
 namespace {
@@ -85,6 +92,109 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
 TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
   ThreadPool pool(2);
   pool.Wait();  // nothing submitted; must not hang
+}
+
+TEST(ThreadPoolTest, EnsureWorkersGrowsButNeverShrinks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.thread_count(), 2);
+  pool.EnsureWorkers(5);
+  EXPECT_EQ(pool.thread_count(), 5);
+  pool.EnsureWorkers(3);  // never shrinks
+  EXPECT_EQ(pool.thread_count(), 5);
+  std::atomic<int> count(0);
+  for (int i = 0; i < 20; ++i) pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 20);
+}
+
+// ---------------- Shared pool persistence ----------------
+
+TEST(SharedPoolTest, WorkersAndVeriscMachinesPersistAcrossStages) {
+  // The pipeline's core scaling property: consecutive parallel stages run
+  // on the same pool workers, and each worker's thread-local VeRisc
+  // machine (a 4 MiB allocate-and-zero to construct) survives between
+  // them. First warm every current pool worker — a barrier task per
+  // worker, held until all have started, so each one constructs its
+  // machine now if it never has.
+  (void)verisc::ThreadLocalMachine();  // warm the calling thread
+  ThreadPool& pool = SharedPool();
+  pool.EnsureWorkers(4);
+  const int workers = pool.thread_count();
+  std::set<std::thread::id> warmed_ids{std::this_thread::get_id()};
+  {
+    std::mutex mu;
+    std::condition_variable cv;
+    int started = 0;
+    for (int i = 0; i < workers; ++i) {
+      pool.Submit([&] {
+        (void)verisc::ThreadLocalMachine();
+        std::unique_lock<std::mutex> lock(mu);
+        warmed_ids.insert(std::this_thread::get_id());
+        ++started;
+        cv.notify_all();
+        cv.wait(lock, [&] { return started >= workers; });
+      });
+    }
+    pool.Wait();
+  }
+  ASSERT_EQ(static_cast<int>(warmed_ids.size()), workers + 1);
+
+  const uint64_t machines_warmed = verisc::Machine::TotalConstructed();
+  // A VeRisc program that halts immediately (ST to the halt port), so
+  // every iteration genuinely exercises the thread's cached machine.
+  verisc::Program halt;
+  halt.words = {verisc::Instr(verisc::kSt, 5)};
+
+  std::mutex mu;
+  std::map<std::thread::id, const verisc::Machine*> stage1, stage2;
+  auto run_stage =
+      [&](std::map<std::thread::id, const verisc::Machine*>* seen) {
+        Status s = ParallelFor(
+            0, 64,
+            [&](size_t) -> Status {
+              auto r = verisc::Run(halt, {});
+              if (!r.ok()) return r.status();
+              std::unique_lock<std::mutex> lock(mu);
+              (*seen)[std::this_thread::get_id()] =
+                  &verisc::ThreadLocalMachine();
+              return Status::OK();
+            },
+            4);
+        ASSERT_TRUE(s.ok()) << s.ToString();
+      };
+  run_stage(&stage1);
+  run_stage(&stage2);
+
+  // No new threads, no new machines: both stages ran exclusively on the
+  // warmed worker set, reusing each thread's cached machine.
+  EXPECT_EQ(pool.thread_count(), workers);
+  EXPECT_EQ(verisc::Machine::TotalConstructed(), machines_warmed);
+  for (const auto& [tid, machine] : stage2) {
+    EXPECT_TRUE(warmed_ids.count(tid) > 0) << "stage ran on an unknown thread";
+    auto it = stage1.find(tid);
+    if (it != stage1.end()) {
+      EXPECT_EQ(machine, it->second)
+          << "thread rebuilt its VeRisc machine between stages";
+    }
+  }
+}
+
+TEST(SharedPoolTest, NestedFanOutOnSaturatedPoolCompletes) {
+  // Regression guard for the classic shared-pool deadlock: every outer
+  // task blocks on inner parallelism while the pool is fully busy with
+  // outer tasks. The caller-participates design must degrade to serial
+  // execution instead of hanging.
+  std::atomic<uint64_t> sum(0);
+  Status s = ParallelFor(
+      0, 8,
+      [&](size_t) -> Status {
+        return ParallelFor(
+            0, 50, [&](size_t j) { sum.fetch_add(j); return Status::OK(); },
+            4);
+      },
+      8);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(sum.load(), 8ull * (50 * 49 / 2));
 }
 
 // ---------------- ParallelFor ----------------
@@ -174,6 +284,173 @@ TEST(ParallelForTest, ManyMoreItemsThanWorkers) {
       0, 10000, [&](size_t i) { sum.fetch_add(i); return Status::OK(); }, 3);
   ASSERT_TRUE(s.ok());
   EXPECT_EQ(sum.load(), 10000ull * 9999 / 2);
+}
+
+// ---------------- ParallelForOrdered ----------------
+
+TEST(ParallelForOrderedTest, ConsumesEveryIndexInOrder) {
+  std::vector<uint64_t> slots(8, 0);  // ring, window = 8
+  std::vector<size_t> consumed_order;
+  std::vector<uint64_t> consumed_values;
+  Status s = ParallelForOrdered(
+      0, 300,
+      [&](size_t i) -> Status {
+        slots[i % slots.size()] = i * 3 + 1;
+        return Status::OK();
+      },
+      [&](size_t i) -> Status {
+        consumed_order.push_back(i);
+        consumed_values.push_back(slots[i % slots.size()]);
+        return Status::OK();
+      },
+      4, static_cast<int>(slots.size()));
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_EQ(consumed_order.size(), 300u);
+  for (size_t i = 0; i < consumed_order.size(); ++i) {
+    EXPECT_EQ(consumed_order[i], i);
+    EXPECT_EQ(consumed_values[i], i * 3 + 1);  // slot not yet overwritten
+  }
+}
+
+TEST(ParallelForOrderedTest, WindowBoundsInFlightItems) {
+  // produce(i) must never start before consume(i - window) returned: the
+  // count of produced-but-unconsumed items stays <= window.
+  constexpr int kWindow = 4;
+  std::atomic<int> live(0);
+  std::atomic<int> max_live(0);
+  Status s = ParallelForOrdered(
+      0, 500,
+      [&](size_t) -> Status {
+        const int now = live.fetch_add(1) + 1;
+        int seen = max_live.load();
+        while (now > seen && !max_live.compare_exchange_weak(seen, now)) {
+        }
+        return Status::OK();
+      },
+      [&](size_t) -> Status {
+        live.fetch_sub(1);
+        return Status::OK();
+      },
+      8, kWindow);
+  ASSERT_TRUE(s.ok());
+  EXPECT_LE(max_live.load(), kWindow);
+}
+
+TEST(ParallelForOrderedTest, SerialPathInterleavesProduceConsume) {
+  std::vector<std::string> trace;
+  Status s = ParallelForOrdered(
+      0, 3,
+      [&](size_t i) { trace.push_back("p" + std::to_string(i)); return Status::OK(); },
+      [&](size_t i) { trace.push_back("c" + std::to_string(i)); return Status::OK(); },
+      1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(trace, (std::vector<std::string>{"p0", "c0", "p1", "c1", "p2",
+                                             "c2"}));
+}
+
+TEST(ParallelForOrderedTest, ProducerFailureStopsConsumptionBeforeIt) {
+  std::vector<size_t> consumed;
+  Status s = ParallelForOrdered(
+      0, 100,
+      [&](size_t i) -> Status {
+        if (i == 7) return Status::Corruption("bad 7");
+        return Status::OK();
+      },
+      [&](size_t i) -> Status {
+        consumed.push_back(i);
+        return Status::OK();
+      },
+      4);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.message(), "bad 7");
+  // Exactly the prefix a serial loop would have consumed.
+  std::vector<size_t> expected(7);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(consumed, expected);
+}
+
+TEST(ParallelForOrderedTest, ConsumerFailureWins) {
+  std::vector<size_t> consumed;
+  Status s = ParallelForOrdered(
+      0, 100, [](size_t) { return Status::OK(); },
+      [&](size_t i) -> Status {
+        consumed.push_back(i);
+        if (i == 5) return Status::InvalidArgument("stop at 5");
+        return Status::OK();
+      },
+      4);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  ASSERT_EQ(consumed.size(), 6u);
+  EXPECT_EQ(consumed.back(), 5u);
+}
+
+TEST(ParallelForOrderedTest, ProducerExceptionPropagates) {
+  EXPECT_THROW(
+      (void)ParallelForOrdered(
+          0, 50,
+          [&](size_t i) -> Status {
+            if (i == 11) throw std::runtime_error("boom");
+            return Status::OK();
+          },
+          [](size_t) { return Status::OK(); }, 4),
+      std::runtime_error);
+}
+
+TEST(ParallelForOrderedTest, EmptyRangeIsNoOp) {
+  int calls = 0;
+  auto fn = [&](size_t) { ++calls; return Status::OK(); };
+  EXPECT_TRUE(ParallelForOrdered(4, 4, fn, fn, 4).ok());
+  EXPECT_EQ(calls, 0);
+}
+
+// ---------------- BoundedChannel ----------------
+
+TEST(BoundedChannelTest, FifoAndCapacity) {
+  BoundedChannel<int> ch(3);
+  for (int i = 0; i < 3; ++i) {
+    int v = i;
+    EXPECT_TRUE(ch.TryPush(v));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(ch.TryPush(overflow));
+  EXPECT_EQ(overflow, 99);  // failed TryPush leaves the item intact
+  for (int i = 0; i < 3; ++i) {
+    auto v = ch.TryPop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ch.TryPop().has_value());
+}
+
+TEST(BoundedChannelTest, CloseDrainsThenEnds) {
+  BoundedChannel<int> ch(4);
+  int a = 1, b = 2;
+  EXPECT_TRUE(ch.TryPush(a));
+  EXPECT_TRUE(ch.TryPush(b));
+  ch.Close();
+  int c = 3;
+  EXPECT_FALSE(ch.TryPush(c));
+  EXPECT_FALSE(ch.Push(std::move(c)));
+  EXPECT_EQ(ch.Pop().value(), 1);
+  EXPECT_EQ(ch.Pop().value(), 2);
+  EXPECT_FALSE(ch.Pop().has_value());  // closed and drained: no block
+}
+
+TEST(BoundedChannelTest, BlockingHandoffAcrossThreads) {
+  BoundedChannel<int> ch(2);  // smaller than the item count: must block
+  std::vector<int> received;
+  std::thread consumer([&] {
+    while (auto v = ch.Pop()) received.push_back(*v);
+  });
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(ch.Push(int(i)));
+  }
+  ch.Close();
+  consumer.join();
+  ASSERT_EQ(received.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(received[static_cast<size_t>(i)], i);
 }
 
 // ---------------- ParallelTasks ----------------

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Documentation consistency check.
+
+Fails (exit 1) when:
+  * an internal markdown link in docs/*.md or README.md points at a file
+    that does not exist, or at a heading anchor that no heading produces;
+  * the format version string recorded in docs/FORMAT.md diverges from
+    the kUleFormatVersion constant in src/core/micr_olonys.h.
+
+Run from anywhere: paths are resolved relative to the repository root
+(the parent of this script's directory). Stdlib only.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+# FORMAT.md records the version as: **Format version: `ULE-F1`**
+DOC_VERSION_RE = re.compile(r"\*\*Format version:\s*`([^`]+)`\*\*")
+CODE_VERSION_RE = re.compile(r'kUleFormatVersion\[\]\s*=\s*"([^"]+)"')
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    # Drop inline code/emphasis markers, then non-word characters.
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_path: Path) -> set:
+    text = md_path.read_text(encoding="utf-8")
+    slugs = set()
+    counts = {}
+    for heading in HEADING_RE.findall(text):
+        slug = github_slug(heading)
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(md_path: Path) -> list:
+    errors = []
+    text = md_path.read_text(encoding="utf-8")
+    for target in LINK_RE.findall(text):
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # external scheme
+            continue
+        path_part, _, anchor = target.partition("#")
+        dest = md_path if not path_part else (md_path.parent / path_part)
+        try:
+            dest = dest.resolve()
+            dest.relative_to(REPO)
+        except ValueError:
+            errors.append(f"{md_path}: link escapes the repository: {target}")
+            continue
+        if not dest.exists():
+            errors.append(f"{md_path}: broken link target: {target}")
+            continue
+        if anchor:
+            if dest.suffix != ".md":
+                errors.append(
+                    f"{md_path}: anchor on non-markdown target: {target}")
+            elif anchor not in anchors_of(dest):
+                errors.append(f"{md_path}: no heading for anchor: {target}")
+    return errors
+
+
+def check_version() -> list:
+    fmt = REPO / "docs" / "FORMAT.md"
+    header = REPO / "src" / "core" / "micr_olonys.h"
+    doc = DOC_VERSION_RE.search(fmt.read_text(encoding="utf-8"))
+    code = CODE_VERSION_RE.search(header.read_text(encoding="utf-8"))
+    errors = []
+    if not doc:
+        errors.append(f"{fmt}: no '**Format version: `...`**' line found")
+    if not code:
+        errors.append(f"{header}: no kUleFormatVersion constant found")
+    if doc and code and doc.group(1) != code.group(1):
+        errors.append(
+            "format version mismatch: docs/FORMAT.md records "
+            f"'{doc.group(1)}' but src/core/micr_olonys.h defines "
+            f"'{code.group(1)}'")
+    return errors
+
+
+def main() -> int:
+    files = sorted((REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+    errors = []
+    for md in files:
+        if md.exists():
+            errors.extend(check_file(md))
+    errors.extend(check_version())
+    for e in errors:
+        print(f"error: {e}", file=sys.stderr)
+    checked = ", ".join(str(f.relative_to(REPO)) for f in files if f.exists())
+    if not errors:
+        print(f"docs check OK ({checked})")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
