@@ -8,10 +8,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "bench/bench_report.h"
 #include "core/micr_olonys.h"
 #include "dbcoder/dbcoder.h"
+#include "filmstore/container.h"
+#include "filmstore/frame_store.h"
 #include "media/profiles.h"
 #include "media/scanner.h"
 #include "mocoder/outer.h"
@@ -113,8 +116,7 @@ StreamingResult RunStreaming(const media::MediaProfile& profile,
   mocoder::StreamDecoder system_decoder(mocoder::StreamId::kSystem,
                                         decode_options);
   const auto t0 = Clock::now();
-  auto summary = core::ArchiveDumpStreaming(
-      payload, options,
+  filmstore::FunctionSink sink(
       [&](mocoder::StreamId id, const mocoder::EncodedEmblem&,
           media::Image&& frame) -> Status {
         // One frame in hand: "print" it, "scan" it, push the scan into
@@ -129,6 +131,7 @@ StreamingResult RunStreaming(const media::MediaProfile& profile,
                                                        : system_decoder;
         return decoder.Push(std::move(scan));
       });
+  auto summary = core::ArchiveDumpStreaming(payload, options, sink);
   if (!summary.ok()) return out;
   auto container = data_decoder.Finish();
   auto system_stream = system_decoder.Finish();
@@ -139,6 +142,58 @@ StreamingResult RunStreaming(const media::MediaProfile& profile,
   // The documented window contract: at most 2×threads frames in the
   // encode ring plus 2×threads scans in a decoder channel.
   out.peak_window_frames = 4 * static_cast<size_t>(ResolveThreadCount(0));
+  return out;
+}
+
+/// Spool-to-disk pipeline: frames flow archive → ULE-C1 container on
+/// disk (append-only), then back container → streaming restore, with no
+/// frame vector ever materialized. This is the larger-than-RAM shape:
+/// peak RSS stays O(threads × emblem) while the archive lives on disk.
+struct SpoolResult {
+  bool exact = false;
+  double write_s = 0;  ///< archive + container spool (frames to disk)
+  double read_s = 0;   ///< container read + streaming native restore
+  size_t frames = 0;
+  uint64_t container_bytes = 0;
+};
+
+SpoolResult RunSpool(const media::MediaProfile& profile,
+                     const std::string& payload, int dots_per_cell) {
+  const core::ArchiveOptions options = MakeArchiveOptions(profile,
+                                                          dots_per_cell);
+  SpoolResult out;
+  const std::string path = "bench_microfilm_spool.ulec";
+  // The spool file is scratch; drop it on every exit path.
+  struct RemoveOnExit {
+    std::string path;
+    ~RemoveOnExit() {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+  } cleanup{path};
+  filmstore::ContainerWriter::Options copt;
+  copt.bitonal = profile.bitonal_write;  // film reels are bitonal: PBM
+  auto writer = filmstore::ContainerWriter::Create(path, options.emblem,
+                                                   copt);
+  if (!writer.ok()) return out;
+  const auto t0 = Clock::now();
+  auto summary = core::ArchiveDumpStreaming(payload, options,
+                                            *writer.value());
+  if (!summary.ok() || !writer.value()->Finish().ok()) return out;
+  out.write_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  out.frames = summary.value().data_frames + summary.value().system_frames;
+  std::error_code ec;
+  out.container_bytes = std::filesystem::file_size(path, ec);
+
+  const auto t1 = Clock::now();
+  auto reader = filmstore::ContainerReader::Open(path);
+  if (!reader.ok()) return out;
+  auto data_source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+  auto system_source = reader.value()->OpenFrames(mocoder::StreamId::kSystem);
+  auto restored = core::RestoreNativeStreaming(
+      *data_source, system_source.get(), reader.value()->emblem_options());
+  out.read_s = std::chrono::duration<double>(Clock::now() - t1).count();
+  out.exact = restored.ok() && restored.value() == payload;
   return out;
 }
 
@@ -181,6 +236,33 @@ int main() {
                   static_cast<double>(st.peak_window_frames), "frames");
   report.AddGauge("peak_rss_after_streaming",
                   static_cast<double>(rss_after_streaming), "bytes");
+
+  // ---- Spool-to-disk: the same payload archived straight into a ULE-C1
+  // container and restored from it, still before the materialized
+  // baseline so the RSS gauge reflects the bounded pipeline. ----
+  std::printf("\n=== spool-to-disk: ULE-C1 container write/read ===\n");
+  const SpoolResult sp =
+      RunSpool(film_profile, big_payload, film_profile.dots_per_cell);
+  const uint64_t rss_after_spool = bench::MaxRssBytes();
+  std::printf("%-42s %10s\n", "container restore byte-exact",
+              sp.exact ? "yes" : "NO");
+  std::printf("%-42s %10zu\n", "frames spooled", sp.frames);
+  std::printf("%-42s %9.1fM\n", "container size",
+              sp.container_bytes / 1e6);
+  std::printf("%-42s %9.1fM/s\n", "container write (archive+spool)",
+              sp.write_s > 0 ? sp.container_bytes / 1e6 / sp.write_s : 0.0);
+  std::printf("%-42s %9.1fM/s\n", "container read (restore)",
+              sp.read_s > 0 ? sp.container_bytes / 1e6 / sp.read_s : 0.0);
+  std::printf("%-42s %9.1fM\n", "peak RSS after spool run",
+              rss_after_spool / 1e6);
+  report.Add("container_spool_write", 1, sp.write_s,
+             static_cast<double>(sp.container_bytes));
+  report.Add("container_spool_read", 1, sp.read_s,
+             static_cast<double>(sp.container_bytes));
+  report.AddGauge("container_bytes", static_cast<double>(sp.container_bytes),
+                  "bytes");
+  report.AddGauge("peak_rss_after_spool",
+                  static_cast<double>(rss_after_spool), "bytes");
 
   // The same payload materialized (every frame and scan in vectors): the
   // RSS delta against the gauge above is the bounded-memory win.
@@ -238,5 +320,7 @@ int main() {
   report.Add("cinema_archive", 1, cf.archive_s, bytes);
   report.Add("cinema_restore_native", 1, cf.restore_s, bytes);
   report.Write("microfilm");
-  return (mf.exact && cf.exact && st.exact && big_mat.exact) ? 0 : 1;
+  return (mf.exact && cf.exact && st.exact && sp.exact && big_mat.exact)
+             ? 0
+             : 1;
 }

@@ -1,5 +1,6 @@
 #include "core/micr_olonys.h"
 
+#include <algorithm>
 #include <map>
 
 #include "decoders/dbdecode.h"
@@ -76,11 +77,17 @@ Result<Archive> ArchiveDump(const std::string& sql_dump,
 
 Result<ArchiveSummary> ArchiveDumpStreaming(const std::string& sql_dump,
                                             const ArchiveOptions& options,
-                                            const FrameSink& sink) {
+                                            filmstore::FrameSink& sink) {
   ULE_RETURN_IF_ERROR(mocoder::ValidateOptions(options.emblem));
   ArchiveSummary summary;
   summary.emblem_options = options.emblem;
   summary.emblem_options.threads = 0;  // geometry only; see ArchiveDump
+  // The machine's actual parallelism is still worth reporting (benches,
+  // ulectl) — it just lives outside the recorded archival options. The
+  // pipeline clamps worker counts at the pool's hard cap, so the report
+  // must too.
+  summary.threads_used = std::min(ResolveThreadCount(options.emblem.threads),
+                                  ThreadPool::kMaxThreads);
   summary.dump_bytes = sql_dump.size();
 
   ULE_ASSIGN_OR_RETURN(Bytes container,
@@ -99,7 +106,7 @@ Result<ArchiveSummary> ArchiveDumpStreaming(const std::string& sql_dump,
         stream, id, options.emblem, /*render=*/true,
         [&](mocoder::EncodedEmblem&& emblem, media::Image&& frame) -> Status {
           *frames += 1;
-          return sink(id, emblem, std::move(frame));
+          return sink.Append(id, emblem, std::move(frame));
         });
   };
   ULE_RETURN_IF_ERROR(stream_out(container, mocoder::StreamId::kData,
@@ -146,41 +153,61 @@ Result<std::string> RestoreNative(const std::vector<media::Image>& data_scans,
   return ToString(dump);
 }
 
+namespace {
+
+/// Pull-decodes one stream: frames go straight from `source` into the
+/// streaming decoder, which keeps at most O(threads) of them alive.
+/// `decode` (when set) replaces the native inner decode — the emulated
+/// path plugs in the archived MODecode under nested emulation, and also
+/// counts unsampled scans (the historian's stats are about the reel).
+/// With `skip_if_empty`, a source yielding nothing returns empty bytes
+/// (the "no system reel to verify" case).
+Result<Bytes> DecodeSourceStream(filmstore::FrameSource& source,
+                                 mocoder::StreamId id,
+                                 const mocoder::Options& emblem_options,
+                                 mocoder::GridDecodeFn decode,
+                                 bool count_unsampled, bool skip_if_empty,
+                                 mocoder::DecodeStats* stats,
+                                 uint64_t* steps = nullptr) {
+  mocoder::StreamDecoder decoder(id, emblem_options, std::move(decode),
+                                 count_unsampled);
+  size_t pushed = 0;
+  for (;;) {
+    ULE_ASSIGN_OR_RETURN(std::optional<media::Image> frame, source.Next());
+    if (!frame.has_value()) break;
+    ++pushed;
+    ULE_RETURN_IF_ERROR(decoder.Push(std::move(*frame)));
+  }
+  if (skip_if_empty && pushed == 0) return Bytes();
+  return decoder.Finish(stats, steps);
+}
+
+}  // namespace
+
 Result<std::string> RestoreNativeStreaming(
-    const FrameSource& data_frames, const FrameSource& system_frames,
+    filmstore::FrameSource& data_frames,
+    filmstore::FrameSource* system_frames,
     const mocoder::Options& emblem_options, RestoreStats* stats) {
   ULE_RETURN_IF_ERROR(mocoder::ValidateOptions(emblem_options));
   RestoreStats local;
 
-  // Pull-decode one stream: frames go straight into the streaming decoder,
-  // which keeps at most O(threads) of them alive. The streams are decoded
-  // back to back (reel order), each with the full thread budget.
-  auto decode_stream = [&](const FrameSource& source, mocoder::StreamId id,
-                           mocoder::DecodeStats* st,
-                           bool skip_if_empty) -> Result<Bytes> {
-    mocoder::StreamDecoder decoder(id, emblem_options);
-    size_t pushed = 0;
-    while (auto frame = source()) {
-      ++pushed;
-      ULE_RETURN_IF_ERROR(decoder.Push(std::move(*frame)));
-    }
-    if (skip_if_empty && pushed == 0) return Bytes();
-    return decoder.Finish(st);
-  };
-
-  if (system_frames) {
+  // The streams are decoded back to back (reel order), each with the full
+  // thread budget.
+  if (system_frames != nullptr) {
     // Decoded for the same reason RestoreNative decodes it: the system
     // stream must match the in-tree decoder the emulated path runs. An
     // empty source is skipped, like an empty system_scans vector.
-    ULE_RETURN_IF_ERROR(decode_stream(system_frames, mocoder::StreamId::kSystem,
-                                      &local.system_stream,
-                                      /*skip_if_empty=*/true)
-                            .status());
+    ULE_RETURN_IF_ERROR(
+        DecodeSourceStream(*system_frames, mocoder::StreamId::kSystem,
+                           emblem_options, nullptr, /*count_unsampled=*/false,
+                           /*skip_if_empty=*/true, &local.system_stream)
+            .status());
   }
-  ULE_ASSIGN_OR_RETURN(Bytes container,
-                       decode_stream(data_frames, mocoder::StreamId::kData,
-                                     &local.data_stream,
-                                     /*skip_if_empty=*/false));
+  ULE_ASSIGN_OR_RETURN(
+      Bytes container,
+      DecodeSourceStream(data_frames, mocoder::StreamId::kData,
+                         emblem_options, nullptr, /*count_unsampled=*/false,
+                         /*skip_if_empty=*/false, &local.data_stream));
   ULE_ASSIGN_OR_RETURN(Bytes dump, dbcoder::Decode(container));
   if (stats) *stats = local;
   return ToString(dump);
@@ -204,6 +231,40 @@ Result<Bytes> RunViaBootstrap(const verisc::Program& interpreter,
   return std::move(r.output);
 }
 
+/// Builds the archived decode of one sampled grid (Bootstrap steps 5-7):
+/// pack the lattice, run MODecode under nested emulation, then apply the
+/// Bootstrap-documented header parse + CRC check. Thread-safe: each call
+/// uses only local state plus the caller thread's scratch machine. The
+/// interpreter/modecode programs are captured by reference and must
+/// outlive the returned function.
+mocoder::GridDecodeFn MakeNestedGridDecode(const verisc::Program& interpreter,
+                                           const dynarisc::Program& modecode,
+                                           int data_side,
+                                           verisc::VmFunction vm) {
+  const int blocks = mocoder::EmblemBlocks(data_side);
+  const int capacity = mocoder::EmblemCapacity(data_side);
+  return [&interpreter, &modecode, vm, data_side, blocks,
+          capacity](BytesView grid) {
+    mocoder::GridDecodeResult out;
+    const Bytes input = decoders::PackModecodeInput(grid, data_side);
+    auto container =
+        RunViaBootstrap(interpreter, modecode, input, vm, &out.steps);
+    if (!container.ok()) return out;
+    if (container.value().size() != static_cast<size_t>(blocks) * 223) {
+      return out;  // MODecode halted early: unrecoverable
+    }
+    auto header = mocoder::ParseHeader(container.value());
+    if (!header.ok()) return out;
+    Bytes payload(container.value().begin() + mocoder::kHeaderSize,
+                  container.value().begin() + mocoder::kHeaderSize + capacity);
+    if (Crc32(payload) != header.value().payload_crc) return out;
+    out.ok = true;
+    out.header = header.value();
+    out.payload = std::move(payload);
+    return out;
+  };
+}
+
 /// Decodes one stream of emblem scans with the archived MODecode program
 /// (under nested emulation), then reassembles it with the outer code.
 /// The scans flow through the streaming decoder: per-scan nested decodes
@@ -217,40 +278,13 @@ Result<Bytes> DecodeStreamEmulated(const std::vector<media::Image>& scans,
                                    verisc::VmFunction vm,
                                    mocoder::DecodeStats* stats,
                                    uint64_t* steps) {
-  const int n = emblem_options.data_side;
-  const int blocks = mocoder::EmblemBlocks(n);
-  const int capacity = mocoder::EmblemCapacity(n);
-
-  // The archived decode of one sampled grid (Bootstrap steps 5-7): pack
-  // the lattice, run MODecode under nested emulation, then apply the
-  // Bootstrap-documented header parse + CRC check. Thread-safe: each call
-  // uses only local state plus the caller thread's scratch machine.
-  mocoder::GridDecodeFn nested_decode =
-      [&, n, blocks, capacity](BytesView grid) {
-        mocoder::GridDecodeResult out;
-        const Bytes input = decoders::PackModecodeInput(grid, n);
-        auto container =
-            RunViaBootstrap(interpreter, modecode, input, vm, &out.steps);
-        if (!container.ok()) return out;
-        if (container.value().size() != static_cast<size_t>(blocks) * 223) {
-          return out;  // MODecode halted early: unrecoverable
-        }
-        auto header = mocoder::ParseHeader(container.value());
-        if (!header.ok()) return out;
-        Bytes payload(
-            container.value().begin() + mocoder::kHeaderSize,
-            container.value().begin() + mocoder::kHeaderSize + capacity);
-        if (Crc32(payload) != header.value().payload_crc) return out;
-        out.ok = true;
-        out.header = header.value();
-        out.payload = std::move(payload);
-        return out;
-      };
-
   // Every scan counts into emblems_total here (unlike DecodeImages): the
   // historian's stats are about the reel, not about what sampled cleanly.
-  mocoder::StreamDecoder decoder(id, emblem_options, nested_decode,
-                                 /*count_unsampled=*/true);
+  mocoder::StreamDecoder decoder(
+      id, emblem_options,
+      MakeNestedGridDecode(interpreter, modecode, emblem_options.data_side,
+                           vm),
+      /*count_unsampled=*/true);
   for (const media::Image& scan : scans) {
     ULE_RETURN_IF_ERROR(decoder.PushShared(scan));
   }
@@ -306,6 +340,58 @@ Result<std::string> RestoreEmulated(
           },
       },
       emblem_options.threads));
+  local.emulated_steps += system_steps + data_steps;
+
+  // Step 5 (tail): the recovered DBDecode decompresses the data stream.
+  ULE_ASSIGN_OR_RETURN(dynarisc::Program dbdecode,
+                       dynarisc::Program::Deserialize(dbdecode_stream));
+  ULE_ASSIGN_OR_RETURN(Bytes dump,
+                       RunViaBootstrap(bootstrap.dynarisc_emulator, dbdecode,
+                                       container, vm, &local.emulated_steps));
+  if (stats) *stats = local;
+  return ToString(dump);
+}
+
+Result<std::string> RestoreEmulatedStreaming(
+    filmstore::FrameSource& data_frames,
+    filmstore::FrameSource& system_frames,
+    const std::string& bootstrap_text, const mocoder::Options& emblem_options,
+    RestoreStats* stats, verisc::VmFunction vm) {
+  ULE_RETURN_IF_ERROR(mocoder::ValidateOptions(emblem_options));
+  RestoreStats local;
+
+  // Step 1-2 (Fig. 2b): parse the Bootstrap; it yields the DynaRisc
+  // emulator (a VeRisc program) and the MODecode program.
+  ULE_ASSIGN_OR_RETURN(olonys::ParsedBootstrap bootstrap,
+                       olonys::ParseBootstrapText(bootstrap_text));
+
+  // Steps 4-5, reel order: the system stream first (it yields the
+  // archived DBDecode program), then the data stream. Unlike the
+  // materialized RestoreEmulated the two reels are pulled back to back —
+  // a spool reader hands us one frame at a time — so each decode gets the
+  // full thread budget; per-scan nested decodes still fan out across pool
+  // workers. Step counters are summed in the same order as the
+  // materialized path, keeping the aggregate deterministic and identical.
+  uint64_t system_steps = 0;
+  uint64_t data_steps = 0;
+  ULE_ASSIGN_OR_RETURN(
+      Bytes dbdecode_stream,
+      DecodeSourceStream(system_frames, mocoder::StreamId::kSystem,
+                         emblem_options,
+                         MakeNestedGridDecode(bootstrap.dynarisc_emulator,
+                                              bootstrap.mocoder,
+                                              emblem_options.data_side, vm),
+                         /*count_unsampled=*/true, /*skip_if_empty=*/false,
+                         &local.system_stream, &system_steps));
+  ULE_ASSIGN_OR_RETURN(
+      Bytes container,
+      DecodeSourceStream(data_frames, mocoder::StreamId::kData,
+                         emblem_options,
+                         MakeNestedGridDecode(bootstrap.dynarisc_emulator,
+                                              bootstrap.mocoder,
+                                              emblem_options.data_side, vm),
+                         /*count_unsampled=*/true, /*skip_if_empty=*/false,
+                         &local.data_stream, &data_steps));
   local.emulated_steps += system_steps + data_steps;
 
   // Step 5 (tail): the recovered DBDecode decompresses the data stream.

@@ -21,12 +21,11 @@
 #ifndef ULE_CORE_MICR_OLONYS_H_
 #define ULE_CORE_MICR_OLONYS_H_
 
-#include <functional>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "dbcoder/dbcoder.h"
+#include "filmstore/frame_store.h"
 #include "media/image.h"
 #include "media/profiles.h"
 #include "mocoder/mocoder.h"
@@ -75,34 +74,32 @@ struct Archive {
 Result<Archive> ArchiveDump(const std::string& sql_dump,
                             const ArchiveOptions& options);
 
-/// \brief Receives one rendered frame (and its encoded emblem) during a
-/// streaming archive. Frames arrive grouped by stream — every data frame,
-/// then every system frame — in sequence order within each stream, i.e.
-/// exactly the order `Archive::data_images` / `system_images` would hold
-/// them. A non-OK status aborts the archive.
-using FrameSink = std::function<Status(mocoder::StreamId id,
-                                       const mocoder::EncodedEmblem& emblem,
-                                       media::Image&& frame)>;
-
 /// What remains of a streaming archive after the frames have been written
 /// out: the Bootstrap document and the numbers the benches report.
 struct ArchiveSummary {
   std::string bootstrap_text;       ///< the seven-page document
-  mocoder::Options emblem_options;  ///< recorded for restoration
+  mocoder::Options emblem_options;  ///< recorded for restoration (threads=0:
+                                    ///< parallelism is never archival)
+  /// Worker threads the archiving machine actually used (the resolved
+  /// value of ArchiveOptions::emblem.threads) — reporting only, not part
+  /// of the archived format.
+  int threads_used = 0;
   size_t dump_bytes = 0;
   size_t compressed_bytes = 0;
   size_t data_frames = 0;
   size_t system_frames = 0;
 };
 
-/// \brief Steps 1-7 with bounded memory: frames flow to `sink` through
-/// the shared-pool streaming pipeline instead of materializing in an
-/// Archive, so peak frame memory is O(threads × emblem) — the shape a
-/// film recorder consumes. The emblems and frames handed to `sink` are
-/// byte-identical to ArchiveDump's at any thread count.
+/// \brief Steps 1-7 with bounded memory: frames flow to `sink` (any
+/// filmstore backend — an in-memory store, a directory of scans, or the
+/// ULE-C1 spool container) through the shared-pool streaming pipeline
+/// instead of materializing in an Archive, so peak frame memory is
+/// O(threads × emblem) — the shape a film recorder consumes, even when
+/// the archive is much larger than RAM. The emblems and frames handed to
+/// `sink` are byte-identical to ArchiveDump's at any thread count.
 Result<ArchiveSummary> ArchiveDumpStreaming(const std::string& sql_dump,
                                             const ArchiveOptions& options,
-                                            const FrameSink& sink);
+                                            filmstore::FrameSink& sink);
 
 /// Restoration statistics (reported by the benches).
 struct RestoreStats {
@@ -117,20 +114,17 @@ Result<std::string> RestoreNative(const std::vector<media::Image>& data_scans,
                                   const mocoder::Options& emblem_options,
                                   RestoreStats* stats = nullptr);
 
-/// \brief Pull source of scanned frames for streaming restoration: yields
-/// the next frame, or nullopt when the reel is exhausted. Called serially
-/// from the restoring thread.
-using FrameSource = std::function<std::optional<media::Image>()>;
-
 /// \brief RestoreNative with bounded memory: frames are pulled one at a
-/// time (e.g. straight off a scanner) and decoded concurrently with at
-/// most O(threads) frames in flight, instead of requiring every scan in a
+/// time from any filmstore::FrameSource (a scanner shim, a directory of
+/// scans, a ULE-C1 container) and decoded concurrently with at most
+/// O(threads) frames in flight, instead of requiring every scan in a
 /// vector up front. Output and per-stream DecodeStats are byte-identical
 /// to RestoreNative over the same frames. A null `system_frames` (or one
 /// yielding nothing) skips the system-stream verification, like an empty
 /// `system_scans` vector.
 Result<std::string> RestoreNativeStreaming(
-    const FrameSource& data_frames, const FrameSource& system_frames,
+    filmstore::FrameSource& data_frames,
+    filmstore::FrameSource* system_frames,
     const mocoder::Options& emblem_options, RestoreStats* stats = nullptr);
 
 /// \brief The full ULE path: restores using ONLY the Bootstrap text and the
@@ -146,6 +140,22 @@ Result<std::string> RestoreNativeStreaming(
 Result<std::string> RestoreEmulated(
     const std::vector<media::Image>& data_scans,
     const std::vector<media::Image>& system_scans,
+    const std::string& bootstrap_text, const mocoder::Options& emblem_options,
+    RestoreStats* stats = nullptr,
+    verisc::VmFunction vm = &verisc::Run);
+
+/// \brief RestoreEmulated with bounded memory: the full ULE path (only
+/// the Bootstrap text and the scans), pulling frames one at a time from
+/// filmstore sources instead of materialized scan vectors. The system
+/// stream is decoded first (it yields the archived DBDecode program),
+/// then the data stream — reel order, each with the full thread budget;
+/// per-scan nested decodes fan out across pool workers with O(threads)
+/// frames in flight. Output, per-stream DecodeStats and the emulated
+/// step count are byte-identical to RestoreEmulated over the same frames
+/// at any thread count.
+Result<std::string> RestoreEmulatedStreaming(
+    filmstore::FrameSource& data_frames,
+    filmstore::FrameSource& system_frames,
     const std::string& bootstrap_text, const mocoder::Options& emblem_options,
     RestoreStats* stats = nullptr,
     verisc::VmFunction vm = &verisc::Run);

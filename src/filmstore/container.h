@@ -1,0 +1,189 @@
+/// \file container.h
+/// \brief The ULE-C1 single-file spool container (docs/FORMAT.md §9).
+///
+/// A film recorder consumes frames one at a time; an archive larger than
+/// RAM must therefore be able to leave the machine the same way. The
+/// ULE-C1 container is the append-only on-disk shape of one reel:
+///
+///   header | record* | index | footer
+///
+/// Records (frames, one per emblem, plus an optional Bootstrap-document
+/// record) are written strictly append-only as `core::ArchiveDumpStreaming`
+/// emits them, so the writer holds O(1) frames and peak archive RSS stays
+/// O(threads × emblem). Every record carries a CRC-32 of its payload; the
+/// trailing index (one fixed-size entry per record, itself CRC-protected)
+/// lets a reader seek straight to any frame, and the fixed-size footer at
+/// EOF locates the index. Frames are stored as PGM (lossless) or PBM
+/// (bitonal reels) images — the same serialization every other artifact
+/// in the repo uses.
+///
+/// A reader never loads the whole file: `FrameSource`s returned by
+/// `ContainerReader::OpenFrames` seek record-at-a-time, so restoration
+/// through `core::RestoreNativeStreaming` / `RestoreEmulatedStreaming` is
+/// bounded-memory end to end. Corruption surfaces as Status: a truncated
+/// file fails to open (no footer), a flipped payload byte fails its CRC on
+/// read, and an unknown container version is rejected as Unimplemented.
+
+#ifndef ULE_FILMSTORE_CONTAINER_H_
+#define ULE_FILMSTORE_CONTAINER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "filmstore/frame_store.h"
+#include "filmstore/reel_reader.h"
+#include "mocoder/mocoder.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace ule {
+namespace filmstore {
+
+/// \brief Version string of the ULE-C1 spool container format.
+///
+/// Documented in docs/FORMAT.md (§9), which records this exact string;
+/// tools/check_docs.py fails the build when the two diverge — the same
+/// contract `core::kUleFormatVersion` has for the on-film format. The
+/// one-byte binary version in the container header is the wire form of
+/// this string's trailing number.
+inline constexpr char kUleContainerFormatVersion[] = "ULE-C1";
+
+/// Binary version byte written in the container header (the "1" in
+/// ULE-C1). Readers reject anything else with Unimplemented.
+inline constexpr uint8_t kContainerBinaryVersion = 1;
+
+/// Record types (first byte of every record and index entry).
+enum class RecordType : uint8_t {
+  kDataFrame = 0,    ///< one rendered emblem of the data stream
+  kSystemFrame = 1,  ///< one rendered emblem of the system stream
+  kBootstrap = 2,    ///< the printed Bootstrap document (UTF-8 text)
+};
+
+/// Payload codecs for frame records.
+enum class FrameCodec : uint8_t {
+  kPgm = 0,  ///< binary PGM (P5): lossless for any grayscale frame
+  kPbm = 1,  ///< binary PBM (P4): bitonal; exact for rendered 0/255 frames
+};
+
+/// One parsed index entry: where a record's payload lives and how to
+/// validate and decode it.
+struct ContainerEntry {
+  uint64_t offset = 0;       ///< file offset of the payload bytes
+  uint32_t payload_len = 0;  ///< payload size in bytes
+  uint32_t payload_crc = 0;  ///< CRC-32 of the payload bytes
+  RecordType type = RecordType::kDataFrame;
+  FrameCodec codec = FrameCodec::kPgm;  ///< meaningful for frame records
+  uint16_t seq = 0;          ///< emblem sequence slot (0 for bootstrap)
+};
+
+/// \brief Append-only ULE-C1 writer; plugs into `ArchiveDumpStreaming` as
+/// its FrameSink so frames spool to disk as they are rendered.
+///
+/// Call `Finish()` to seal the container (writes the index + footer); a
+/// writer destroyed without Finish leaves a file with no footer, which
+/// readers reject — an aborted archive can never masquerade as a reel.
+class ContainerWriter final : public FrameSink {
+ public:
+  struct Options {
+    /// Store frames as bitonal PBM (8x smaller; exact for rendered
+    /// frames, lossy for grayscale scans) instead of PGM.
+    bool bitonal = false;
+  };
+
+  /// Creates (truncates) `path` and writes the container header. The
+  /// emblem geometry is recorded so the container is self-describing for
+  /// restoration; its `threads` knob is not stored (never archival).
+  static Result<std::unique_ptr<ContainerWriter>> Create(
+      const std::string& path, const mocoder::Options& emblem_options,
+      const Options& options);
+  static Result<std::unique_ptr<ContainerWriter>> Create(
+      const std::string& path, const mocoder::Options& emblem_options) {
+    return Create(path, emblem_options, Options());
+  }
+
+  ~ContainerWriter() override;
+
+  ContainerWriter(const ContainerWriter&) = delete;
+  ContainerWriter& operator=(const ContainerWriter&) = delete;
+
+  /// Spools one rendered frame (FrameSink). Serial, append-only.
+  Status Append(mocoder::StreamId id, const mocoder::EncodedEmblem& emblem,
+                media::Image&& frame) override;
+
+  /// Appends the Bootstrap document so the reel restores (even emulated)
+  /// from the container alone. At most one per container.
+  Status AppendBootstrap(const std::string& text);
+
+  /// Writes the index + footer and closes the file. Required; appending
+  /// after Finish (or finishing twice) is InvalidArgument.
+  Status Finish();
+
+  /// Bytes written so far (records only until Finish adds the tail).
+  uint64_t bytes_written() const { return offset_; }
+
+ private:
+  ContainerWriter(const std::string& path, const Options& options);
+
+  Status WriteRaw(BytesView bytes);
+  Status AppendRecord(RecordType type, FrameCodec codec, uint16_t seq,
+                      BytesView payload);
+
+  std::string path_;
+  Options options_;
+  std::ofstream out_;
+  std::vector<ContainerEntry> entries_;
+  uint64_t offset_ = 0;
+  bool finished_ = false;
+  bool has_bootstrap_ = false;
+};
+
+/// \brief Random-access ULE-C1 reader. Open validates the header, footer
+/// and index (structure + index CRC) without touching record payloads;
+/// payload CRCs are checked on every read.
+class ContainerReader final : public ReelReader {
+ public:
+  /// Opens and validates `path`. Corruption for a damaged or truncated
+  /// container, Unimplemented for an unknown container version, IoError
+  /// when the host cannot read the file.
+  static Result<std::unique_ptr<ContainerReader>> Open(
+      const std::string& path);
+
+  const std::string& path() const { return path_; }
+  const std::vector<ContainerEntry>& entries() const { return entries_; }
+
+  const char* kind() const override { return "ULE-C1 container"; }
+  const mocoder::Options& emblem_options() const override {
+    return emblem_options_;
+  }
+  size_t frame_count(mocoder::StreamId id) const override;
+  bool has_bootstrap() const override;
+  Result<std::string> ReadBootstrap() const override;
+  /// Pull source over one stream's frames, decoding record-at-a-time with
+  /// CRC validation — O(1) frames in memory regardless of reel size.
+  std::unique_ptr<FrameSource> OpenFrames(
+      mocoder::StreamId id) const override;
+  /// Re-reads every record payload and validates its CRC (and that frame
+  /// payloads decode as images).
+  Status Verify() const override;
+
+ private:
+  ContainerReader() = default;
+
+  Result<Bytes> ReadPayload(const ContainerEntry& entry) const;
+
+  std::string path_;
+  mocoder::Options emblem_options_;
+  std::vector<ContainerEntry> entries_;
+};
+
+/// Decodes one frame payload with its recorded codec (shared by the
+/// reader, Verify, and tests).
+Result<media::Image> DecodeFramePayload(FrameCodec codec, BytesView payload);
+
+}  // namespace filmstore
+}  // namespace ule
+
+#endif  // ULE_FILMSTORE_CONTAINER_H_

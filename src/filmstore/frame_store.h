@@ -1,0 +1,150 @@
+/// \file frame_store.h
+/// \brief The film-store boundary: where rendered frames go during an
+/// archive and where scanned frames come from during a restore.
+///
+/// The archive/restore pipeline in `core` streams frames one at a time
+/// with O(threads × emblem) peak memory; this header defines the small
+/// polymorphic interfaces the pipeline hands those frames across:
+///
+///   * `FrameSink`    — receives each rendered frame during archival;
+///   * `FrameSource`  — yields scanned frames one at a time at restore.
+///
+/// Backends live next door: `MemoryStore` (below — frames in vectors, the
+/// pre-filmstore behavior), `DirectoryStore` (one image file per frame,
+/// human-browsable), and the single-file ULE-C1 container
+/// (`container.h`) that spools archives larger than RAM to disk.
+/// `FunctionSink`/`FunctionSource` adapt ad-hoc lambdas (the shape the
+/// old `core::FrameSink`/`core::FrameSource` typedefs had) so call sites
+/// that just want a callback keep working.
+
+#ifndef ULE_FILMSTORE_FRAME_STORE_H_
+#define ULE_FILMSTORE_FRAME_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "media/image.h"
+#include "mocoder/mocoder.h"
+#include "support/status.h"
+
+namespace ule {
+namespace filmstore {
+
+/// \brief Receives one rendered frame (and its encoded emblem) during a
+/// streaming archive. Frames arrive grouped by stream — every data frame,
+/// then every system frame — in sequence order within each stream, i.e.
+/// exactly the order `core::Archive::data_images` / `system_images` would
+/// hold them. A non-OK status aborts the archive. Called serially from
+/// the archiving thread.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+
+  virtual Status Append(mocoder::StreamId id,
+                        const mocoder::EncodedEmblem& emblem,
+                        media::Image&& frame) = 0;
+};
+
+/// \brief Pull source of scanned frames for streaming restoration: yields
+/// the next frame, nullopt when the reel is exhausted, or an error Status
+/// when the backing store is unreadable (I/O failure, corrupt record).
+/// Called serially from the restoring thread.
+class FrameSource {
+ public:
+  virtual ~FrameSource() = default;
+
+  virtual Result<std::optional<media::Image>> Next() = 0;
+};
+
+/// Adapts a callback to FrameSink (the old `core::FrameSink` shape).
+class FunctionSink final : public FrameSink {
+ public:
+  using Fn = std::function<Status(mocoder::StreamId id,
+                                  const mocoder::EncodedEmblem& emblem,
+                                  media::Image&& frame)>;
+  explicit FunctionSink(Fn fn) : fn_(std::move(fn)) {}
+
+  Status Append(mocoder::StreamId id, const mocoder::EncodedEmblem& emblem,
+                media::Image&& frame) override {
+    return fn_(id, emblem, std::move(frame));
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Adapts a pull callback to FrameSource (the old `core::FrameSource`
+/// shape: no error channel, nullopt ends the reel).
+class FunctionSource final : public FrameSource {
+ public:
+  using Fn = std::function<std::optional<media::Image>()>;
+  explicit FunctionSource(Fn fn) : fn_(std::move(fn)) {}
+
+  Result<std::optional<media::Image>> Next() override { return fn_(); }
+
+ private:
+  Fn fn_;
+};
+
+/// \brief Yields copies of the images in a vector, in order. The vector
+/// must outlive the source.
+class VectorSource final : public FrameSource {
+ public:
+  explicit VectorSource(const std::vector<media::Image>& frames)
+      : frames_(&frames) {}
+
+  Result<std::optional<media::Image>> Next() override {
+    if (next_ >= frames_->size()) return std::optional<media::Image>();
+    return std::optional<media::Image>((*frames_)[next_++]);
+  }
+
+ private:
+  const std::vector<media::Image>* frames_;
+  size_t next_ = 0;
+};
+
+/// \brief In-memory film store: frames (and their emblems) accumulate in
+/// per-stream vectors — the materialized shape every pre-filmstore call
+/// site used. Peak memory is O(archive); use the ULE-C1 container
+/// (`container.h`) when the archive may not fit in RAM.
+class MemoryStore final : public FrameSink {
+ public:
+  Status Append(mocoder::StreamId id, const mocoder::EncodedEmblem& emblem,
+                media::Image&& frame) override;
+
+  const std::vector<media::Image>& frames(mocoder::StreamId id) const {
+    return Slot(id).frames;
+  }
+  const std::vector<mocoder::EncodedEmblem>& emblems(
+      mocoder::StreamId id) const {
+    return Slot(id).emblems;
+  }
+
+  /// Source over the stored frames of one stream (yields copies). The
+  /// store must outlive the source; frames appended after the call are
+  /// picked up until the source reports end-of-reel.
+  std::unique_ptr<FrameSource> OpenFrames(mocoder::StreamId id) const;
+
+ private:
+  struct Stream {
+    std::vector<mocoder::EncodedEmblem> emblems;
+    std::vector<media::Image> frames;
+  };
+  const Stream& Slot(mocoder::StreamId id) const {
+    return id == mocoder::StreamId::kData ? data_ : system_;
+  }
+  Stream& Slot(mocoder::StreamId id) {
+    return id == mocoder::StreamId::kData ? data_ : system_;
+  }
+
+  Stream data_;
+  Stream system_;
+};
+
+}  // namespace filmstore
+}  // namespace ule
+
+#endif  // ULE_FILMSTORE_FRAME_STORE_H_

@@ -1,0 +1,23 @@
+#include "filmstore/reel_reader.h"
+
+#include <filesystem>
+
+#include "filmstore/container.h"
+#include "filmstore/directory_store.h"
+
+namespace ule {
+namespace filmstore {
+
+Result<std::unique_ptr<ReelReader>> OpenReel(const std::string& path) {
+  if (std::filesystem::is_directory(path)) {
+    ULE_ASSIGN_OR_RETURN(std::unique_ptr<DirectoryReader> reader,
+                         DirectoryReader::Open(path));
+    return std::unique_ptr<ReelReader>(std::move(reader));
+  }
+  ULE_ASSIGN_OR_RETURN(std::unique_ptr<ContainerReader> reader,
+                       ContainerReader::Open(path));
+  return std::unique_ptr<ReelReader>(std::move(reader));
+}
+
+}  // namespace filmstore
+}  // namespace ule

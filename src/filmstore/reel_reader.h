@@ -1,0 +1,52 @@
+/// \file reel_reader.h
+/// \brief Uniform read surface over any sealed reel on disk.
+///
+/// `ContainerReader` (single-file ULE-C1) and `DirectoryReader` (folder
+/// of frame images) expose the same contract; this interface names it so
+/// tools open "a reel" without caring which backend wrote it. `OpenReel`
+/// picks the backend from the path (directory → directory reel, file →
+/// ULE-C1 container).
+
+#ifndef ULE_FILMSTORE_REEL_READER_H_
+#define ULE_FILMSTORE_REEL_READER_H_
+
+#include <memory>
+#include <string>
+
+#include "filmstore/frame_store.h"
+#include "mocoder/mocoder.h"
+#include "support/status.h"
+
+namespace ule {
+namespace filmstore {
+
+class ReelReader {
+ public:
+  virtual ~ReelReader() = default;
+
+  /// Human-readable backend name ("ULE-C1 container", "directory").
+  virtual const char* kind() const = 0;
+  /// Recorded emblem geometry (threads = 0: never archival).
+  virtual const mocoder::Options& emblem_options() const = 0;
+  /// Frame records of one stream (in append = sequence order).
+  virtual size_t frame_count(mocoder::StreamId id) const = 0;
+  virtual bool has_bootstrap() const = 0;
+  /// Reads the archived Bootstrap document; NotFound when the reel was
+  /// written without one.
+  virtual Result<std::string> ReadBootstrap() const = 0;
+  /// Pull source over one stream's frames, loading one frame per Next()
+  /// call. Self-contained; may outlive the reader.
+  virtual std::unique_ptr<FrameSource> OpenFrames(
+      mocoder::StreamId id) const = 0;
+  /// Re-reads every record and validates what the backend can guarantee
+  /// (ULE-C1: every CRC; directory: every frame file parses).
+  virtual Status Verify() const = 0;
+};
+
+/// Opens the reel at `path` with the matching backend.
+Result<std::unique_ptr<ReelReader>> OpenReel(const std::string& path);
+
+}  // namespace filmstore
+}  // namespace ule
+
+#endif  // ULE_FILMSTORE_REEL_READER_H_

@@ -1,9 +1,10 @@
 #include "media/image.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
-#include <cstdio>
-#include <fstream>
+
+#include "support/io.h"
 
 namespace ule {
 namespace media {
@@ -145,20 +146,21 @@ Result<Image> Image::FromPbm(BytesView data) {
 }
 
 Status Image::SavePgm(const std::string& path) const {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) return Status::IoError("cannot open " + path + " for writing");
-  const Bytes data = ToPgm();
-  f.write(reinterpret_cast<const char*>(data.data()),
-          static_cast<std::streamsize>(data.size()));
-  return f ? Status::OK() : Status::IoError("write failed: " + path);
+  return WriteFileBytes(path, ToPgm());
 }
 
 Result<Image> Image::LoadPgm(const std::string& path) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) return Status::IoError("cannot open " + path);
-  Bytes data((std::istreambuf_iterator<char>(f)),
-             std::istreambuf_iterator<char>());
+  ULE_ASSIGN_OR_RETURN(Bytes data, ReadFileBytes(path));
   return FromPgm(data);
+}
+
+Status Image::SavePbm(const std::string& path) const {
+  return WriteFileBytes(path, ToPbm());
+}
+
+Result<Image> Image::LoadPbm(const std::string& path) {
+  ULE_ASSIGN_OR_RETURN(Bytes data, ReadFileBytes(path));
+  return FromPbm(data);
 }
 
 }  // namespace media

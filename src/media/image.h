@@ -61,6 +61,13 @@ class Image {
   Status SavePgm(const std::string& path) const;
   static Result<Image> LoadPgm(const std::string& path);
 
+  /// Writes/reads bitonal PBM files (used by the film-store directory
+  /// backend for microfilm-style bitonal reels). Lossy for grayscale
+  /// content: pixels < 128 become black. Round-trips rendered (pure
+  /// 0/255) frames exactly.
+  Status SavePbm(const std::string& path) const;
+  static Result<Image> LoadPbm(const std::string& path);
+
  private:
   int width_ = 0;
   int height_ = 0;

@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include "core/micr_olonys.h"
+#include "filmstore/container.h"
+#include "filmstore/frame_store.h"
 #include "media/scanner.h"
 #include "minidb/sqldump.h"
+#include "support/io.h"
 #include "tests/testutil.h"
 #include "tpch/tpch.h"
 #include "verisc/implementations.h"
@@ -228,18 +231,17 @@ TEST(EndToEndTest, StreamingArchiveAndRestoreMatchMaterializedByteForByte) {
   auto materialized = ArchiveDump(dump, opt);
   ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
 
-  std::vector<media::Image> data_frames, system_frames;
-  auto summary = ArchiveDumpStreaming(
-      dump, opt,
-      [&](mocoder::StreamId id, const mocoder::EncodedEmblem& emblem,
-          media::Image&& frame) -> Status {
-        EXPECT_EQ(emblem.header.stream, id);
-        auto& frames = id == mocoder::StreamId::kData ? data_frames
-                                                      : system_frames;
-        frames.push_back(std::move(frame));
-        return Status::OK();
-      });
+  filmstore::MemoryStore store;
+  auto summary = ArchiveDumpStreaming(dump, opt, store);
   ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  const auto& data_frames = store.frames(mocoder::StreamId::kData);
+  const auto& system_frames = store.frames(mocoder::StreamId::kSystem);
+  for (mocoder::StreamId id :
+       {mocoder::StreamId::kData, mocoder::StreamId::kSystem}) {
+    for (const auto& emblem : store.emblems(id)) {
+      EXPECT_EQ(emblem.header.stream, id);
+    }
+  }
   EXPECT_EQ(summary.value().bootstrap_text,
             materialized.value().bootstrap_text);
   EXPECT_EQ(summary.value().dump_bytes, materialized.value().dump_bytes);
@@ -247,6 +249,10 @@ TEST(EndToEndTest, StreamingArchiveAndRestoreMatchMaterializedByteForByte) {
             materialized.value().compressed_bytes);
   EXPECT_EQ(summary.value().data_frames, data_frames.size());
   EXPECT_EQ(summary.value().system_frames, system_frames.size());
+  // The satellite fix: the summary reports the machine's actual
+  // parallelism while the recorded archival options stay thread-neutral.
+  EXPECT_EQ(summary.value().threads_used, 4);
+  EXPECT_EQ(summary.value().emblem_options.threads, 0);
 
   ASSERT_EQ(data_frames.size(), materialized.value().data_images.size());
   for (size_t i = 0; i < data_frames.size(); ++i) {
@@ -266,17 +272,11 @@ TEST(EndToEndTest, StreamingArchiveAndRestoreMatchMaterializedByteForByte) {
                     materialized.value().system_images,
                     materialized.value().emblem_options, &mat_stats);
   ASSERT_TRUE(mat_restored.ok()) << mat_restored.status().ToString();
-  size_t di = 0, si = 0;
-  auto stream_restored = RestoreNativeStreaming(
-      [&]() -> std::optional<media::Image> {
-        if (di >= data_frames.size()) return std::nullopt;
-        return data_frames[di++];
-      },
-      [&]() -> std::optional<media::Image> {
-        if (si >= system_frames.size()) return std::nullopt;
-        return system_frames[si++];
-      },
-      summary.value().emblem_options, &stream_stats);
+  auto data_source = store.OpenFrames(mocoder::StreamId::kData);
+  auto system_source = store.OpenFrames(mocoder::StreamId::kSystem);
+  auto stream_restored =
+      RestoreNativeStreaming(*data_source, system_source.get(),
+                             summary.value().emblem_options, &stream_stats);
   ASSERT_TRUE(stream_restored.ok()) << stream_restored.status().ToString();
   EXPECT_EQ(stream_restored.value(), dump);
   EXPECT_EQ(stream_restored.value(), mat_restored.value());
@@ -290,6 +290,87 @@ TEST(EndToEndTest, StreamingArchiveAndRestoreMatchMaterializedByteForByte) {
             mat_stats.data_stream.rs_errors_corrected);
   EXPECT_EQ(stream_stats.system_stream.emblems_decoded,
             mat_stats.system_stream.emblems_decoded);
+}
+
+TEST(EndToEndTest, StreamingEmulatedRestoreMatchesMaterialized) {
+  // The streaming RestoreEmulatedStreaming entry point is the same full
+  // ULE path (Bootstrap + scans only), pulling frames from filmstore
+  // sources; output, stats and step counts must match RestoreEmulated.
+  const std::string dump = "CREATE TABLE t (\n    a bigint\n);\n"
+                           "COPY t (a) FROM stdin;\n1\n2\n3\n\\.\n";
+  ArchiveOptions opt;
+  opt.emblem.data_side = 65;  // smallest emblems: fastest emulation
+  auto archive = ArchiveDump(dump, opt);
+  ASSERT_TRUE(archive.ok());
+
+  RestoreStats mat_stats, stream_stats;
+  auto materialized = RestoreEmulated(
+      archive.value().data_images, archive.value().system_images,
+      archive.value().bootstrap_text, archive.value().emblem_options,
+      &mat_stats);
+  ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+
+  filmstore::VectorSource data_source(archive.value().data_images);
+  filmstore::VectorSource system_source(archive.value().system_images);
+  auto streamed = RestoreEmulatedStreaming(
+      data_source, system_source, archive.value().bootstrap_text,
+      archive.value().emblem_options, &stream_stats);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  EXPECT_EQ(streamed.value(), dump);
+  EXPECT_EQ(streamed.value(), materialized.value());
+  EXPECT_EQ(stream_stats.emulated_steps, mat_stats.emulated_steps);
+  EXPECT_EQ(stream_stats.data_stream.emblems_total,
+            mat_stats.data_stream.emblems_total);
+  EXPECT_EQ(stream_stats.data_stream.emblems_decoded,
+            mat_stats.data_stream.emblems_decoded);
+  EXPECT_EQ(stream_stats.system_stream.emblems_decoded,
+            mat_stats.system_stream.emblems_decoded);
+}
+
+TEST(EndToEndTest, ContainerSpoolRoundTripAcrossThreadCounts) {
+  // The acceptance path: a TPC-H dump spooled to a ULE-C1 container on
+  // disk restores byte-identically through the container's own sources,
+  // at thread counts 1 and 4, and the two containers are byte-identical.
+  const std::string dump = SmallTpchDump();
+  std::string container_bytes[2];
+  const int thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    ArchiveOptions opt = SmallArchiveOptions();
+    opt.emblem.threads = thread_counts[i];
+    const std::string path = testing::TempDir() + "e2e_spool_" +
+                             std::to_string(thread_counts[i]) + ".ulec";
+    auto writer = filmstore::ContainerWriter::Create(path, opt.emblem);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    auto summary = ArchiveDumpStreaming(dump, opt, *writer.value());
+    ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+    ASSERT_TRUE(writer.value()->AppendBootstrap(
+        summary.value().bootstrap_text).ok());
+    ASSERT_TRUE(writer.value()->Finish().ok());
+
+    auto reader = filmstore::ContainerReader::Open(path);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    EXPECT_EQ(reader.value()->frame_count(mocoder::StreamId::kData),
+              summary.value().data_frames);
+    EXPECT_EQ(reader.value()->frame_count(mocoder::StreamId::kSystem),
+              summary.value().system_frames);
+    ASSERT_TRUE(reader.value()->Verify().ok());
+
+    auto data_source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+    auto system_source =
+        reader.value()->OpenFrames(mocoder::StreamId::kSystem);
+    // Restore with the *container's* recorded geometry, not the writer's
+    // options: the reel must be self-describing.
+    auto restored = RestoreNativeStreaming(*data_source, system_source.get(),
+                                           reader.value()->emblem_options());
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    EXPECT_EQ(restored.value(), dump);
+
+    auto bytes = ReadFileBytes(path);
+    ASSERT_TRUE(bytes.ok());
+    container_bytes[i] = ToString(bytes.value());
+  }
+  // Byte-identical at any thread count: the spool is deterministic.
+  EXPECT_EQ(container_bytes[0], container_bytes[1]);
 }
 
 TEST(EndToEndTest, SurvivesLostEmblems) {

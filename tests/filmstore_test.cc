@@ -1,0 +1,461 @@
+// Film-store backends: round trips through the in-memory store, the
+// directory-of-scans store and the ULE-C1 spool container, plus fault
+// injection on the container — truncation, flipped bytes, unknown
+// versions — which must surface as clean Status errors, never crashes or
+// silently corrupted restores.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "filmstore/container.h"
+#include "filmstore/directory_store.h"
+#include "filmstore/frame_store.h"
+#include "filmstore/reel_reader.h"
+#include "mocoder/mocoder.h"
+#include "support/io.h"
+#include "support/random.h"
+
+namespace ule {
+namespace filmstore {
+namespace {
+
+mocoder::Options SmallOptions() {
+  mocoder::Options opt;
+  opt.data_side = 65;  // smallest geometry: fast encodes
+  opt.dots_per_cell = 2;
+  return opt;
+}
+
+/// A small deterministic payload encoded + rendered into frames of one
+/// stream (the shape ArchiveDumpStreaming hands a sink).
+struct EncodedStream {
+  Bytes payload;
+  std::vector<mocoder::EncodedEmblem> emblems;
+  std::vector<media::Image> frames;
+};
+
+EncodedStream MakeStream(mocoder::StreamId id, size_t payload_bytes,
+                         uint32_t seed) {
+  EncodedStream out;
+  out.payload = RandomBytes(seed, payload_bytes);
+  const mocoder::Options opt = SmallOptions();
+  Status st = mocoder::EncodeToSink(
+      out.payload, id, opt, /*render=*/true,
+      [&](mocoder::EncodedEmblem&& emblem, media::Image&& frame) -> Status {
+        out.emblems.push_back(std::move(emblem));
+        out.frames.push_back(std::move(frame));
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+/// Drains a source into a vector, failing the test on any error.
+std::vector<media::Image> Drain(FrameSource& source) {
+  std::vector<media::Image> frames;
+  for (;;) {
+    auto next = source.Next();
+    EXPECT_TRUE(next.ok()) << next.status().ToString();
+    if (!next.ok() || !next.value().has_value()) break;
+    frames.push_back(std::move(*next.value()));
+  }
+  return frames;
+}
+
+void ExpectSameFrames(const std::vector<media::Image>& a,
+                      const std::vector<media::Image>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pixels(), b[i].pixels()) << "frame " << i;
+  }
+}
+
+/// Writes both streams (and a bootstrap) through any sink.
+void FillSink(FrameSink& sink, const EncodedStream& data,
+              const EncodedStream& system) {
+  for (size_t i = 0; i < data.frames.size(); ++i) {
+    media::Image frame = data.frames[i];
+    ASSERT_TRUE(sink.Append(mocoder::StreamId::kData, data.emblems[i],
+                            std::move(frame))
+                    .ok());
+  }
+  for (size_t i = 0; i < system.frames.size(); ++i) {
+    media::Image frame = system.frames[i];
+    ASSERT_TRUE(sink.Append(mocoder::StreamId::kSystem, system.emblems[i],
+                            std::move(frame))
+                    .ok());
+  }
+}
+
+TEST(MemoryStoreTest, RoundTripBothStreams) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 4000, 1);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 900, 2);
+  MemoryStore store;
+  FillSink(store, data, system);
+  EXPECT_EQ(store.frames(mocoder::StreamId::kData).size(),
+            data.frames.size());
+  EXPECT_EQ(store.emblems(mocoder::StreamId::kSystem).size(),
+            system.emblems.size());
+  auto data_source = store.OpenFrames(mocoder::StreamId::kData);
+  ExpectSameFrames(Drain(*data_source), data.frames);
+  auto system_source = store.OpenFrames(mocoder::StreamId::kSystem);
+  ExpectSameFrames(Drain(*system_source), system.frames);
+
+  // The stored frames still decode back to the payload.
+  auto decoded =
+      mocoder::DecodeImages(store.frames(mocoder::StreamId::kData),
+                            mocoder::StreamId::kData, SmallOptions());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value(), data.payload);
+}
+
+TEST(FrameStoreTest, FunctionAdaptersMatchCallbacks) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 1000, 3);
+  std::vector<media::Image> collected;
+  FunctionSink sink([&](mocoder::StreamId id,
+                        const mocoder::EncodedEmblem& emblem,
+                        media::Image&& frame) -> Status {
+    EXPECT_EQ(emblem.header.stream, id);
+    if (id == mocoder::StreamId::kData) collected.push_back(std::move(frame));
+    return Status::OK();
+  });
+  FillSink(sink, data, MakeStream(mocoder::StreamId::kSystem, 0, 4));
+  ExpectSameFrames(collected, data.frames);
+
+  size_t i = 0;
+  FunctionSource source([&]() -> std::optional<media::Image> {
+    if (i >= collected.size()) return std::nullopt;
+    return collected[i++];
+  });
+  ExpectSameFrames(Drain(source), data.frames);
+}
+
+TEST(DirectoryStoreTest, RoundTripWithManifestAndBootstrap) {
+  const std::string dir = testing::TempDir() + "filmstore_dir_rt";
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 3000, 5);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 700, 6);
+  auto writer = DirectoryWriter::Create(dir, SmallOptions());
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  FillSink(*writer.value(), data, system);
+  ASSERT_TRUE(writer.value()->AppendBootstrap("BOOTSTRAP TEXT\n").ok());
+  ASSERT_TRUE(writer.value()->Finish().ok());
+
+  auto reader = DirectoryReader::Open(dir);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value()->emblem_options().data_side, 65);
+  EXPECT_EQ(reader.value()->frame_count(mocoder::StreamId::kData),
+            data.frames.size());
+  EXPECT_EQ(reader.value()->frame_count(mocoder::StreamId::kSystem),
+            system.frames.size());
+  auto bootstrap = reader.value()->ReadBootstrap();
+  ASSERT_TRUE(bootstrap.ok());
+  EXPECT_EQ(bootstrap.value(), "BOOTSTRAP TEXT\n");
+  auto source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+  ExpectSameFrames(Drain(*source), data.frames);
+  EXPECT_TRUE(reader.value()->Verify().ok());
+}
+
+TEST(DirectoryStoreTest, BitonalPbmRoundTripsRenderedFrames) {
+  const std::string dir = testing::TempDir() + "filmstore_dir_pbm";
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 500, 7);
+  DirectoryWriter::Options dopt;
+  dopt.bitonal = true;
+  auto writer = DirectoryWriter::Create(dir, SmallOptions(), dopt);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  FillSink(*writer.value(), data, MakeStream(mocoder::StreamId::kSystem, 0, 8));
+  ASSERT_TRUE(writer.value()->Finish().ok());
+
+  auto reader = DirectoryReader::Open(dir);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader.value()->bitonal());
+  // Rendered frames are pure 0/255, so the bitonal codec is lossless.
+  auto source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+  ExpectSameFrames(Drain(*source), data.frames);
+}
+
+TEST(DirectoryStoreTest, AppendAfterFinishFails) {
+  // Same sealing contract as the ULE-C1 writer: a finished reel rejects
+  // further appends.
+  const std::string dir = testing::TempDir() + "filmstore_dir_sealed";
+  auto writer = DirectoryWriter::Create(dir, SmallOptions());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Finish().ok());
+  EXPECT_EQ(writer.value()->AppendBootstrap("late").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(writer.value()->Finish().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DirectoryStoreTest, MissingManifestIsNotFound) {
+  const std::string dir = testing::TempDir() + "filmstore_dir_empty";
+  ASSERT_TRUE(DirectoryWriter::Create(dir, SmallOptions()).ok());  // mkdir
+  auto reader = DirectoryReader::Open(dir);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DirectoryStoreTest, CreateClearsStaleReelArtifacts) {
+  // Re-archiving into the same directory must not leave frames of a
+  // previous, larger reel behind (a human browsing the folder would
+  // mistake them for part of the archive). Unrelated files survive.
+  const std::string dir = testing::TempDir() + "filmstore_dir_stale";
+  ASSERT_TRUE(std::filesystem::create_directories(dir) ||
+              std::filesystem::exists(dir));
+  ASSERT_TRUE(WriteFileText(dir + "/data-0099.pgm", "stale").ok());
+  ASSERT_TRUE(WriteFileText(dir + "/system-0007.pbm", "stale").ok());
+  ASSERT_TRUE(WriteFileText(dir + "/manifest.txt", "stale").ok());
+  ASSERT_TRUE(WriteFileText(dir + "/notes.txt", "keep me").ok());
+
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 300, 20);
+  auto writer = DirectoryWriter::Create(dir, SmallOptions());
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  EXPECT_FALSE(std::filesystem::exists(dir + "/data-0099.pgm"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/system-0007.pbm"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/notes.txt"));
+  media::Image frame = data.frames[0];
+  ASSERT_TRUE(writer.value()
+                  ->Append(mocoder::StreamId::kData, data.emblems[0],
+                           std::move(frame))
+                  .ok());
+  ASSERT_TRUE(writer.value()->Finish().ok());
+  auto reader = DirectoryReader::Open(dir);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value()->frame_count(mocoder::StreamId::kData), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ULE-C1 container
+
+/// Builds a sealed container on disk and returns its path.
+std::string WriteContainer(const std::string& name, const EncodedStream& data,
+                           const EncodedStream& system,
+                           bool bitonal = false) {
+  const std::string path = testing::TempDir() + name;
+  ContainerWriter::Options copt;
+  copt.bitonal = bitonal;
+  auto writer = ContainerWriter::Create(path, SmallOptions(), copt);
+  EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+  FillSink(*writer.value(), data, system);
+  EXPECT_TRUE(writer.value()->AppendBootstrap("THE BOOTSTRAP\n").ok());
+  EXPECT_TRUE(writer.value()->Finish().ok());
+  return path;
+}
+
+TEST(ContainerTest, RoundTripBothCodecs) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 2500, 9);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 600, 10);
+  for (const bool bitonal : {false, true}) {
+    const std::string path = WriteContainer(
+        bitonal ? "rt_pbm.ulec" : "rt_pgm.ulec", data, system, bitonal);
+    auto reader = ContainerReader::Open(path);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    EXPECT_EQ(reader.value()->emblem_options().data_side, 65);
+    EXPECT_EQ(reader.value()->emblem_options().threads, 0);
+    EXPECT_EQ(reader.value()->frame_count(mocoder::StreamId::kData),
+              data.frames.size());
+    EXPECT_EQ(reader.value()->frame_count(mocoder::StreamId::kSystem),
+              system.frames.size());
+    EXPECT_TRUE(reader.value()->has_bootstrap());
+    auto bootstrap = reader.value()->ReadBootstrap();
+    ASSERT_TRUE(bootstrap.ok());
+    EXPECT_EQ(bootstrap.value(), "THE BOOTSTRAP\n");
+    auto data_source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+    ExpectSameFrames(Drain(*data_source), data.frames);
+    auto system_source =
+        reader.value()->OpenFrames(mocoder::StreamId::kSystem);
+    ExpectSameFrames(Drain(*system_source), system.frames);
+    EXPECT_TRUE(reader.value()->Verify().ok());
+
+    // Sequence slots recorded in the index match the emblem headers.
+    size_t frame_i = 0;
+    for (const ContainerEntry& e : reader.value()->entries()) {
+      if (e.type != RecordType::kDataFrame) continue;
+      EXPECT_EQ(e.seq, data.emblems[frame_i++].header.seq);
+    }
+  }
+}
+
+TEST(ContainerTest, EmptyContainerOpensWithZeroRecords) {
+  const std::string path = testing::TempDir() + "empty.ulec";
+  auto writer = ContainerWriter::Create(path, SmallOptions());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Finish().ok());
+  auto reader = ContainerReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader.value()->entries().empty());
+  EXPECT_FALSE(reader.value()->has_bootstrap());
+  EXPECT_EQ(reader.value()->ReadBootstrap().status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ContainerTest, AppendAfterFinishFails) {
+  const std::string path = testing::TempDir() + "sealed.ulec";
+  auto writer = ContainerWriter::Create(path, SmallOptions());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Finish().ok());
+  EXPECT_EQ(writer.value()->AppendBootstrap("late").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(writer.value()->Finish().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ContainerTest, UnfinishedContainerDoesNotOpen) {
+  // A writer that died mid-archive leaves no footer; the file must not
+  // pass for a reel.
+  const std::string path = testing::TempDir() + "unfinished.ulec";
+  {
+    auto writer = ContainerWriter::Create(path, SmallOptions());
+    ASSERT_TRUE(writer.ok());
+    const EncodedStream data = MakeStream(mocoder::StreamId::kData, 500, 11);
+    media::Image frame = data.frames[0];
+    ASSERT_TRUE(writer.value()
+                    ->Append(mocoder::StreamId::kData, data.emblems[0],
+                             std::move(frame))
+                    .ok());
+    // No Finish.
+  }
+  auto reader = ContainerReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
+class ContainerFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each case as its own process, concurrently, against the
+    // same TempDir — every file name must carry the test name.
+    test_name_ = ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name();
+    data_ = MakeStream(mocoder::StreamId::kData, 1500, 12);
+    system_ = MakeStream(mocoder::StreamId::kSystem, 400, 13);
+    path_ = WriteContainer("fault_" + test_name_ + ".ulec", data_, system_);
+    auto bytes = ReadFileBytes(path_);
+    ASSERT_TRUE(bytes.ok());
+    pristine_ = std::move(bytes).TakeValue();
+  }
+
+  /// Writes a mutated copy of the pristine container and returns its path.
+  std::string Mutated(const Bytes& bytes, const std::string& name) {
+    const std::string path = testing::TempDir() + test_name_ + "_" + name;
+    EXPECT_TRUE(WriteFileBytes(path, bytes).ok());
+    return path;
+  }
+
+  std::string test_name_;
+
+  EncodedStream data_;
+  EncodedStream system_;
+  std::string path_;
+  Bytes pristine_;
+};
+
+TEST_F(ContainerFaultTest, TruncatedFileFailsToOpen) {
+  for (const double keep : {0.95, 0.5, 0.01}) {
+    Bytes cut(pristine_.begin(),
+              pristine_.begin() +
+                  static_cast<size_t>(pristine_.size() * keep));
+    auto reader = ContainerReader::Open(Mutated(cut, "truncated.ulec"));
+    ASSERT_FALSE(reader.ok()) << "keep=" << keep;
+    EXPECT_EQ(reader.status().code(), StatusCode::kCorruption)
+        << reader.status().ToString();
+  }
+}
+
+TEST_F(ContainerFaultTest, FlippedPayloadByteIsCaughtByCrc) {
+  // Flip one byte inside the first frame payload (the record region
+  // starts after the 16-byte header + 12-byte record header).
+  Bytes bytes = pristine_;
+  bytes[100] ^= 0xFF;
+  const std::string path = Mutated(bytes, "flipped.ulec");
+  // The index is intact, so the container still opens...
+  auto reader = ContainerReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  // ...but both the integrity pass and the frame source report Corruption.
+  Status verify = reader.value()->Verify();
+  EXPECT_EQ(verify.code(), StatusCode::kCorruption) << verify.ToString();
+  auto source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+  auto next = source->Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(ContainerFaultTest, FlippedIndexCrcByteIsCaught) {
+  // Reads are driven by the trailing index, so a flipped byte in the
+  // index (here: entry 0's stored payload CRC) must be caught by the
+  // footer's index checksum before any payload is trusted.
+  Bytes bytes = pristine_;
+  // Footer (last 20 bytes): u64 index_offset | u32 count | u32 crc | magic.
+  uint64_t index_offset = 0;
+  for (int i = 0; i < 8; ++i) {
+    index_offset |= static_cast<uint64_t>(bytes[bytes.size() - 20 + i])
+                    << (8 * i);
+  }
+  ASSERT_LT(index_offset + 12, bytes.size());
+  bytes[index_offset + 12] ^= 0x01;  // entry 0's payload_crc field
+  auto broken = ContainerReader::Open(Mutated(bytes, "bad_index.ulec"));
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.status().code(), StatusCode::kCorruption)
+      << broken.status().ToString();
+}
+
+TEST_F(ContainerFaultTest, UnknownContainerVersionIsRejected) {
+  Bytes bytes = pristine_;
+  bytes[4] = 9;  // header version byte
+  auto reader = ContainerReader::Open(Mutated(bytes, "future.ulec"));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kUnimplemented)
+      << reader.status().ToString();
+}
+
+TEST_F(ContainerFaultTest, BadMagicIsRejected) {
+  Bytes bytes = pristine_;
+  bytes[0] = 'X';
+  auto reader = ContainerReader::Open(Mutated(bytes, "badmagic.ulec"));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(ContainerFaultTest, FooterMagicFlipIsRejected) {
+  Bytes bytes = pristine_;
+  bytes[bytes.size() - 1] ^= 0xFF;
+  auto reader = ContainerReader::Open(Mutated(bytes, "badfooter.ulec"));
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ReelReaderTest, OpenReelPicksTheBackendFromThePath) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 400, 21);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 200, 22);
+
+  const std::string file_path =
+      WriteContainer("reel_iface.ulec", data, system);
+  auto container_reel = OpenReel(file_path);
+  ASSERT_TRUE(container_reel.ok()) << container_reel.status().ToString();
+  EXPECT_STREQ(container_reel.value()->kind(), "ULE-C1 container");
+
+  const std::string dir = testing::TempDir() + "reel_iface_dir";
+  auto writer = DirectoryWriter::Create(dir, SmallOptions());
+  ASSERT_TRUE(writer.ok());
+  FillSink(*writer.value(), data, system);
+  ASSERT_TRUE(writer.value()->Finish().ok());
+  auto dir_reel = OpenReel(dir);
+  ASSERT_TRUE(dir_reel.ok()) << dir_reel.status().ToString();
+  EXPECT_STREQ(dir_reel.value()->kind(), "directory");
+
+  // Same contract through the interface: counts, geometry, frames.
+  for (const auto& reel : {std::cref(container_reel), std::cref(dir_reel)}) {
+    const ReelReader& r = *reel.get().value();
+    EXPECT_EQ(r.emblem_options().data_side, 65);
+    EXPECT_EQ(r.frame_count(mocoder::StreamId::kData), data.frames.size());
+    auto source = r.OpenFrames(mocoder::StreamId::kData);
+    ExpectSameFrames(Drain(*source), data.frames);
+    EXPECT_TRUE(r.Verify().ok());
+  }
+}
+
+}  // namespace
+}  // namespace filmstore
+}  // namespace ule

@@ -5,7 +5,9 @@ Fails (exit 1) when:
   * an internal markdown link in docs/*.md or README.md points at a file
     that does not exist, or at a heading anchor that no heading produces;
   * the format version string recorded in docs/FORMAT.md diverges from
-    the kUleFormatVersion constant in src/core/micr_olonys.h.
+    the kUleFormatVersion constant in src/core/micr_olonys.h;
+  * the ULE-C1 container version in docs/FORMAT.md diverges from the
+    kUleContainerFormatVersion constant in src/filmstore/container.h.
 
 Run from anywhere: paths are resolved relative to the repository root
 (the parent of this script's directory). Stdlib only.
@@ -19,9 +21,13 @@ REPO = Path(__file__).resolve().parent.parent
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
-# FORMAT.md records the version as: **Format version: `ULE-F1`**
+# FORMAT.md records the versions as: **Format version: `ULE-F1`** and
+# **Container version: `ULE-C1`**
 DOC_VERSION_RE = re.compile(r"\*\*Format version:\s*`([^`]+)`\*\*")
 CODE_VERSION_RE = re.compile(r'kUleFormatVersion\[\]\s*=\s*"([^"]+)"')
+DOC_CONTAINER_RE = re.compile(r"\*\*Container version:\s*`([^`]+)`\*\*")
+CODE_CONTAINER_RE = re.compile(
+    r'kUleContainerFormatVersion\[\]\s*=\s*"([^"]+)"')
 
 
 def github_slug(heading: str) -> str:
@@ -73,19 +79,28 @@ def check_file(md_path: Path) -> list:
 
 def check_version() -> list:
     fmt = REPO / "docs" / "FORMAT.md"
-    header = REPO / "src" / "core" / "micr_olonys.h"
-    doc = DOC_VERSION_RE.search(fmt.read_text(encoding="utf-8"))
-    code = CODE_VERSION_RE.search(header.read_text(encoding="utf-8"))
+    fmt_text = fmt.read_text(encoding="utf-8")
     errors = []
-    if not doc:
-        errors.append(f"{fmt}: no '**Format version: `...`**' line found")
-    if not code:
-        errors.append(f"{header}: no kUleFormatVersion constant found")
-    if doc and code and doc.group(1) != code.group(1):
-        errors.append(
-            "format version mismatch: docs/FORMAT.md records "
-            f"'{doc.group(1)}' but src/core/micr_olonys.h defines "
-            f"'{code.group(1)}'")
+    for label, doc_re, code_re, header, constant in [
+        ("format", DOC_VERSION_RE, CODE_VERSION_RE,
+         REPO / "src" / "core" / "micr_olonys.h", "kUleFormatVersion"),
+        ("container", DOC_CONTAINER_RE, CODE_CONTAINER_RE,
+         REPO / "src" / "filmstore" / "container.h",
+         "kUleContainerFormatVersion"),
+    ]:
+        doc = doc_re.search(fmt_text)
+        code = code_re.search(header.read_text(encoding="utf-8"))
+        if not doc:
+            errors.append(
+                f"{fmt}: no '**{label.capitalize()} version: `...`**' "
+                "line found")
+        if not code:
+            errors.append(f"{header}: no {constant} constant found")
+        if doc and code and doc.group(1) != code.group(1):
+            errors.append(
+                f"{label} version mismatch: docs/FORMAT.md records "
+                f"'{doc.group(1)}' but {header.relative_to(REPO)} defines "
+                f"'{code.group(1)}'")
     return errors
 
 
