@@ -15,6 +15,7 @@
 #include "dbcoder/dbcoder.h"
 #include "filmstore/container.h"
 #include "filmstore/frame_store.h"
+#include "filmstore/reel_set.h"
 #include "media/profiles.h"
 #include "media/scanner.h"
 #include "mocoder/outer.h"
@@ -197,6 +198,70 @@ SpoolResult RunSpool(const media::MediaProfile& profile,
   return out;
 }
 
+/// Sharded spool: the same payload split across a ULE-R1 reel set of
+/// `reel_target` reels, then restored through the parallel reel-set
+/// source. Shard sizing reuses the frame count the single-spool run
+/// measured.
+struct ShardedResult {
+  bool exact = false;
+  double write_s = 0;
+  double read_s = 0;
+  size_t reels = 0;
+  uint64_t total_bytes = 0;  ///< all reels + catalog
+};
+
+ShardedResult RunSharded(const media::MediaProfile& profile,
+                         const std::string& payload, int dots_per_cell,
+                         size_t frames, size_t reel_target) {
+  const core::ArchiveOptions options = MakeArchiveOptions(profile,
+                                                          dots_per_cell);
+  ShardedResult out;
+  const std::string catalog = "bench_microfilm_set.uler";
+  struct RemoveOnExit {
+    std::string catalog;
+    size_t reels = 0;
+    ~RemoveOnExit() {
+      std::error_code ec;
+      for (size_t i = 0; i < reels; ++i) {
+        std::filesystem::remove(filmstore::ReelFileName(catalog, i), ec);
+      }
+      std::filesystem::remove(catalog, ec);
+    }
+  } cleanup{catalog};
+  filmstore::ReelSetWriter::Options sopt;
+  sopt.shard.max_frames_per_reel =
+      std::max<size_t>(1, (frames + reel_target - 1) / reel_target);
+  sopt.container.bitonal = profile.bitonal_write;
+  auto writer = filmstore::ReelSetWriter::Create(catalog, options.emblem,
+                                                 sopt);
+  if (!writer.ok()) return out;
+  const auto t0 = Clock::now();
+  auto summary = core::ArchiveDumpStreaming(payload, options,
+                                            *writer.value());
+  // Record the reel count before bailing on errors: reels already on
+  // disk must be cleaned up even when the run aborts mid-archive.
+  cleanup.reels = writer.value()->reel_count();
+  if (!summary.ok() || !writer.value()->Finish().ok()) return out;
+  out.write_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  out.reels = cleanup.reels = writer.value()->reel_count();
+  for (const filmstore::ReelStats& reel : writer.value()->CurrentReelStats()) {
+    out.total_bytes += reel.bytes;
+  }
+  std::error_code ec;
+  out.total_bytes += std::filesystem::file_size(catalog, ec);
+
+  const auto t1 = Clock::now();
+  auto reader = filmstore::ReelSetReader::Open(catalog);
+  if (!reader.ok()) return out;
+  auto data_source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+  auto system_source = reader.value()->OpenFrames(mocoder::StreamId::kSystem);
+  auto restored = core::RestoreNativeStreaming(
+      *data_source, system_source.get(), reader.value()->emblem_options());
+  out.read_s = std::chrono::duration<double>(Clock::now() - t1).count();
+  out.exact = restored.ok() && restored.value() == payload;
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -264,6 +329,32 @@ int main() {
   report.AddGauge("peak_rss_after_spool",
                   static_cast<double>(rss_after_spool), "bytes");
 
+  // ---- Sharded reel set: the same payload split across reels under a
+  // ULE-R1 catalog (1 reel vs 4), write + parallel read throughput. ----
+  std::printf("\n=== sharded reel set: ULE-R1 write/read, 1 vs 4 reels ===\n");
+  bool sharded_exact = true;
+  for (const size_t reel_target : {size_t{1}, size_t{4}}) {
+    const ShardedResult sh = RunSharded(film_profile, big_payload,
+                                        film_profile.dots_per_cell,
+                                        sp.frames, reel_target);
+    sharded_exact = sharded_exact && sh.exact;
+    const std::string tag = std::to_string(reel_target) + "reel";
+    std::printf("%-42s %10zu\n", ("reels written (target " + tag + ")").c_str(),
+                sh.reels);
+    std::printf("%-42s %10s\n", "reel-set restore byte-exact",
+                sh.exact ? "yes" : "NO");
+    std::printf("%-42s %9.1fM/s\n", "reel-set write (archive+spool)",
+                sh.write_s > 0 ? sh.total_bytes / 1e6 / sh.write_s : 0.0);
+    std::printf("%-42s %9.1fM/s\n", "reel-set read (parallel restore)",
+                sh.read_s > 0 ? sh.total_bytes / 1e6 / sh.read_s : 0.0);
+    report.Add("reelset_spool_write_" + tag, 1, sh.write_s,
+               static_cast<double>(sh.total_bytes));
+    report.Add("reelset_spool_read_" + tag, 1, sh.read_s,
+               static_cast<double>(sh.total_bytes));
+    report.AddGauge("reelset_reels_" + tag, static_cast<double>(sh.reels),
+                    "reels");
+  }
+
   // The same payload materialized (every frame and scan in vectors): the
   // RSS delta against the gauge above is the bounded-memory win.
   const RunResult big_mat =
@@ -320,7 +411,8 @@ int main() {
   report.Add("cinema_archive", 1, cf.archive_s, bytes);
   report.Add("cinema_restore_native", 1, cf.restore_s, bytes);
   report.Write("microfilm");
-  return (mf.exact && cf.exact && st.exact && sp.exact && big_mat.exact)
+  return (mf.exact && cf.exact && st.exact && sp.exact && sharded_exact &&
+          big_mat.exact)
              ? 0
              : 1;
 }

@@ -113,6 +113,10 @@ Result<ArchiveSummary> ArchiveDumpStreaming(const std::string& sql_dump,
                                  &summary.data_frames));
   ULE_RETURN_IF_ERROR(stream_out(dbdecode_stream, mocoder::StreamId::kSystem,
                                  &summary.system_frames));
+  // Per-reel accounting comes from the sink: a sharding backend knows how
+  // it split the stream, core does not. (The byte counts grow a little
+  // more when the caller appends the Bootstrap and finishes the reels.)
+  summary.reels = sink.CurrentReelStats();
   return summary;
 }
 

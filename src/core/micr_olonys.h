@@ -88,15 +88,21 @@ struct ArchiveSummary {
   size_t compressed_bytes = 0;
   size_t data_frames = 0;
   size_t system_frames = 0;
+  /// How the sink split the archive across physical reels (one entry per
+  /// reel for sharding/spooling backends, empty for sinks with no reel
+  /// notion). Reported by the sink itself after the last frame lands, so
+  /// benches and ulectl can account per reel without knowing the backend.
+  std::vector<filmstore::ReelStats> reels;
 };
 
 /// \brief Steps 1-7 with bounded memory: frames flow to `sink` (any
-/// filmstore backend — an in-memory store, a directory of scans, or the
-/// ULE-C1 spool container) through the shared-pool streaming pipeline
-/// instead of materializing in an Archive, so peak frame memory is
-/// O(threads × emblem) — the shape a film recorder consumes, even when
-/// the archive is much larger than RAM. The emblems and frames handed to
-/// `sink` are byte-identical to ArchiveDump's at any thread count.
+/// filmstore backend — an in-memory store, a directory of scans, the
+/// ULE-C1 spool container, or a sharding reel set) through the
+/// shared-pool streaming pipeline instead of materializing in an
+/// Archive, so peak frame memory is O(threads × emblem) — the shape a
+/// film recorder consumes, even when the archive is much larger than
+/// RAM. The emblems and frames handed to `sink` are byte-identical to
+/// ArchiveDump's at any thread count.
 Result<ArchiveSummary> ArchiveDumpStreaming(const std::string& sql_dump,
                                             const ArchiveOptions& options,
                                             filmstore::FrameSink& sink);

@@ -1,6 +1,7 @@
 #include "filmstore/container.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <utility>
 
 #include "support/crc32.h"
@@ -41,10 +42,10 @@ namespace {
 
 constexpr char kMagic[4] = {'U', 'L', 'E', 'C'};
 constexpr char kFooterMagic[4] = {'C', 'I', 'D', 'X'};
-constexpr size_t kHeaderBytes = 16;
-constexpr size_t kRecordHeaderBytes = 12;
-constexpr size_t kIndexEntryBytes = 20;
-constexpr size_t kFooterBytes = 20;
+constexpr size_t kHeaderBytes = kContainerHeaderBytes;
+constexpr size_t kRecordHeaderBytes = kContainerRecordHeaderBytes;
+constexpr size_t kIndexEntryBytes = kContainerIndexEntryBytes;
+constexpr size_t kFooterBytes = kContainerFooterBytes;
 
 Bytes SerializeIndex(const std::vector<ContainerEntry>& entries) {
   ByteWriter w;
@@ -63,6 +64,7 @@ Bytes SerializeIndex(const std::vector<ContainerEntry>& entries) {
 /// stream (so whole-file passes pay one open, not one per record).
 Result<Bytes> ReadPayloadFrom(std::ifstream& in, const std::string& path,
                               const ContainerEntry& entry) {
+  in.clear();
   in.seekg(static_cast<std::streamoff>(entry.offset));
   Bytes payload(entry.payload_len);
   in.read(reinterpret_cast<char*>(payload.data()),
@@ -72,6 +74,39 @@ Result<Bytes> ReadPayloadFrom(std::ifstream& in, const std::string& path,
     return Status::Corruption("record CRC mismatch in " + path);
   }
   return payload;
+}
+
+/// Validates the 16-byte container header and extracts the recorded
+/// emblem geometry (shared by the random-access reader and the
+/// sequential spool scan).
+Status ParseContainerHeader(BytesView header, const std::string& path,
+                            mocoder::Options* emblem_options) {
+  if (!std::equal(kMagic, kMagic + 4, header.begin())) {
+    return Status::Corruption("bad container magic (not ULE-C1): " + path);
+  }
+  if (header[4] != kContainerBinaryVersion) {
+    return Status::Unimplemented(
+        "unsupported ULE-C1 container version " + std::to_string(header[4]) +
+        " (this reader understands version " +
+        std::to_string(kContainerBinaryVersion) + "): " + path);
+  }
+  ByteReader r(header.subspan(6));
+  uint16_t data_side = 0, dots = 0, quiet = 0;
+  ULE_RETURN_IF_ERROR(r.GetU16(&data_side));
+  ULE_RETURN_IF_ERROR(r.GetU16(&dots));
+  ULE_RETURN_IF_ERROR(r.GetU16(&quiet));
+  emblem_options->data_side = data_side;
+  emblem_options->dots_per_cell = dots;
+  emblem_options->quiet_cells = quiet;
+  emblem_options->threads = 0;
+  return mocoder::ValidateOptions(*emblem_options);
+}
+
+/// Context prefix for per-record errors: which record, where in the file.
+std::string RecordContext(size_t index, const ContainerEntry& entry) {
+  return "record " + std::to_string(index) + " (seq " +
+         std::to_string(entry.seq) + ", payload offset " +
+         std::to_string(entry.offset) + ")";
 }
 
 /// FrameSource over a subset of a sealed container's records. Owns its
@@ -91,8 +126,9 @@ class ContainerSource final : public FrameSource {
     auto payload = ReadPayloadFrom(in_, path_, e);
     if (!payload.ok()) {
       return Status(payload.status().code(),
-                    "frame seq " + std::to_string(e.seq) + ": " +
-                        payload.status().message());
+                    "frame seq " + std::to_string(e.seq) +
+                        " (payload offset " + std::to_string(e.offset) +
+                        "): " + payload.status().message());
     }
     ULE_ASSIGN_OR_RETURN(media::Image frame,
                          DecodeFramePayload(e.codec, payload.value()));
@@ -123,10 +159,11 @@ Result<media::Image> DecodeFramePayload(FrameCodec codec, BytesView payload) {
 // Writer
 
 ContainerWriter::ContainerWriter(const std::string& path,
-                                 const Options& options)
+                                 const Options& options, bool truncate)
     : path_(path),
       options_(options),
-      out_(path, std::ios::binary | std::ios::trunc) {}
+      out_(path, truncate ? (std::ios::binary | std::ios::trunc)
+                          : (std::ios::binary | std::ios::app)) {}
 
 Result<std::unique_ptr<ContainerWriter>> ContainerWriter::Create(
     const std::string& path, const mocoder::Options& emblem_options,
@@ -138,8 +175,8 @@ Result<std::unique_ptr<ContainerWriter>> ContainerWriter::Create(
     return Status::InvalidArgument(
         "emblem geometry exceeds the container's u16 fields");
   }
-  auto writer =
-      std::unique_ptr<ContainerWriter>(new ContainerWriter(path, options));
+  auto writer = std::unique_ptr<ContainerWriter>(
+      new ContainerWriter(path, options, /*truncate=*/true));
   if (!writer->out_) {
     return Status::IoError("cannot create " + path);
   }
@@ -152,6 +189,41 @@ Result<std::unique_ptr<ContainerWriter>> ContainerWriter::Create(
   header.PutU16(static_cast<uint16_t>(emblem_options.quiet_cells));
   header.PutU32(0);  // reserved
   ULE_RETURN_IF_ERROR(writer->WriteRaw(header.bytes()));
+  return writer;
+}
+
+Result<std::unique_ptr<ContainerWriter>> ContainerWriter::Resume(
+    const std::string& path, const Options& options) {
+  ULE_ASSIGN_OR_RETURN(RecoveredSpool scan, ScanSpool(path));
+  return Resume(path, std::move(scan), options);
+}
+
+Result<std::unique_ptr<ContainerWriter>> ContainerWriter::Resume(
+    const std::string& path, RecoveredSpool scan, const Options& options) {
+  if (scan.sealed) {
+    return Status::InvalidArgument(
+        "container is already sealed (nothing to resume): " + path);
+  }
+  // Drop the trailing partial record (if any) so the file ends exactly at
+  // the last complete record, then append from there.
+  if (scan.dropped_bytes > 0) {
+    std::error_code ec;
+    std::filesystem::resize_file(path, scan.recovered_bytes, ec);
+    if (ec) {
+      return Status::IoError("cannot truncate partial record in " + path +
+                             ": " + ec.message());
+    }
+  }
+  auto writer = std::unique_ptr<ContainerWriter>(
+      new ContainerWriter(path, options, /*truncate=*/false));
+  if (!writer->out_) {
+    return Status::IoError("cannot reopen " + path);
+  }
+  writer->offset_ = scan.recovered_bytes;
+  writer->entries_ = std::move(scan.entries);
+  for (const ContainerEntry& e : writer->entries_) {
+    if (e.type == RecordType::kBootstrap) writer->has_bootstrap_ = true;
+  }
   return writer;
 }
 
@@ -215,6 +287,18 @@ Status ContainerWriter::AppendBootstrap(const std::string& text) {
   return Status::OK();
 }
 
+size_t ContainerWriter::frames_written() const {
+  size_t n = 0;
+  for (const ContainerEntry& e : entries_) {
+    if (e.type != RecordType::kBootstrap) ++n;
+  }
+  return n;
+}
+
+std::vector<ReelStats> ContainerWriter::CurrentReelStats() const {
+  return {ReelStats{path_, frames_written(), offset_}};
+}
+
 Status ContainerWriter::Finish() {
   if (finished_) {
     return Status::InvalidArgument("container already finished: " + path_);
@@ -257,29 +341,10 @@ Result<std::unique_ptr<ContainerReader>> ContainerReader::Open(
   };
 
   ULE_ASSIGN_OR_RETURN(Bytes header, read_at(0, kHeaderBytes));
-  if (!std::equal(kMagic, kMagic + 4, header.begin())) {
-    return Status::Corruption("bad container magic (not ULE-C1): " + path);
-  }
-  if (header[4] != kContainerBinaryVersion) {
-    return Status::Unimplemented(
-        "unsupported ULE-C1 container version " + std::to_string(header[4]) +
-        " (this reader understands version " +
-        std::to_string(kContainerBinaryVersion) + "): " + path);
-  }
   auto reader = std::unique_ptr<ContainerReader>(new ContainerReader());
   reader->path_ = path;
-  {
-    ByteReader r(BytesView(header).subspan(6));
-    uint16_t data_side = 0, dots = 0, quiet = 0;
-    ULE_RETURN_IF_ERROR(r.GetU16(&data_side));
-    ULE_RETURN_IF_ERROR(r.GetU16(&dots));
-    ULE_RETURN_IF_ERROR(r.GetU16(&quiet));
-    reader->emblem_options_.data_side = data_side;
-    reader->emblem_options_.dots_per_cell = dots;
-    reader->emblem_options_.quiet_cells = quiet;
-    reader->emblem_options_.threads = 0;
-  }
-  ULE_RETURN_IF_ERROR(mocoder::ValidateOptions(reader->emblem_options_));
+  ULE_RETURN_IF_ERROR(
+      ParseContainerHeader(header, path, &reader->emblem_options_));
 
   ULE_ASSIGN_OR_RETURN(Bytes footer,
                        read_at(file_size - kFooterBytes, kFooterBytes));
@@ -387,21 +452,100 @@ Status ContainerReader::Verify() const {
     auto payload = ReadPayloadFrom(in, path_, e);
     if (!payload.ok()) {
       return Status(payload.status().code(),
-                    "record " + std::to_string(i) + " (seq " +
-                        std::to_string(e.seq) +
-                        "): " + payload.status().message());
+                    RecordContext(i, e) + ": " + payload.status().message());
     }
     if (e.type != RecordType::kBootstrap) {
       auto frame = DecodeFramePayload(e.codec, payload.value());
       if (!frame.ok()) {
         return Status(frame.status().code(),
-                      "record " + std::to_string(i) + " (seq " +
-                          std::to_string(e.seq) + ") does not decode: " +
+                      RecordContext(i, e) + " does not decode: " +
                           frame.status().message());
       }
     }
   }
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Append-resume: sequential record scan of an unfinished spool
+
+Result<RecoveredSpool> ScanSpool(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open " + path);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  if (file_size < kHeaderBytes) {
+    return Status::Corruption("not a ULE-C1 spool (too small): " + path);
+  }
+
+  RecoveredSpool out;
+  Bytes header(kHeaderBytes);
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(header.data()),
+          static_cast<std::streamsize>(header.size()));
+  if (!in) return Status::IoError("short read in " + path);
+  ULE_RETURN_IF_ERROR(ParseContainerHeader(header, path,
+                                           &out.emblem_options));
+
+  // A sealed container already knows its records; report it as such so
+  // resume is a deliberate no-op instead of a rescan that would misparse
+  // the trailing index as record bytes.
+  if (auto sealed = ContainerReader::Open(path); sealed.ok()) {
+    out.sealed = true;
+    out.entries = sealed.value()->entries();
+    out.recovered_bytes = file_size;
+    return out;
+  }
+
+  // Walk records front to back. Each step trusts nothing beyond what it
+  // just validated: a short header, an implausible type/codec, a payload
+  // overrunning EOF, or a CRC mismatch all end the scan — everything
+  // before that point is complete by the append-only construction.
+  uint64_t offset = kHeaderBytes;
+  while (offset + kRecordHeaderBytes <= file_size) {
+    Bytes rec(kRecordHeaderBytes);
+    in.clear();
+    in.seekg(static_cast<std::streamoff>(offset));
+    in.read(reinterpret_cast<char*>(rec.data()),
+            static_cast<std::streamsize>(rec.size()));
+    if (!in) break;
+    ContainerEntry e;
+    uint8_t type = 0, codec = 0;
+    ByteReader r(rec);
+    (void)r.GetU8(&type);
+    (void)r.GetU8(&codec);
+    (void)r.GetU16(&e.seq);
+    (void)r.GetU32(&e.payload_len);
+    (void)r.GetU32(&e.payload_crc);
+    if (type > static_cast<uint8_t>(RecordType::kBootstrap) ||
+        codec > static_cast<uint8_t>(FrameCodec::kPbm)) {
+      break;  // not a record header (index bytes or a torn write)
+    }
+    e.type = static_cast<RecordType>(type);
+    e.codec = static_cast<FrameCodec>(codec);
+    e.offset = offset + kRecordHeaderBytes;
+    if (e.offset + e.payload_len > file_size) break;  // partial payload
+    auto payload = ReadPayloadFrom(in, path, e);
+    if (!payload.ok()) break;  // torn or corrupt payload
+    out.entries.push_back(e);
+    offset = e.offset + e.payload_len;
+  }
+  out.recovered_bytes = offset;
+  out.dropped_bytes = file_size - offset;
+  return out;
+}
+
+Result<media::Image> ReadFrameRecord(const std::string& path,
+                                     const ContainerEntry& entry) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  auto payload = ReadPayloadFrom(in, path, entry);
+  if (!payload.ok()) {
+    return Status(payload.status().code(),
+                  "frame seq " + std::to_string(entry.seq) +
+                      " (payload offset " + std::to_string(entry.offset) +
+                      "): " + payload.status().message());
+  }
+  return DecodeFramePayload(entry.codec, payload.value());
 }
 
 }  // namespace filmstore

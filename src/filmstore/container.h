@@ -23,6 +23,13 @@
 /// bounded-memory end to end. Corruption surfaces as Status: a truncated
 /// file fails to open (no footer), a flipped payload byte fails its CRC on
 /// read, and an unknown container version is rejected as Unimplemented.
+///
+/// An *unfinished* spool (the writer died before Finish) is not lost:
+/// because records are append-only and individually CRC'd, a sequential
+/// scan (`ScanSpool`) recovers every complete record, and
+/// `ContainerWriter::Resume` reopens the spool to keep appending or to
+/// seal it — losing at most the final partial record. `ulectl resume`
+/// drives this from the shell.
 
 #ifndef ULE_FILMSTORE_CONTAINER_H_
 #define ULE_FILMSTORE_CONTAINER_H_
@@ -62,6 +69,14 @@ enum class RecordType : uint8_t {
   kBootstrap = 2,    ///< the printed Bootstrap document (UTF-8 text)
 };
 
+/// Fixed sizes of the ULE-C1 framing (docs/FORMAT.md §9). Public so the
+/// reel-set sharding policy can project a reel's sealed file size and so
+/// tests/tools can compute record offsets without reverse-engineering.
+inline constexpr size_t kContainerHeaderBytes = 16;
+inline constexpr size_t kContainerRecordHeaderBytes = 12;
+inline constexpr size_t kContainerIndexEntryBytes = 20;
+inline constexpr size_t kContainerFooterBytes = 20;
+
 /// Payload codecs for frame records.
 enum class FrameCodec : uint8_t {
   kPgm = 0,  ///< binary PGM (P5): lossless for any grayscale frame
@@ -79,13 +94,33 @@ struct ContainerEntry {
   uint16_t seq = 0;          ///< emblem sequence slot (0 for bootstrap)
 };
 
+/// \brief What a sequential scan recovered from a ULE-C1 spool
+/// (docs/FORMAT.md §9.1: append-resume scan rules).
+struct RecoveredSpool {
+  mocoder::Options emblem_options;      ///< from the spool header
+  std::vector<ContainerEntry> entries;  ///< every complete record, in order
+  uint64_t recovered_bytes = 0;  ///< header + complete records
+  uint64_t dropped_bytes = 0;    ///< trailing partial/corrupt record bytes
+  bool sealed = false;  ///< the file already has a valid index + footer
+};
+
+/// \brief Recovers the complete records of an unfinished spool by
+/// sequential scan: validates the header, then walks record headers,
+/// checking each payload's CRC, and stops at the first incomplete or
+/// corrupt record (everything before it is intact by construction of the
+/// append-only format). A sealed container is reported with
+/// `sealed = true` and its index entries instead of being re-scanned.
+/// Corruption when the header itself is damaged, Unimplemented for an
+/// unknown container version.
+Result<RecoveredSpool> ScanSpool(const std::string& path);
+
 /// \brief Append-only ULE-C1 writer; plugs into `ArchiveDumpStreaming` as
 /// its FrameSink so frames spool to disk as they are rendered.
 ///
 /// Call `Finish()` to seal the container (writes the index + footer); a
 /// writer destroyed without Finish leaves a file with no footer, which
 /// readers reject — an aborted archive can never masquerade as a reel.
-class ContainerWriter final : public FrameSink {
+class ContainerWriter final : public ArchiveWriter {
  public:
   struct Options {
     /// Store frames as bitonal PBM (8x smaller; exact for rendered
@@ -104,6 +139,26 @@ class ContainerWriter final : public FrameSink {
     return Create(path, emblem_options, Options());
   }
 
+  /// \brief Reopens an *unfinished* spool (a writer that died before
+  /// Finish) for appending: recovers every complete record by sequential
+  /// scan (ScanSpool), truncates the trailing partial record if any, and
+  /// positions the writer after the last complete record. The recovered
+  /// records keep their index entries, so a subsequent Finish seals the
+  /// container exactly as if the original writer had never died.
+  /// InvalidArgument when the container is already sealed (it opens
+  /// normally; there is nothing to resume).
+  static Result<std::unique_ptr<ContainerWriter>> Resume(
+      const std::string& path, const Options& options);
+  static Result<std::unique_ptr<ContainerWriter>> Resume(
+      const std::string& path) {
+    return Resume(path, Options());
+  }
+  /// Resume from an already-completed scan of `path` (the ScanSpool
+  /// result), so callers that inspected the spool first don't pay the
+  /// sequential CRC pass twice. The scan must be current and unsealed.
+  static Result<std::unique_ptr<ContainerWriter>> Resume(
+      const std::string& path, RecoveredSpool scan, const Options& options);
+
   ~ContainerWriter() override;
 
   ContainerWriter(const ContainerWriter&) = delete;
@@ -113,23 +168,35 @@ class ContainerWriter final : public FrameSink {
   Status Append(mocoder::StreamId id, const mocoder::EncodedEmblem& emblem,
                 media::Image&& frame) override;
 
+  /// Appends one already-serialized record. This is the primitive Append
+  /// and AppendBootstrap build on; the reel-set writer uses it directly so
+  /// it can serialize a frame once, size the record against the shard
+  /// budget, and then spool those exact bytes.
+  Status AppendRecord(RecordType type, FrameCodec codec, uint16_t seq,
+                      BytesView payload);
+
   /// Appends the Bootstrap document so the reel restores (even emulated)
   /// from the container alone. At most one per container.
-  Status AppendBootstrap(const std::string& text);
+  Status AppendBootstrap(const std::string& text) override;
 
   /// Writes the index + footer and closes the file. Required; appending
   /// after Finish (or finishing twice) is InvalidArgument.
-  Status Finish();
+  Status Finish() override;
 
   /// Bytes written so far (records only until Finish adds the tail).
   uint64_t bytes_written() const { return offset_; }
 
+  /// Frame records appended so far (bootstrap excluded).
+  size_t frames_written() const;
+
+  /// One entry: this container is a single reel.
+  std::vector<ReelStats> CurrentReelStats() const override;
+
  private:
-  ContainerWriter(const std::string& path, const Options& options);
+  ContainerWriter(const std::string& path, const Options& options,
+                  bool truncate);
 
   Status WriteRaw(BytesView bytes);
-  Status AppendRecord(RecordType type, FrameCodec codec, uint16_t seq,
-                      BytesView payload);
 
   std::string path_;
   Options options_;
@@ -182,6 +249,13 @@ class ContainerReader final : public ReelReader {
 /// Decodes one frame payload with its recorded codec (shared by the
 /// reader, Verify, and tests).
 Result<media::Image> DecodeFramePayload(FrameCodec codec, BytesView payload);
+
+/// Reads, CRC-validates and decodes one frame record of a sealed
+/// container. Self-contained (opens `path` per call) and thread-safe, so
+/// the reel-set source can fan record reads out across pool workers.
+Result<media::Image> ReadFrameRecord(const std::string& path,
+                                     const ContainerEntry& entry);
+
 
 }  // namespace filmstore
 }  // namespace ule

@@ -26,7 +26,7 @@ namespace filmstore {
 
 /// \brief Writes one image file per frame into a directory. Plugs into
 /// `ArchiveDumpStreaming` as its FrameSink; peak memory is O(1) frames.
-class DirectoryWriter final : public FrameSink {
+class DirectoryWriter final : public ArchiveWriter {
  public:
   struct Options {
     /// Store frames as bitonal PBM instead of lossless PGM.
@@ -49,11 +49,11 @@ class DirectoryWriter final : public FrameSink {
                 media::Image&& frame) override;
 
   /// Writes the Bootstrap document as `bootstrap.txt`.
-  Status AppendBootstrap(const std::string& text);
+  Status AppendBootstrap(const std::string& text) override;
 
   /// Writes `manifest.txt` (geometry + frame counts). Call last; a
   /// directory without a manifest does not open.
-  Status Finish();
+  Status Finish() override;
 
  private:
   DirectoryWriter(const std::string& dir, const mocoder::Options& emblem,

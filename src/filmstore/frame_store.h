@@ -11,18 +11,25 @@
 ///
 /// Backends live next door: `MemoryStore` (below — frames in vectors, the
 /// pre-filmstore behavior), `DirectoryStore` (one image file per frame,
-/// human-browsable), and the single-file ULE-C1 container
-/// (`container.h`) that spools archives larger than RAM to disk.
-/// `FunctionSink`/`FunctionSource` adapt ad-hoc lambdas (the shape the
-/// old `core::FrameSink`/`core::FrameSource` typedefs had) so call sites
-/// that just want a callback keep working.
+/// human-browsable), the single-file ULE-C1 container (`container.h`)
+/// that spools archives larger than RAM to disk, and the ULE-R1 reel set
+/// (`reel_set.h`) that shards one archive across many such containers.
+/// The on-disk writers all implement `ArchiveWriter` (FrameSink + the
+/// AppendBootstrap/Finish finalization half), so drivers seal any of
+/// them through one pointer. `FunctionSink`/`FunctionSource` adapt
+/// ad-hoc lambdas (the shape the old `core::FrameSink`/
+/// `core::FrameSource` typedefs had) so call sites that just want a
+/// callback keep working; `ScannerSource` (`scanner_source.h`) wraps any
+/// source in the print/scan degradation model.
 
 #ifndef ULE_FILMSTORE_FRAME_STORE_H_
 #define ULE_FILMSTORE_FRAME_STORE_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -32,6 +39,16 @@
 
 namespace ule {
 namespace filmstore {
+
+/// \brief Per-reel accounting a sink can expose while (and after) an
+/// archive streams through it. Single-reel backends report one entry;
+/// the sharding `ReelSetWriter` (reel_set.h) reports one per reel, which
+/// is how `core::ArchiveSummary` learns how the archive was split.
+struct ReelStats {
+  std::string name;      ///< reel path (or file name within a set)
+  size_t frames = 0;     ///< frame records appended so far
+  uint64_t bytes = 0;    ///< bytes written so far (final after Finish)
+};
 
 /// \brief Receives one rendered frame (and its encoded emblem) during a
 /// streaming archive. Frames arrive grouped by stream — every data frame,
@@ -46,6 +63,25 @@ class FrameSink {
   virtual Status Append(mocoder::StreamId id,
                         const mocoder::EncodedEmblem& emblem,
                         media::Image&& frame) = 0;
+
+  /// Per-reel accounting for backends that write physical reels; empty
+  /// for sinks with no reel notion (memory, ad-hoc callbacks).
+  virtual std::vector<ReelStats> CurrentReelStats() const { return {}; }
+};
+
+/// \brief The full writer contract of an on-disk reel backend: frames
+/// stream in through FrameSink, then the caller appends the Bootstrap
+/// document and seals the artifact. ContainerWriter, DirectoryWriter and
+/// ReelSetWriter all implement this, so drivers (ulectl, benches) can
+/// finalize any backend through one pointer instead of per-type plumbing.
+class ArchiveWriter : public FrameSink {
+ public:
+  /// Archives the Bootstrap document so the artifact restores (even
+  /// emulated) on its own. At most one per archive.
+  virtual Status AppendBootstrap(const std::string& text) = 0;
+  /// Seals the artifact (indexes, manifests, catalogs). Required;
+  /// appending after Finish (or finishing twice) is InvalidArgument.
+  virtual Status Finish() = 0;
 };
 
 /// \brief Pull source of scanned frames for streaming restoration: yields

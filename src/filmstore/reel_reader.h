@@ -1,11 +1,13 @@
 /// \file reel_reader.h
 /// \brief Uniform read surface over any sealed reel on disk.
 ///
-/// `ContainerReader` (single-file ULE-C1) and `DirectoryReader` (folder
-/// of frame images) expose the same contract; this interface names it so
-/// tools open "a reel" without caring which backend wrote it. `OpenReel`
-/// picks the backend from the path (directory → directory reel, file →
-/// ULE-C1 container).
+/// `ContainerReader` (single-file ULE-C1), `DirectoryReader` (folder of
+/// frame images) and `ReelSetReader` (ULE-R1 catalog over many sharded
+/// reels) expose the same contract; this interface names it so tools
+/// open "a reel" without caring which backend wrote it. `OpenReel` picks
+/// the backend from the path (directory → directory reel, file starting
+/// with the ULE-R1 magic → reel-set catalog, anything else → ULE-C1
+/// container).
 
 #ifndef ULE_FILMSTORE_REEL_READER_H_
 #define ULE_FILMSTORE_REEL_READER_H_

@@ -1,0 +1,594 @@
+#include "filmstore/reel_set.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "support/crc32.h"
+#include "support/io.h"
+#include "support/parallel.h"
+
+namespace ule {
+namespace filmstore {
+
+// ULE-R1 catalog wire form (docs/FORMAT.md §10; integers little-endian):
+//
+//   header (16 bytes):
+//     0   4  magic "ULER"
+//     4   1  binary version (kReelSetBinaryVersion)
+//     5   1  reserved (0)
+//     6   2  emblem data_side
+//     8   2  emblem dots_per_cell
+//     10  2  emblem quiet_cells
+//     12  4  reserved (0)
+//   u64 archive_id, u32 reel_count, then per reel:
+//     u16 name_len | name bytes (relative to the catalog's directory)
+//     u32 first_record | u32 records
+//     u32 first_data_frame | u32 data_frames
+//     u32 first_system_frame | u32 system_frames
+//     u8  has_bootstrap
+//     u64 sealed file bytes | u32 CRC-32 of the sealed file bytes
+//   trailer (8 bytes at EOF):
+//     u32 CRC-32 of all preceding bytes | magic "RCAT"
+
+namespace {
+
+constexpr char kCatalogMagic[4] = {'U', 'L', 'E', 'R'};
+constexpr char kCatalogTrailerMagic[4] = {'R', 'C', 'A', 'T'};
+constexpr size_t kCatalogHeaderBytes = 16;
+constexpr size_t kCatalogTrailerBytes = 8;
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  return (std::filesystem::path(dir) / name).string();
+}
+
+/// Size + CRC-32 of a sealed reel file, streamed in bounded chunks — a
+/// reel can be far larger than RAM, and sealing/verifying it must not
+/// break the pipeline's bounded-memory story by slurping it whole.
+struct FileDigest {
+  uint64_t bytes = 0;
+  uint32_t crc = 0;
+};
+
+Result<FileDigest> DigestFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  FileDigest digest;
+  Bytes chunk(1 << 20);
+  for (;;) {
+    in.read(reinterpret_cast<char*>(chunk.data()),
+            static_cast<std::streamsize>(chunk.size()));
+    const size_t got = static_cast<size_t>(in.gcount());
+    if (got == 0) break;
+    digest.crc = Crc32(BytesView(chunk).subspan(0, got), digest.crc);
+    digest.bytes += got;
+    if (!in) break;  // short final chunk: EOF
+  }
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return digest;
+}
+
+/// One record load for the parallel reel-set source.
+struct FrameJob {
+  std::string path;  ///< the reel file
+  ContainerEntry entry;
+};
+
+/// \brief Pull source over records spread across many reels. A driver
+/// thread runs `ParallelForOrdered` over the job list — record reads and
+/// image decodes fan out on the shared pool, delivery is strictly in job
+/// order through a bounded channel — so `Next()` hands frames out in
+/// stream order with O(threads) frames in flight, identical at any
+/// thread count. Abandoning the source (destruction before the end of
+/// the reel) closes the channel, which unwinds the driver cleanly.
+class ReelSetSource final : public FrameSource {
+ public:
+  ReelSetSource(std::vector<FrameJob> jobs, int threads)
+      : jobs_(std::move(jobs)),
+        threads_(std::min(ResolveThreadCount(threads),
+                          ThreadPool::kMaxThreads)),
+        window_(static_cast<size_t>(std::max(2, 2 * threads_))),
+        slots_(window_),
+        channel_(window_) {
+    if (jobs_.empty()) {
+      channel_.Close();
+      return;
+    }
+    driver_ = std::thread([this] { Drive(); });
+  }
+
+  ~ReelSetSource() override {
+    channel_.Close();  // unblocks a driver waiting to push
+    if (driver_.joinable()) driver_.join();
+  }
+
+  Result<std::optional<media::Image>> Next() override {
+    std::optional<Result<media::Image>> item = channel_.Pop();
+    if (!item.has_value()) {
+      // Drained: the reel set ended, or the driver stopped on a failure
+      // that was not already handed out in-band.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!final_status_.ok()) return final_status_;
+      return std::optional<media::Image>();
+    }
+    if (!item->ok()) return item->status();
+    return std::optional<media::Image>(std::move(*item).TakeValue());
+  }
+
+ private:
+  void Drive() {
+    Status st = Status::OK();
+    try {
+      st = ParallelForOrdered(
+          0, jobs_.size(),
+          [this](size_t i) -> Status {
+            // Errors ride in the slot so the consumer can deliver them in
+            // stream order, exactly where a serial reader would hit them.
+            slots_[i % window_] =
+                ReadFrameRecord(jobs_[i].path, jobs_[i].entry);
+            return Status::OK();
+          },
+          [this](size_t i) -> Status {
+            std::optional<Result<media::Image>>& slot = slots_[i % window_];
+            Result<media::Image> frame = std::move(*slot);
+            slot.reset();
+            const Status failure = frame.ok() ? Status::OK() : frame.status();
+            if (!channel_.Push(std::move(frame))) {
+              return Status::InvalidArgument("reel-set source abandoned");
+            }
+            // Do not produce past a delivered failure — the restore
+            // aborts at that record anyway.
+            return failure;
+          },
+          threads_, static_cast<int>(window_));
+    } catch (const std::exception& e) {
+      st = Status::IoError(std::string("reel-set source: ") + e.what());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      final_status_ = std::move(st);
+    }
+    channel_.Close();
+  }
+
+  std::vector<FrameJob> jobs_;
+  const int threads_;
+  const size_t window_;
+  std::vector<std::optional<Result<media::Image>>> slots_;
+  BoundedChannel<Result<media::Image>> channel_;
+  std::mutex mu_;
+  Status final_status_;
+  std::thread driver_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Catalog
+
+size_t ReelCatalog::frame_count(mocoder::StreamId id) const {
+  size_t n = 0;
+  for (const CatalogReel& reel : reels) {
+    n += id == mocoder::StreamId::kData ? reel.data_frames
+                                        : reel.system_frames;
+  }
+  return n;
+}
+
+Bytes ReelCatalog::Serialize() const {
+  ByteWriter w;
+  w.PutBytes(BytesView(reinterpret_cast<const uint8_t*>(kCatalogMagic), 4));
+  w.PutU8(kReelSetBinaryVersion);
+  w.PutU8(0);  // reserved
+  w.PutU16(static_cast<uint16_t>(emblem_options.data_side));
+  w.PutU16(static_cast<uint16_t>(emblem_options.dots_per_cell));
+  w.PutU16(static_cast<uint16_t>(emblem_options.quiet_cells));
+  w.PutU32(0);  // reserved
+  w.PutU64(archive_id);
+  w.PutU32(static_cast<uint32_t>(reels.size()));
+  for (const CatalogReel& reel : reels) {
+    w.PutU16(static_cast<uint16_t>(reel.name.size()));
+    w.PutBytes(ToBytes(reel.name));
+    w.PutU32(reel.first_record);
+    w.PutU32(reel.records);
+    w.PutU32(reel.first_data_frame);
+    w.PutU32(reel.data_frames);
+    w.PutU32(reel.first_system_frame);
+    w.PutU32(reel.system_frames);
+    w.PutU8(reel.has_bootstrap ? 1 : 0);
+    w.PutU64(reel.bytes);
+    w.PutU32(reel.file_crc);
+  }
+  const uint32_t crc = Crc32(w.bytes());
+  w.PutU32(crc);
+  w.PutBytes(
+      BytesView(reinterpret_cast<const uint8_t*>(kCatalogTrailerMagic), 4));
+  return w.TakeBytes();
+}
+
+Result<ReelCatalog> ReelCatalog::Parse(BytesView bytes) {
+  if (bytes.size() < kCatalogHeaderBytes + 12 + kCatalogTrailerBytes) {
+    return Status::Corruption("not a ULE-R1 catalog (too small)");
+  }
+  if (!std::equal(kCatalogMagic, kCatalogMagic + 4, bytes.begin())) {
+    return Status::Corruption("bad catalog magic (not ULE-R1)");
+  }
+  if (bytes[4] != kReelSetBinaryVersion) {
+    return Status::Unimplemented(
+        "unsupported ULE-R1 catalog version " + std::to_string(bytes[4]) +
+        " (this reader understands version " +
+        std::to_string(kReelSetBinaryVersion) + ")");
+  }
+  const BytesView trailer = bytes.subspan(bytes.size() - kCatalogTrailerBytes);
+  if (!std::equal(kCatalogTrailerMagic, kCatalogTrailerMagic + 4,
+                  trailer.begin() + 4)) {
+    return Status::Corruption("catalog trailer magic missing (truncated?)");
+  }
+  const BytesView body = bytes.subspan(0, bytes.size() - kCatalogTrailerBytes);
+  uint32_t stored_crc = 0;
+  {
+    ByteReader r(trailer);
+    ULE_RETURN_IF_ERROR(r.GetU32(&stored_crc));
+  }
+  if (Crc32(body) != stored_crc) {
+    return Status::Corruption("catalog CRC mismatch");
+  }
+
+  ReelCatalog catalog;
+  ByteReader r(body.subspan(6));
+  uint16_t data_side = 0, dots = 0, quiet = 0;
+  uint32_t reserved = 0, reel_count = 0;
+  ULE_RETURN_IF_ERROR(r.GetU16(&data_side));
+  ULE_RETURN_IF_ERROR(r.GetU16(&dots));
+  ULE_RETURN_IF_ERROR(r.GetU16(&quiet));
+  ULE_RETURN_IF_ERROR(r.GetU32(&reserved));
+  ULE_RETURN_IF_ERROR(r.GetU64(&catalog.archive_id));
+  ULE_RETURN_IF_ERROR(r.GetU32(&reel_count));
+  catalog.emblem_options.data_side = data_side;
+  catalog.emblem_options.dots_per_cell = dots;
+  catalog.emblem_options.quiet_cells = quiet;
+  catalog.emblem_options.threads = 0;
+  ULE_RETURN_IF_ERROR(mocoder::ValidateOptions(catalog.emblem_options));
+  // Bound the count against what the body could possibly hold (a reel
+  // row is at least 40 bytes) before reserving: a crafted count must
+  // surface as Status, not as a giant allocation.
+  constexpr size_t kMinReelRowBytes = 40;
+  if (reel_count > r.remaining() / kMinReelRowBytes) {
+    return Status::Corruption("catalog reel count " +
+                              std::to_string(reel_count) +
+                              " does not fit the file");
+  }
+  catalog.reels.reserve(reel_count);
+  for (uint32_t i = 0; i < reel_count; ++i) {
+    CatalogReel reel;
+    uint16_t name_len = 0;
+    ULE_RETURN_IF_ERROR(r.GetU16(&name_len));
+    if (name_len == 0 || name_len > r.remaining()) {
+      return Status::Corruption("catalog reel " + std::to_string(i) +
+                                " has an implausible name length");
+    }
+    reel.name.resize(name_len);
+    for (uint16_t j = 0; j < name_len; ++j) {
+      uint8_t c = 0;
+      ULE_RETURN_IF_ERROR(r.GetU8(&c));
+      reel.name[j] = static_cast<char>(c);
+    }
+    uint8_t has_bootstrap = 0;
+    ULE_RETURN_IF_ERROR(r.GetU32(&reel.first_record));
+    ULE_RETURN_IF_ERROR(r.GetU32(&reel.records));
+    ULE_RETURN_IF_ERROR(r.GetU32(&reel.first_data_frame));
+    ULE_RETURN_IF_ERROR(r.GetU32(&reel.data_frames));
+    ULE_RETURN_IF_ERROR(r.GetU32(&reel.first_system_frame));
+    ULE_RETURN_IF_ERROR(r.GetU32(&reel.system_frames));
+    ULE_RETURN_IF_ERROR(r.GetU8(&has_bootstrap));
+    ULE_RETURN_IF_ERROR(r.GetU64(&reel.bytes));
+    ULE_RETURN_IF_ERROR(r.GetU32(&reel.file_crc));
+    reel.has_bootstrap = has_bootstrap != 0;
+    catalog.reels.push_back(std::move(reel));
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("catalog has trailing bytes after its reels");
+  }
+  return catalog;
+}
+
+Result<ReelCatalog> LoadCatalog(const std::string& path) {
+  ULE_ASSIGN_OR_RETURN(Bytes bytes, ReadFileBytes(path));
+  auto catalog = ReelCatalog::Parse(bytes);
+  if (!catalog.ok()) {
+    return Status(catalog.status().code(),
+                  catalog.status().message() + ": " + path);
+  }
+  return catalog;
+}
+
+std::string ReelFileName(const std::string& catalog_path, size_t index) {
+  const std::filesystem::path p(catalog_path);
+  char suffix[16];
+  std::snprintf(suffix, sizeof suffix, "-%03zu.ulec", index);
+  return (p.parent_path() / (p.stem().string() + suffix)).string();
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+ReelSetWriter::ReelSetWriter(std::string catalog_path,
+                             mocoder::Options emblem_options, Options options)
+    : catalog_path_(std::move(catalog_path)),
+      emblem_options_(std::move(emblem_options)),
+      options_(std::move(options)) {
+  catalog_.archive_id = options_.archive_id;
+  catalog_.emblem_options = emblem_options_;
+  catalog_.emblem_options.threads = 0;  // geometry only, never parallelism
+}
+
+Result<std::unique_ptr<ReelSetWriter>> ReelSetWriter::Create(
+    const std::string& catalog_path, const mocoder::Options& emblem_options,
+    const Options& options) {
+  ULE_RETURN_IF_ERROR(mocoder::ValidateOptions(emblem_options));
+  return std::unique_ptr<ReelSetWriter>(
+      new ReelSetWriter(catalog_path, emblem_options, options));
+}
+
+Status ReelSetWriter::SealCurrentReel() {
+  if (!current_) return Status::OK();
+  ULE_RETURN_IF_ERROR(current_->Finish());
+  CatalogReel& row = catalog_.reels.back();
+  const std::string path = ReelFileName(catalog_path_,
+                                        catalog_.reels.size() - 1);
+  ULE_ASSIGN_OR_RETURN(FileDigest sealed, DigestFile(path));
+  row.bytes = sealed.bytes;
+  row.file_crc = sealed.crc;
+  current_.reset();
+  current_frames_ = 0;
+  current_records_ = 0;
+  return Status::OK();
+}
+
+Status ReelSetWriter::EnsureRoomFor(uint64_t payload_bytes) {
+  if (current_ && current_frames_ > 0) {
+    bool roll = false;
+    if (options_.shard.max_frames_per_reel > 0 &&
+        current_frames_ >= options_.shard.max_frames_per_reel) {
+      roll = true;
+    }
+    if (options_.shard.max_bytes_per_reel > 0) {
+      // Project the reel's *sealed* size — records plus the index and
+      // footer Finish will add — so the cap bounds the artifact on disk,
+      // not just the record region.
+      const uint64_t projected =
+          current_->bytes_written() + kContainerRecordHeaderBytes +
+          payload_bytes +
+          (current_records_ + 1) * kContainerIndexEntryBytes +
+          kContainerFooterBytes;
+      if (projected > options_.shard.max_bytes_per_reel) roll = true;
+    }
+    if (roll) ULE_RETURN_IF_ERROR(SealCurrentReel());
+  }
+  if (!current_) {
+    const std::string path = ReelFileName(catalog_path_,
+                                          catalog_.reels.size());
+    ULE_ASSIGN_OR_RETURN(
+        current_,
+        ContainerWriter::Create(path, emblem_options_, options_.container));
+    CatalogReel row;
+    row.name = std::filesystem::path(path).filename().string();
+    row.first_record = static_cast<uint32_t>(total_records_);
+    row.first_data_frame = static_cast<uint32_t>(data_frames_total_);
+    row.first_system_frame = static_cast<uint32_t>(system_frames_total_);
+    catalog_.reels.push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Status ReelSetWriter::Append(mocoder::StreamId id,
+                             const mocoder::EncodedEmblem& emblem,
+                             media::Image&& frame) {
+  if (finished_) {
+    return Status::InvalidArgument("reel set already finished: " +
+                                   catalog_path_);
+  }
+  // Serialize once, up front: the shard policy needs the record's exact
+  // size before deciding which reel it lands on.
+  const FrameCodec codec =
+      options_.container.bitonal ? FrameCodec::kPbm : FrameCodec::kPgm;
+  const Bytes payload =
+      options_.container.bitonal ? frame.ToPbm() : frame.ToPgm();
+  ULE_RETURN_IF_ERROR(EnsureRoomFor(payload.size()));
+  const RecordType type = id == mocoder::StreamId::kData
+                              ? RecordType::kDataFrame
+                              : RecordType::kSystemFrame;
+  ULE_RETURN_IF_ERROR(
+      current_->AppendRecord(type, codec, emblem.header.seq, payload));
+  CatalogReel& row = catalog_.reels.back();
+  row.records += 1;
+  if (id == mocoder::StreamId::kData) {
+    row.data_frames += 1;
+    data_frames_total_ += 1;
+  } else {
+    row.system_frames += 1;
+    system_frames_total_ += 1;
+  }
+  current_frames_ += 1;
+  current_records_ += 1;
+  total_records_ += 1;
+  return Status::OK();
+}
+
+Status ReelSetWriter::AppendBootstrap(const std::string& text) {
+  if (finished_) {
+    return Status::InvalidArgument("reel set already finished: " +
+                                   catalog_path_);
+  }
+  if (has_bootstrap_) {
+    return Status::InvalidArgument("reel set already has a bootstrap record");
+  }
+  // The Bootstrap rides with the final shard, whatever the budget says: a
+  // historian holding the last reel of a set can always boot from it.
+  if (!current_) ULE_RETURN_IF_ERROR(EnsureRoomFor(0));
+  ULE_RETURN_IF_ERROR(current_->AppendBootstrap(text));
+  CatalogReel& row = catalog_.reels.back();
+  row.records += 1;
+  row.has_bootstrap = true;
+  has_bootstrap_ = true;
+  current_records_ += 1;
+  total_records_ += 1;
+  return Status::OK();
+}
+
+Status ReelSetWriter::Finish() {
+  if (finished_) {
+    return Status::InvalidArgument("reel set already finished: " +
+                                   catalog_path_);
+  }
+  // An empty archive still produces one (empty) reel, mirroring the
+  // single-container shape.
+  if (!current_ && catalog_.reels.empty()) {
+    ULE_RETURN_IF_ERROR(EnsureRoomFor(0));
+  }
+  ULE_RETURN_IF_ERROR(SealCurrentReel());
+  ULE_RETURN_IF_ERROR(WriteFileBytes(catalog_path_, catalog_.Serialize()));
+  finished_ = true;
+  return Status::OK();
+}
+
+std::vector<ReelStats> ReelSetWriter::CurrentReelStats() const {
+  std::vector<ReelStats> stats;
+  stats.reserve(catalog_.reels.size());
+  for (size_t i = 0; i < catalog_.reels.size(); ++i) {
+    const CatalogReel& row = catalog_.reels[i];
+    ReelStats s;
+    s.name = row.name;
+    s.frames = row.data_frames + row.system_frames;
+    const bool open = current_ && i + 1 == catalog_.reels.size();
+    s.bytes = open ? current_->bytes_written() : row.bytes;
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+Result<std::unique_ptr<ReelSetReader>> ReelSetReader::Open(
+    const std::string& path) {
+  ULE_ASSIGN_OR_RETURN(ReelCatalog catalog, LoadCatalog(path));
+  auto reader = std::unique_ptr<ReelSetReader>(new ReelSetReader());
+  reader->path_ = path;
+  reader->dir_ = std::filesystem::path(path).parent_path().string();
+  reader->catalog_ = std::move(catalog);
+
+  // Try every reel; damage stays per-reel. A reel that opens but
+  // disagrees with the catalog is treated as damaged too — a renamed or
+  // swapped file must not silently serve another archive's frames.
+  const ReelCatalog& cat = reader->catalog_;
+  for (size_t i = 0; i < cat.reels.size(); ++i) {
+    const CatalogReel& row = cat.reels[i];
+    const std::string reel_path = JoinPath(reader->dir_, row.name);
+    const std::string context =
+        "reel " + std::to_string(i) + " (" + row.name + "): ";
+    auto opened = ContainerReader::Open(reel_path);
+    if (!opened.ok()) {
+      reader->reels_.emplace_back(nullptr);
+      reader->reel_status_.push_back(Status(
+          opened.status().code(), context + opened.status().message()));
+      continue;
+    }
+    std::unique_ptr<ContainerReader> reel = std::move(opened).TakeValue();
+    Status status = Status::OK();
+    if (reel->entries().size() != row.records ||
+        reel->frame_count(mocoder::StreamId::kData) != row.data_frames ||
+        reel->frame_count(mocoder::StreamId::kSystem) != row.system_frames ||
+        reel->has_bootstrap() != row.has_bootstrap) {
+      status = Status::Corruption(context +
+                                  "record counts disagree with the catalog");
+    } else if (reel->emblem_options().data_side !=
+                   cat.emblem_options.data_side ||
+               reel->emblem_options().dots_per_cell !=
+                   cat.emblem_options.dots_per_cell ||
+               reel->emblem_options().quiet_cells !=
+                   cat.emblem_options.quiet_cells) {
+      status = Status::Corruption(context +
+                                  "emblem geometry disagrees with the "
+                                  "catalog");
+    }
+    if (!status.ok()) reel.reset();
+    reader->reels_.push_back(std::move(reel));
+    reader->reel_status_.push_back(std::move(status));
+  }
+  return reader;
+}
+
+size_t ReelSetReader::surviving_reels() const {
+  size_t n = 0;
+  for (const Status& s : reel_status_) n += s.ok() ? 1 : 0;
+  return n;
+}
+
+bool ReelSetReader::has_bootstrap() const {
+  for (size_t i = 0; i < catalog_.reels.size(); ++i) {
+    if (catalog_.reels[i].has_bootstrap && reel_status_[i].ok()) return true;
+  }
+  return false;
+}
+
+Result<std::string> ReelSetReader::ReadBootstrap() const {
+  for (size_t i = 0; i < catalog_.reels.size(); ++i) {
+    if (!catalog_.reels[i].has_bootstrap) continue;
+    if (!reel_status_[i].ok()) {
+      return Status(reel_status_[i].code(),
+                    "the bootstrap reel is damaged: " +
+                        reel_status_[i].message());
+    }
+    return reels_[i]->ReadBootstrap();
+  }
+  return Status::NotFound("reel set has no bootstrap record: " + path_);
+}
+
+std::unique_ptr<FrameSource> ReelSetReader::OpenFrames(
+    mocoder::StreamId id) const {
+  const RecordType want = id == mocoder::StreamId::kData
+                              ? RecordType::kDataFrame
+                              : RecordType::kSystemFrame;
+  std::vector<FrameJob> jobs;
+  for (size_t i = 0; i < reels_.size(); ++i) {
+    if (!reel_status_[i].ok()) continue;  // dead reel: its frames are lost
+    const std::string reel_path = JoinPath(dir_, catalog_.reels[i].name);
+    for (const ContainerEntry& e : reels_[i]->entries()) {
+      if (e.type == want) jobs.push_back(FrameJob{reel_path, e});
+    }
+  }
+  return std::make_unique<ReelSetSource>(std::move(jobs), restore_threads_);
+}
+
+Status ReelSetReader::Verify() const {
+  for (size_t i = 0; i < catalog_.reels.size(); ++i) {
+    const CatalogReel& row = catalog_.reels[i];
+    const std::string context =
+        "reel " + std::to_string(i) + " (" + row.name + "): ";
+    if (!reel_status_[i].ok()) return reel_status_[i];
+    const std::string reel_path = JoinPath(dir_, row.name);
+    ULE_ASSIGN_OR_RETURN(FileDigest sealed, DigestFile(reel_path));
+    if (sealed.bytes != row.bytes) {
+      return Status::Corruption(
+          context + "file is " + std::to_string(sealed.bytes) +
+          " bytes, catalog records " + std::to_string(row.bytes));
+    }
+    if (sealed.crc != row.file_crc) {
+      return Status::Corruption(context +
+                                "file CRC disagrees with the catalog");
+    }
+    Status deep = reels_[i]->Verify();
+    if (!deep.ok()) {
+      return Status(deep.code(), context + deep.message());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace filmstore
+}  // namespace ule

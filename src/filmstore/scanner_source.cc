@@ -1,0 +1,21 @@
+#include "filmstore/scanner_source.h"
+
+#include <utility>
+
+namespace ule {
+namespace filmstore {
+
+Result<std::optional<media::Image>> ScannerSource::Next() {
+  ULE_ASSIGN_OR_RETURN(std::optional<media::Image> frame, inner_->Next());
+  if (!frame.has_value()) return std::optional<media::Image>();
+  if (options_.bitonal_print) {
+    for (auto& px : frame->mutable_pixels()) px = px < 128 ? 0 : 255;
+  }
+  media::ScanProfile profile = options_.profile;
+  profile.seed = options_.profile.seed + index_;
+  ++index_;
+  return std::optional<media::Image>(media::Scan(*frame, profile));
+}
+
+}  // namespace filmstore
+}  // namespace ule

@@ -426,6 +426,150 @@ TEST_F(ContainerFaultTest, FooterMagicFlipIsRejected) {
   EXPECT_EQ(reader.status().code(), StatusCode::kCorruption);
 }
 
+// ---------------------------------------------------------------------------
+// Append-resume: recovering an unfinished spool
+
+TEST(ContainerResumeTest, ScanRecoversEveryCompleteRecord) {
+  const std::string path = testing::TempDir() + "resume_scan.ulec";
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 1200, 30);
+  {
+    auto writer = ContainerWriter::Create(path, SmallOptions());
+    ASSERT_TRUE(writer.ok());
+    for (size_t i = 0; i < data.frames.size(); ++i) {
+      media::Image frame = data.frames[i];
+      ASSERT_TRUE(writer.value()
+                      ->Append(mocoder::StreamId::kData, data.emblems[i],
+                               std::move(frame))
+                      .ok());
+    }
+    // The writer dies here: no Finish, no index, no footer.
+  }
+  ASSERT_FALSE(ContainerReader::Open(path).ok());
+
+  auto scan = ScanSpool(path);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_FALSE(scan.value().sealed);
+  EXPECT_EQ(scan.value().entries.size(), data.frames.size());
+  EXPECT_EQ(scan.value().dropped_bytes, 0u);
+  EXPECT_EQ(scan.value().emblem_options.data_side, 65);
+}
+
+TEST(ContainerResumeTest, ResumeContinuesAppendingAndSeals) {
+  const std::string path = testing::TempDir() + "resume_continue.ulec";
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 1500, 32);
+  const size_t half = data.frames.size() / 2;
+  ASSERT_GT(half, 0u);
+  {
+    auto writer = ContainerWriter::Create(path, SmallOptions());
+    ASSERT_TRUE(writer.ok());
+    for (size_t i = 0; i < half; ++i) {
+      media::Image frame = data.frames[i];
+      ASSERT_TRUE(writer.value()
+                      ->Append(mocoder::StreamId::kData, data.emblems[i],
+                               std::move(frame))
+                      .ok());
+    }
+    // Interrupted mid-archive.
+  }
+  auto resumed = ContainerWriter::Resume(path);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  for (size_t i = half; i < data.frames.size(); ++i) {
+    media::Image frame = data.frames[i];
+    ASSERT_TRUE(resumed.value()
+                    ->Append(mocoder::StreamId::kData, data.emblems[i],
+                             std::move(frame))
+                    .ok());
+  }
+  ASSERT_TRUE(resumed.value()->AppendBootstrap("RESUMED\n").ok());
+  ASSERT_TRUE(resumed.value()->Finish().ok());
+
+  // The sealed container is indistinguishable from an uninterrupted one.
+  auto reader = ContainerReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  auto source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+  ExpectSameFrames(Drain(*source), data.frames);
+  auto bootstrap = reader.value()->ReadBootstrap();
+  ASSERT_TRUE(bootstrap.ok());
+  EXPECT_EQ(bootstrap.value(), "RESUMED\n");
+  EXPECT_TRUE(reader.value()->Verify().ok());
+}
+
+TEST(ContainerResumeTest, MidRecordTruncationLosesOnlyTheTailRecord) {
+  const std::string path = testing::TempDir() + "resume_torn.ulec";
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 1500, 33);
+  ASSERT_GE(data.frames.size(), 2u);
+  {
+    auto writer = ContainerWriter::Create(path, SmallOptions());
+    ASSERT_TRUE(writer.ok());
+    for (size_t i = 0; i < data.frames.size(); ++i) {
+      media::Image frame = data.frames[i];
+      ASSERT_TRUE(writer.value()
+                      ->Append(mocoder::StreamId::kData, data.emblems[i],
+                               std::move(frame))
+                      .ok());
+    }
+    // No Finish; then the host also tears the last record.
+  }
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  std::filesystem::resize_file(path, bytes.value().size() - 100);
+
+  auto scan = ScanSpool(path);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_EQ(scan.value().entries.size(), data.frames.size() - 1);
+  EXPECT_GT(scan.value().dropped_bytes, 0u);
+
+  auto resumed = ContainerWriter::Resume(path);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ASSERT_TRUE(resumed.value()->Finish().ok());
+  auto reader = ContainerReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  std::vector<media::Image> expected(data.frames.begin(),
+                                     data.frames.end() - 1);
+  auto source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+  ExpectSameFrames(Drain(*source), expected);
+}
+
+TEST(ContainerResumeTest, SealedContainerIsNotResumable) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 400, 35);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 0, 36);
+  const std::string path =
+      WriteContainer("resume_sealed.ulec", data, system);
+  auto scan = ScanSpool(path);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan.value().sealed);
+  EXPECT_EQ(scan.value().entries.size(),
+            data.frames.size() + system.frames.size() + 1);  // +bootstrap
+  auto resumed = ContainerWriter::Resume(path);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ContainerResumeTest, VerifyNamesTheRecordAndByteOffset) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 900, 37);
+  const std::string path = WriteContainer(
+      "resume_verify.ulec", data, MakeStream(mocoder::StreamId::kSystem, 0,
+                                             38));
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  Bytes mutated = std::move(bytes).TakeValue();
+  mutated[kContainerHeaderBytes + kContainerRecordHeaderBytes + 7] ^= 0xFF;
+  ASSERT_TRUE(WriteFileBytes(path, mutated).ok());
+  auto reader = ContainerReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  Status verify = reader.value()->Verify();
+  ASSERT_FALSE(verify.ok());
+  // The operator must learn *which* record died and where, not just that
+  // something is wrong somewhere in the reel.
+  EXPECT_NE(verify.message().find("record 0"), std::string::npos)
+      << verify.ToString();
+  EXPECT_NE(verify.message().find(
+                "offset " + std::to_string(kContainerHeaderBytes +
+                                           kContainerRecordHeaderBytes)),
+            std::string::npos)
+      << verify.ToString();
+}
+
 TEST(ReelReaderTest, OpenReelPicksTheBackendFromThePath) {
   const EncodedStream data = MakeStream(mocoder::StreamId::kData, 400, 21);
   const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 200, 22);

@@ -1,0 +1,546 @@
+// The ULE-R1 reel-set layer: sharding one archive across many ULE-C1
+// reels under a catalog, restoring them in parallel with byte-identical
+// output at any thread count and shard size, and degrading cleanly —
+// a deleted reel, a truncated reel, or a flipped catalog byte must cost
+// exactly the frames involved (surfaced as Status), never a crash or a
+// silently wrong restore.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/micr_olonys.h"
+#include "filmstore/container.h"
+#include "filmstore/reel_reader.h"
+#include "filmstore/reel_set.h"
+#include "filmstore/scanner_source.h"
+#include "media/scanner.h"
+#include "mocoder/mocoder.h"
+#include "support/crc32.h"
+#include "support/io.h"
+#include "support/random.h"
+
+namespace ule {
+namespace filmstore {
+namespace {
+
+mocoder::Options SmallOptions() {
+  mocoder::Options opt;
+  opt.data_side = 65;  // smallest geometry: fast encodes
+  opt.dots_per_cell = 2;
+  return opt;
+}
+
+/// A small deterministic payload encoded + rendered into frames of one
+/// stream (the shape ArchiveDumpStreaming hands a sink).
+struct EncodedStream {
+  Bytes payload;
+  std::vector<mocoder::EncodedEmblem> emblems;
+  std::vector<media::Image> frames;
+};
+
+EncodedStream MakeStream(mocoder::StreamId id, size_t payload_bytes,
+                         uint32_t seed) {
+  EncodedStream out;
+  out.payload = RandomBytes(seed, payload_bytes);
+  Status st = mocoder::EncodeToSink(
+      out.payload, id, SmallOptions(), /*render=*/true,
+      [&](mocoder::EncodedEmblem&& emblem, media::Image&& frame) -> Status {
+        out.emblems.push_back(std::move(emblem));
+        out.frames.push_back(std::move(frame));
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return out;
+}
+
+/// Drains a source into a vector, failing the test on any error.
+std::vector<media::Image> Drain(FrameSource& source) {
+  std::vector<media::Image> frames;
+  for (;;) {
+    auto next = source.Next();
+    EXPECT_TRUE(next.ok()) << next.status().ToString();
+    if (!next.ok() || !next.value().has_value()) break;
+    frames.push_back(std::move(*next.value()));
+  }
+  return frames;
+}
+
+void ExpectSameFrames(const std::vector<media::Image>& a,
+                      const std::vector<media::Image>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pixels(), b[i].pixels()) << "frame " << i;
+  }
+}
+
+void FillSink(FrameSink& sink, const EncodedStream& data,
+              const EncodedStream& system) {
+  for (size_t i = 0; i < data.frames.size(); ++i) {
+    media::Image frame = data.frames[i];
+    ASSERT_TRUE(sink.Append(mocoder::StreamId::kData, data.emblems[i],
+                            std::move(frame))
+                    .ok());
+  }
+  for (size_t i = 0; i < system.frames.size(); ++i) {
+    media::Image frame = system.frames[i];
+    ASSERT_TRUE(sink.Append(mocoder::StreamId::kSystem, system.emblems[i],
+                            std::move(frame))
+                    .ok());
+  }
+}
+
+/// Builds a sharded reel set on disk and returns its catalog path.
+std::string WriteSet(const std::string& name, const EncodedStream& data,
+                     const EncodedStream& system, const ShardPolicy& shard) {
+  const std::string path = testing::TempDir() + name;
+  ReelSetWriter::Options opt;
+  opt.shard = shard;
+  opt.archive_id = 0x1DB2026;
+  auto writer = ReelSetWriter::Create(path, SmallOptions(), opt);
+  EXPECT_TRUE(writer.ok()) << writer.status().ToString();
+  FillSink(*writer.value(), data, system);
+  EXPECT_TRUE(writer.value()->AppendBootstrap("THE BOOTSTRAP\n").ok());
+  EXPECT_TRUE(writer.value()->Finish().ok());
+  return path;
+}
+
+ShardPolicy ByFrames(size_t n) {
+  ShardPolicy p;
+  p.max_frames_per_reel = n;
+  return p;
+}
+
+TEST(ReelSetTest, ShardsByFramesAndRoundTripsAtAnyThreadCount) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 3000, 31);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 700, 32);
+  const std::string path =
+      WriteSet("reelset_frames.uler", data, system, ByFrames(5));
+
+  auto reader = ReelSetReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_STREQ(reader.value()->kind(), "ULE-R1 reel set");
+  EXPECT_GE(reader.value()->catalog().reels.size(), 3u);
+  EXPECT_EQ(reader.value()->surviving_reels(),
+            reader.value()->catalog().reels.size());
+  EXPECT_EQ(reader.value()->catalog().archive_id, 0x1DB2026u);
+  EXPECT_EQ(reader.value()->frame_count(mocoder::StreamId::kData),
+            data.frames.size());
+  EXPECT_EQ(reader.value()->frame_count(mocoder::StreamId::kSystem),
+            system.frames.size());
+  EXPECT_TRUE(reader.value()->has_bootstrap());
+  auto bootstrap = reader.value()->ReadBootstrap();
+  ASSERT_TRUE(bootstrap.ok());
+  EXPECT_EQ(bootstrap.value(), "THE BOOTSTRAP\n");
+
+  // Every reel honors the policy; ranges tile the stream contiguously.
+  size_t expect_first_data = 0, expect_first_record = 0;
+  for (const CatalogReel& row : reader.value()->catalog().reels) {
+    EXPECT_LE(row.data_frames + row.system_frames, 5u);
+    EXPECT_EQ(row.first_record, expect_first_record);
+    EXPECT_EQ(row.first_data_frame, expect_first_data);
+    expect_first_record += row.records;
+    expect_first_data += row.data_frames;
+  }
+
+  // Byte-identical frame delivery regardless of restore fan-out.
+  for (const int threads : {1, 4}) {
+    reader.value()->set_restore_threads(threads);
+    auto data_source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+    ExpectSameFrames(Drain(*data_source), data.frames);
+    auto system_source =
+        reader.value()->OpenFrames(mocoder::StreamId::kSystem);
+    ExpectSameFrames(Drain(*system_source), system.frames);
+  }
+  EXPECT_TRUE(reader.value()->Verify().ok());
+}
+
+TEST(ReelSetTest, ShardsByBytesKeepsEveryReelUnderTheCap) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 2500, 33);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 400, 34);
+  ShardPolicy shard;
+  shard.max_bytes_per_reel = 80 * 1000;
+  const std::string path =
+      WriteSet("reelset_bytes.uler", data, system, shard);
+
+  auto reader = ReelSetReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  const ReelCatalog& catalog = reader.value()->catalog();
+  EXPECT_GE(catalog.reels.size(), 3u);
+  for (size_t i = 0; i < catalog.reels.size(); ++i) {
+    // The cap binds the *sealed file*, except the final reel which also
+    // carries the Bootstrap document unconditionally.
+    if (!catalog.reels[i].has_bootstrap) {
+      EXPECT_LE(catalog.reels[i].bytes, shard.max_bytes_per_reel)
+          << "reel " << i;
+    }
+    std::error_code ec;
+    EXPECT_EQ(std::filesystem::file_size(
+                  testing::TempDir() + catalog.reels[i].name, ec),
+              catalog.reels[i].bytes)
+        << "reel " << i;
+  }
+  auto source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+  ExpectSameFrames(Drain(*source), data.frames);
+}
+
+TEST(ReelSetTest, OpenReelPicksTheCatalogBackend) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 600, 35);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 0, 36);
+  const std::string path =
+      WriteSet("reelset_openreel.uler", data, system, ByFrames(2));
+  auto reel = OpenReel(path);
+  ASSERT_TRUE(reel.ok()) << reel.status().ToString();
+  EXPECT_STREQ(reel.value()->kind(), "ULE-R1 reel set");
+  auto source = reel.value()->OpenFrames(mocoder::StreamId::kData);
+  ExpectSameFrames(Drain(*source), data.frames);
+}
+
+TEST(ReelSetTest, CatalogSerializationRoundTrips) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 900, 37);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 300, 38);
+  const std::string path =
+      WriteSet("reelset_catalog.uler", data, system, ByFrames(4));
+  auto catalog = LoadCatalog(path);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  auto reparsed = ReelCatalog::Parse(catalog.value().Serialize());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.value().archive_id, catalog.value().archive_id);
+  ASSERT_EQ(reparsed.value().reels.size(), catalog.value().reels.size());
+  for (size_t i = 0; i < catalog.value().reels.size(); ++i) {
+    EXPECT_EQ(reparsed.value().reels[i].name, catalog.value().reels[i].name);
+    EXPECT_EQ(reparsed.value().reels[i].file_crc,
+              catalog.value().reels[i].file_crc);
+    EXPECT_EQ(reparsed.value().reels[i].first_record,
+              catalog.value().reels[i].first_record);
+  }
+}
+
+class ReelSetFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each case as its own process, concurrently, against the
+    // same TempDir — every file name must carry the test name.
+    test_name_ = ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name();
+    data_ = MakeStream(mocoder::StreamId::kData, 2200, 40);
+    system_ = MakeStream(mocoder::StreamId::kSystem, 500, 41);
+    path_ = WriteSet("fault_" + test_name_ + ".uler", data_, system_,
+                     ByFrames(4));
+    auto catalog = LoadCatalog(path_);
+    ASSERT_TRUE(catalog.ok());
+    catalog_ = std::move(catalog).TakeValue();
+    ASSERT_GE(catalog_.reels.size(), 3u);
+  }
+
+  std::string ReelPath(size_t i) const {
+    return testing::TempDir() + catalog_.reels[i].name;
+  }
+
+  /// The data frames every reel except `dead` owns, in stream order —
+  /// what a degraded restore must still deliver, exactly.
+  std::vector<media::Image> SurvivingDataFrames(size_t dead) const {
+    std::vector<media::Image> expected;
+    for (size_t i = 0; i < catalog_.reels.size(); ++i) {
+      if (i == dead) continue;
+      const CatalogReel& row = catalog_.reels[i];
+      for (uint32_t j = 0; j < row.data_frames; ++j) {
+        expected.push_back(data_.frames[row.first_data_frame + j]);
+      }
+    }
+    return expected;
+  }
+
+  std::string test_name_;
+  EncodedStream data_;
+  EncodedStream system_;
+  std::string path_;
+  ReelCatalog catalog_;
+};
+
+TEST_F(ReelSetFaultTest, DeletedReelDegradesToItsFrameRange) {
+  const size_t dead = 1;
+  ASSERT_TRUE(std::filesystem::remove(ReelPath(dead)));
+  auto reader = ReelSetReader::Open(path_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value()->surviving_reels(), catalog_.reels.size() - 1);
+  EXPECT_FALSE(reader.value()->reel_status(dead).ok());
+  EXPECT_NE(reader.value()->reel_status(dead).message().find("reel 1"),
+            std::string::npos);
+  // The surviving reels still serve exactly their frame ranges, at any
+  // fan-out.
+  for (const int threads : {1, 4}) {
+    reader.value()->set_restore_threads(threads);
+    auto source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+    ExpectSameFrames(Drain(*source), SurvivingDataFrames(dead));
+  }
+  // Verify refuses the set and names the missing reel.
+  Status verify = reader.value()->Verify();
+  ASSERT_FALSE(verify.ok());
+  EXPECT_NE(verify.message().find(catalog_.reels[dead].name),
+            std::string::npos);
+}
+
+TEST_F(ReelSetFaultTest, TruncatedReelDegradesToItsFrameRange) {
+  const size_t dead = 2;
+  // Cut the reel mid-record: it loses its footer, so it no longer opens,
+  // and the set degrades exactly as with a missing file.
+  auto bytes = ReadFileBytes(ReelPath(dead));
+  ASSERT_TRUE(bytes.ok());
+  Bytes cut(bytes.value().begin(),
+            bytes.value().begin() + bytes.value().size() / 2);
+  ASSERT_TRUE(WriteFileBytes(ReelPath(dead), cut).ok());
+
+  auto reader = ReelSetReader::Open(path_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value()->surviving_reels(), catalog_.reels.size() - 1);
+  EXPECT_EQ(reader.value()->reel_status(dead).code(),
+            StatusCode::kCorruption);
+  auto source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+  ExpectSameFrames(Drain(*source), SurvivingDataFrames(dead));
+  EXPECT_FALSE(reader.value()->Verify().ok());
+}
+
+TEST_F(ReelSetFaultTest, FlippedCatalogByteIsRejected) {
+  auto bytes = ReadFileBytes(path_);
+  ASSERT_TRUE(bytes.ok());
+  Bytes mutated = std::move(bytes).TakeValue();
+  mutated[mutated.size() / 2] ^= 0x20;
+  ASSERT_TRUE(WriteFileBytes(path_, mutated).ok());
+  auto reader = ReelSetReader::Open(path_);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption)
+      << reader.status().ToString();
+}
+
+TEST_F(ReelSetFaultTest, UnknownCatalogVersionIsUnimplemented) {
+  auto bytes = ReadFileBytes(path_);
+  ASSERT_TRUE(bytes.ok());
+  Bytes mutated = std::move(bytes).TakeValue();
+  mutated[4] = 9;  // catalog binary version
+  // Re-seal the CRC so only the version is "wrong" — a future catalog
+  // must be rejected as unimplemented, not misread as corrupt.
+  const uint32_t crc = Crc32(BytesView(mutated).subspan(0, mutated.size() - 8));
+  for (int i = 0; i < 4; ++i) {
+    mutated[mutated.size() - 8 + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  ASSERT_TRUE(WriteFileBytes(path_, mutated).ok());
+  auto reader = ReelSetReader::Open(path_);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kUnimplemented)
+      << reader.status().ToString();
+}
+
+TEST_F(ReelSetFaultTest, FlippedRecordByteSurfacesMidStreamWithContext) {
+  // Flip one payload byte inside reel 1's record region. The reel still
+  // opens (its index is intact), so the error must surface exactly at
+  // that frame during the parallel read — as a Status naming the offset,
+  // never as wrong pixels.
+  auto bytes = ReadFileBytes(ReelPath(1));
+  ASSERT_TRUE(bytes.ok());
+  Bytes mutated = std::move(bytes).TakeValue();
+  mutated[kContainerHeaderBytes + kContainerRecordHeaderBytes + 40] ^= 0xFF;
+  ASSERT_TRUE(WriteFileBytes(ReelPath(1), mutated).ok());
+
+  auto reader = ReelSetReader::Open(path_);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_TRUE(reader.value()->reel_status(1).ok());  // index is intact
+  reader.value()->set_restore_threads(4);
+  auto source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+  // Frames before the bad record still arrive (reel 0's full range).
+  const uint32_t good = catalog_.reels[0].data_frames;
+  for (uint32_t i = 0; i < good; ++i) {
+    auto next = source->Next();
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    ASSERT_TRUE(next.value().has_value());
+    EXPECT_EQ(next.value()->pixels(), data_.frames[i].pixels());
+  }
+  auto bad = source->Next();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(bad.status().message().find("offset"), std::string::npos)
+      << bad.status().message();
+
+  Status verify = reader.value()->Verify();
+  ASSERT_FALSE(verify.ok());
+  EXPECT_NE(verify.message().find(catalog_.reels[1].name),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Full pipeline: core::ArchiveDumpStreaming onto a reel set
+
+core::ArchiveOptions TestArchiveOptions(int threads) {
+  core::ArchiveOptions options;
+  options.emblem = SmallOptions();
+  options.emblem.threads = threads;
+  return options;
+}
+
+std::string TestDump() {
+  std::string dump;
+  for (int i = 0; i < 40; ++i) {
+    dump += "INSERT INTO lineitem VALUES (" + std::to_string(i * 37) +
+            ", 'part-" + std::to_string(i) + "', 'supplier-" +
+            std::to_string(i % 7) + "', 4.25, 'archival layout emulation');\n";
+  }
+  return dump;
+}
+
+TEST(ReelSetPipelineTest, ShardedArchiveRestoresIdenticallyToSingleReel) {
+  const std::string dump = TestDump();
+  const std::string single_path = testing::TempDir() + "pipe_single.ulec";
+  const std::string set_path = testing::TempDir() + "pipe_set.uler";
+
+  // One archive, two shapes: a single container and a ≥3-reel set.
+  auto single = ContainerWriter::Create(single_path, SmallOptions());
+  ASSERT_TRUE(single.ok());
+  auto single_summary = core::ArchiveDumpStreaming(
+      dump, TestArchiveOptions(2), *single.value());
+  ASSERT_TRUE(single_summary.ok()) << single_summary.status().ToString();
+  ASSERT_TRUE(single.value()
+                  ->AppendBootstrap(single_summary.value().bootstrap_text)
+                  .ok());
+  ASSERT_TRUE(single.value()->Finish().ok());
+  ASSERT_EQ(single_summary.value().reels.size(), 1u);
+
+  ReelSetWriter::Options sopt;
+  sopt.shard.max_frames_per_reel = 3;
+  auto set = ReelSetWriter::Create(set_path, SmallOptions(), sopt);
+  ASSERT_TRUE(set.ok());
+  auto set_summary =
+      core::ArchiveDumpStreaming(dump, TestArchiveOptions(2), *set.value());
+  ASSERT_TRUE(set_summary.ok()) << set_summary.status().ToString();
+  ASSERT_TRUE(
+      set.value()->AppendBootstrap(set_summary.value().bootstrap_text).ok());
+  ASSERT_TRUE(set.value()->Finish().ok());
+  EXPECT_GE(set.value()->reel_count(), 3u);
+  // The summary's per-reel stats came from the sink mid-stream: one row
+  // per reel, frames summing to the stream totals.
+  size_t stat_frames = 0;
+  for (const ReelStats& s : set_summary.value().reels) {
+    stat_frames += s.frames;
+  }
+  EXPECT_EQ(stat_frames, set_summary.value().data_frames +
+                             set_summary.value().system_frames);
+
+  // Restores are byte-identical across backend, thread count, and stats.
+  auto single_reel = OpenReel(single_path);
+  ASSERT_TRUE(single_reel.ok());
+  core::RestoreStats single_stats;
+  auto single_data = single_reel.value()->OpenFrames(mocoder::StreamId::kData);
+  auto single_system =
+      single_reel.value()->OpenFrames(mocoder::StreamId::kSystem);
+  auto single_restored = core::RestoreNativeStreaming(
+      *single_data, single_system.get(),
+      single_reel.value()->emblem_options(), &single_stats);
+  ASSERT_TRUE(single_restored.ok()) << single_restored.status().ToString();
+  EXPECT_EQ(single_restored.value(), dump);
+
+  for (const int threads : {1, 4}) {
+    auto set_reel = ReelSetReader::Open(set_path);
+    ASSERT_TRUE(set_reel.ok());
+    set_reel.value()->set_restore_threads(threads);
+    mocoder::Options restore_options = set_reel.value()->emblem_options();
+    restore_options.threads = threads;
+    core::RestoreStats set_stats;
+    auto set_data = set_reel.value()->OpenFrames(mocoder::StreamId::kData);
+    auto set_system = set_reel.value()->OpenFrames(mocoder::StreamId::kSystem);
+    auto set_restored = core::RestoreNativeStreaming(
+        *set_data, set_system.get(), restore_options, &set_stats);
+    ASSERT_TRUE(set_restored.ok()) << set_restored.status().ToString();
+    EXPECT_EQ(set_restored.value(), single_restored.value());
+    EXPECT_EQ(set_stats.data_stream.emblems_total,
+              single_stats.data_stream.emblems_total);
+    EXPECT_EQ(set_stats.data_stream.emblems_decoded,
+              single_stats.data_stream.emblems_decoded);
+    EXPECT_EQ(set_stats.data_stream.emblems_recovered,
+              single_stats.data_stream.emblems_recovered);
+    EXPECT_EQ(set_stats.system_stream.emblems_decoded,
+              single_stats.system_stream.emblems_decoded);
+  }
+}
+
+TEST(ReelSetPipelineTest, LostReelWithinOuterBudgetStillRestoresExactly) {
+  const std::string dump = TestDump();
+  const std::string set_path = testing::TempDir() + "pipe_lost.uler";
+  ReelSetWriter::Options sopt;
+  // ≤3 frames per reel: losing one whole reel stays inside the outer
+  // code's 3-erasures-per-group budget.
+  sopt.shard.max_frames_per_reel = 3;
+  auto set = ReelSetWriter::Create(set_path, SmallOptions(), sopt);
+  ASSERT_TRUE(set.ok());
+  auto summary =
+      core::ArchiveDumpStreaming(dump, TestArchiveOptions(2), *set.value());
+  ASSERT_TRUE(summary.ok());
+  ASSERT_TRUE(
+      set.value()->AppendBootstrap(summary.value().bootstrap_text).ok());
+  ASSERT_TRUE(set.value()->Finish().ok());
+  ASSERT_GE(set.value()->reel_count(), 3u);
+  // Reel 0 always owns the first data emblems (frames arrive data
+  // stream first), so losing it forces real outer-code recovery.
+  ASSERT_GT(set.value()->catalog().reels[0].data_frames, 0u);
+  ASSERT_TRUE(std::filesystem::remove(testing::TempDir() +
+                                      set.value()->catalog().reels[0].name));
+
+  auto reader = ReelSetReader::Open(set_path);
+  ASSERT_TRUE(reader.ok());
+  reader.value()->set_restore_threads(4);
+  core::RestoreStats stats;
+  auto data = reader.value()->OpenFrames(mocoder::StreamId::kData);
+  auto system = reader.value()->OpenFrames(mocoder::StreamId::kSystem);
+  auto restored = core::RestoreNativeStreaming(
+      *data, system.get(), reader.value()->emblem_options(), &stats);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value(), dump);
+  EXPECT_GT(stats.data_stream.emblems_recovered, 0);
+}
+
+TEST(ReelSetPipelineTest, ScannerShimRestoresThroughSimulatedScans) {
+  const std::string dump = TestDump();
+  const std::string set_path = testing::TempDir() + "pipe_scan.uler";
+  // The scan simulation needs decode margin: 4 dots per cell (the same
+  // pitch end_to_end_test scans at), not the 2 the fast tests render.
+  mocoder::Options emblem = SmallOptions();
+  emblem.dots_per_cell = 4;
+  core::ArchiveOptions archive_options;
+  archive_options.emblem = emblem;
+  archive_options.emblem.threads = 2;
+  ReelSetWriter::Options sopt;
+  sopt.shard.max_frames_per_reel = 4;
+  auto set = ReelSetWriter::Create(set_path, emblem, sopt);
+  ASSERT_TRUE(set.ok());
+  auto summary =
+      core::ArchiveDumpStreaming(dump, archive_options, *set.value());
+  ASSERT_TRUE(summary.ok());
+  ASSERT_TRUE(set.value()->Finish().ok());
+  ASSERT_GE(set.value()->reel_count(), 3u);
+
+  auto reader = ReelSetReader::Open(set_path);
+  ASSERT_TRUE(reader.ok());
+  reader.value()->set_restore_threads(2);
+
+  // The realistic path: every frame leaves the reels through the scanner
+  // simulation (the same distortion end_to_end_test survives), one at a
+  // time — no intermediate scan vector exists.
+  ScannerSource::Options scan;
+  scan.profile.rotation_deg = 0.4;
+  scan.profile.blur_sigma = 0.6;
+  scan.profile.noise_sigma = 6;
+  scan.profile.seed = 321;
+  auto data_scans = std::make_unique<ScannerSource>(
+      reader.value()->OpenFrames(mocoder::StreamId::kData), scan);
+  auto system_scans = std::make_unique<ScannerSource>(
+      reader.value()->OpenFrames(mocoder::StreamId::kSystem), scan);
+  auto restored = core::RestoreNativeStreaming(
+      *data_scans, system_scans.get(), reader.value()->emblem_options());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value(), dump);
+}
+
+}  // namespace
+}  // namespace filmstore
+}  // namespace ule

@@ -7,7 +7,9 @@ Fails (exit 1) when:
   * the format version string recorded in docs/FORMAT.md diverges from
     the kUleFormatVersion constant in src/core/micr_olonys.h;
   * the ULE-C1 container version in docs/FORMAT.md diverges from the
-    kUleContainerFormatVersion constant in src/filmstore/container.h.
+    kUleContainerFormatVersion constant in src/filmstore/container.h;
+  * the ULE-R1 reel-set version in docs/FORMAT.md diverges from the
+    kUleReelSetFormatVersion constant in src/filmstore/reel_set.h.
 
 Run from anywhere: paths are resolved relative to the repository root
 (the parent of this script's directory). Stdlib only.
@@ -21,13 +23,16 @@ REPO = Path(__file__).resolve().parent.parent
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
-# FORMAT.md records the versions as: **Format version: `ULE-F1`** and
-# **Container version: `ULE-C1`**
+# FORMAT.md records the versions as: **Format version: `ULE-F1`**,
+# **Container version: `ULE-C1`** and **Reel-set version: `ULE-R1`**
 DOC_VERSION_RE = re.compile(r"\*\*Format version:\s*`([^`]+)`\*\*")
 CODE_VERSION_RE = re.compile(r'kUleFormatVersion\[\]\s*=\s*"([^"]+)"')
 DOC_CONTAINER_RE = re.compile(r"\*\*Container version:\s*`([^`]+)`\*\*")
 CODE_CONTAINER_RE = re.compile(
     r'kUleContainerFormatVersion\[\]\s*=\s*"([^"]+)"')
+DOC_REELSET_RE = re.compile(r"\*\*Reel-set version:\s*`([^`]+)`\*\*")
+CODE_REELSET_RE = re.compile(
+    r'kUleReelSetFormatVersion\[\]\s*=\s*"([^"]+)"')
 
 
 def github_slug(heading: str) -> str:
@@ -87,6 +92,9 @@ def check_version() -> list:
         ("container", DOC_CONTAINER_RE, CODE_CONTAINER_RE,
          REPO / "src" / "filmstore" / "container.h",
          "kUleContainerFormatVersion"),
+        ("reel-set", DOC_REELSET_RE, CODE_REELSET_RE,
+         REPO / "src" / "filmstore" / "reel_set.h",
+         "kUleReelSetFormatVersion"),
     ]:
         doc = doc_re.search(fmt_text)
         code = code_re.search(header.read_text(encoding="utf-8"))

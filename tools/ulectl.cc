@@ -6,13 +6,18 @@
 //
 //   ulectl archive --in dump.sql --out reel.ulec
 //   ulectl archive --tpch 0.0002 --out reel/ --dir --pbm
-//   ulectl inspect reel.ulec
+//   ulectl archive --in dump.sql --out set.uler --shard-frames 8
+//   ulectl inspect reel.ulec          (or set.uler, or a reel directory)
 //   ulectl verify  reel.ulec
-//   ulectl restore --in reel.ulec --out restored.sql [--emulated]
+//   ulectl restore --in set.uler --out restored.sql [--emulated]
+//   ulectl resume  spool.ulec         (recover an interrupted archive)
 //
 // Archival spools frames straight to disk (peak RSS O(threads × emblem),
 // archives larger than RAM are fine); restoration pulls them back
 // frame-at-a-time through the streaming native or fully emulated path.
+// With --shard-frames/--shard-bytes one archive spans many ULE-C1 reels
+// under a ULE-R1 catalog; reels restore in parallel, and a lost reel
+// only costs the frames it owned.
 
 #include <cerrno>
 #include <cstdio>
@@ -30,7 +35,9 @@
 #include "filmstore/directory_store.h"
 #include "filmstore/frame_store.h"
 #include "filmstore/reel_reader.h"
+#include "filmstore/reel_set.h"
 #include "minidb/sqldump.h"
+#include "support/crc32.h"
 #include "support/io.h"
 #include "tpch/tpch.h"
 
@@ -44,10 +51,13 @@ int Usage(const char* argv0) {
       "usage: %s <command> [options] [reel]\n"
       "\n"
       "commands:\n"
-      "  archive   write a film-store reel from a SQL dump\n"
-      "  restore   restore the SQL dump from a reel\n"
-      "  inspect   describe a reel (geometry, records, sizes)\n"
+      "  archive   write a film-store reel (or sharded reel set) from a\n"
+      "            SQL dump\n"
+      "  restore   restore the SQL dump from a reel or reel set\n"
+      "  inspect   describe a reel (geometry, records, sizes, reels)\n"
       "  verify    re-read every record and validate its checksums\n"
+      "  resume    recover an interrupted ULE-C1 spool: rescan its\n"
+      "            complete records and seal it\n"
       "\n"
       "common options:\n"
       "  --in PATH          input (archive: SQL dump; others: the reel)\n"
@@ -61,6 +71,9 @@ int Usage(const char* argv0) {
       "                     instead of a ULE-C1 container file\n"
       "  --pbm              store frames as bitonal PBM (smaller; exact for\n"
       "                     rendered frames)\n"
+      "  --shard-frames N   split the archive across reels of at most N\n"
+      "                     frames each (--out names the ULE-R1 catalog)\n"
+      "  --shard-bytes N    split across reels of at most N file bytes\n"
       "  --scheme NAME      dbcoder scheme: store|lzss|lzac|columnar\n"
       "  --data-side N      emblem data-area side (default 128)\n"
       "  --dots-per-cell N  render pitch (default 4)\n"
@@ -89,6 +102,8 @@ struct Args {
   int threads = 0;
   int data_side = 128;
   int dots_per_cell = 4;
+  int shard_frames = 0;
+  int64_t shard_bytes = 0;
   dbcoder::Scheme scheme = dbcoder::Scheme::kLzac;
 };
 
@@ -113,6 +128,17 @@ Result<int> ParseInt(const std::string& flag, const std::string& s) {
                                    "got: " + s);
   }
   return static_cast<int>(v);
+}
+
+Result<int64_t> ParseInt64(const std::string& flag, const std::string& s) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE || v < 0) {
+    return Status::InvalidArgument(flag + " needs a non-negative integer, "
+                                   "got: " + s);
+  }
+  return static_cast<int64_t>(v);
 }
 
 Result<double> ParseDouble(const std::string& flag, const std::string& s) {
@@ -159,6 +185,12 @@ Result<Args> ParseArgs(int argc, char** argv) {
     } else if (arg == "--threads") {
       ULE_ASSIGN_OR_RETURN(std::string v, value());
       ULE_ASSIGN_OR_RETURN(args.threads, ParseInt(arg, v));
+    } else if (arg == "--shard-frames") {
+      ULE_ASSIGN_OR_RETURN(std::string v, value());
+      ULE_ASSIGN_OR_RETURN(args.shard_frames, ParseInt(arg, v));
+    } else if (arg == "--shard-bytes") {
+      ULE_ASSIGN_OR_RETURN(std::string v, value());
+      ULE_ASSIGN_OR_RETURN(args.shard_bytes, ParseInt64(arg, v));
     } else if (arg == "--data-side") {
       ULE_ASSIGN_OR_RETURN(std::string v, value());
       ULE_ASSIGN_OR_RETURN(args.data_side, ParseInt(arg, v));
@@ -210,41 +242,59 @@ int RunArchive(const Args& args) {
   options.emblem.dots_per_cell = args.dots_per_cell;
   options.emblem.threads = args.threads;
 
-  // Both backends spool frame-at-a-time: nothing is materialized even
-  // when the archive is far larger than RAM.
-  std::unique_ptr<filmstore::ContainerWriter> container;
-  std::unique_ptr<filmstore::DirectoryWriter> directory;
-  filmstore::FrameSink* sink = nullptr;
+  const bool sharded = args.shard_frames > 0 || args.shard_bytes > 0;
+  if (sharded && args.dir) {
+    return Fail(Status::InvalidArgument(
+        "--shard-frames/--shard-bytes shard across ULE-C1 reels; they do "
+        "not combine with --dir"));
+  }
+
+  // Every backend spools frame-at-a-time: nothing is materialized even
+  // when the archive is far larger than RAM. All three writers speak
+  // ArchiveWriter, so only construction is per-backend.
+  std::unique_ptr<filmstore::ArchiveWriter> writer;
+  const filmstore::ReelSetWriter* reelset = nullptr;
   if (args.dir) {
     filmstore::DirectoryWriter::Options dopt;
     dopt.bitonal = args.pbm;
-    auto writer =
+    auto created =
         filmstore::DirectoryWriter::Create(args.out, options.emblem, dopt);
-    if (!writer.ok()) return Fail(writer.status());
-    directory = std::move(writer).TakeValue();
-    sink = directory.get();
+    if (!created.ok()) return Fail(created.status());
+    writer = std::move(created).TakeValue();
+  } else if (sharded) {
+    filmstore::ReelSetWriter::Options sopt;
+    sopt.shard.max_frames_per_reel = static_cast<size_t>(args.shard_frames);
+    sopt.shard.max_bytes_per_reel = static_cast<uint64_t>(args.shard_bytes);
+    sopt.container.bitonal = args.pbm;
+    // The archive's identity in the catalog: content-derived, so
+    // re-archiving the same dump is recognizably the same archive.
+    // (View, not copy: the dump can be huge.)
+    sopt.archive_id = Crc32(BytesView(
+        reinterpret_cast<const uint8_t*>(dump.data()), dump.size()));
+    auto created =
+        filmstore::ReelSetWriter::Create(args.out, options.emblem, sopt);
+    if (!created.ok()) return Fail(created.status());
+    reelset = created.value().get();
+    writer = std::move(created).TakeValue();
   } else {
     filmstore::ContainerWriter::Options copt;
     copt.bitonal = args.pbm;
-    auto writer =
+    auto created =
         filmstore::ContainerWriter::Create(args.out, options.emblem, copt);
-    if (!writer.ok()) return Fail(writer.status());
-    container = std::move(writer).TakeValue();
-    sink = container.get();
+    if (!created.ok()) return Fail(created.status());
+    writer = std::move(created).TakeValue();
   }
 
-  auto summary = core::ArchiveDumpStreaming(dump, options, *sink);
+  auto summary = core::ArchiveDumpStreaming(dump, options, *writer);
   if (!summary.ok()) return Fail(summary.status());
-  Status tail = container
-                    ? container->AppendBootstrap(summary.value().bootstrap_text)
-                    : directory->AppendBootstrap(summary.value().bootstrap_text);
+  Status tail = writer->AppendBootstrap(summary.value().bootstrap_text);
   if (!tail.ok()) return Fail(tail);
-  tail = container ? container->Finish() : directory->Finish();
+  tail = writer->Finish();
   if (!tail.ok()) return Fail(tail);
 
   std::error_code ec;
   const uint64_t reel_bytes =
-      args.dir ? 0 : std::filesystem::file_size(args.out, ec);
+      (args.dir || sharded) ? 0 : std::filesystem::file_size(args.out, ec);
   std::printf("archived %zu dump bytes -> %s\n", summary.value().dump_bytes,
               args.out.c_str());
   std::printf("  scheme            %s\n", dbcoder::SchemeName(args.scheme));
@@ -258,6 +308,15 @@ int RunArchive(const Args& args) {
                 static_cast<unsigned long long>(reel_bytes));
   }
   std::printf("  threads used      %d\n", summary.value().threads_used);
+  if (reelset != nullptr) {
+    // Final per-reel accounting (post-Finish: sealed sizes, catalog on
+    // disk). The pre-Finish view lives in summary.reels.
+    std::printf("  reels             %zu\n", reelset->reel_count());
+    for (const filmstore::ReelStats& reel : reelset->CurrentReelStats()) {
+      std::printf("    %-18s %6zu frames %12llu bytes\n", reel.name.c_str(),
+                  reel.frames, static_cast<unsigned long long>(reel.bytes));
+    }
+  }
   return 0;
 }
 
@@ -269,6 +328,17 @@ int RunRestore(const Args& args) {
   if (!reel.ok()) return Fail(reel.status());
   mocoder::Options options = reel.value()->emblem_options();
   options.threads = args.threads;
+  if (auto* set = dynamic_cast<filmstore::ReelSetReader*>(reel.value().get())) {
+    set->set_restore_threads(args.threads);
+    // Restoring through damage is the point of the reel set, but the user
+    // should know the frames of a dead reel are riding on the outer code.
+    for (size_t i = 0; i < set->catalog().reels.size(); ++i) {
+      if (!set->reel_status(i).ok()) {
+        std::fprintf(stderr, "ulectl: warning: %s\n",
+                     set->reel_status(i).ToString().c_str());
+      }
+    }
+  }
 
   Result<std::string> restored = Status::InvalidArgument("unreachable");
   core::RestoreStats stats;
@@ -325,6 +395,25 @@ int RunInspect(const Args& args) {
                     std::filesystem::file_size(args.in, ec)));
     std::printf("  records           %zu\n", container->entries().size());
   }
+  if (const auto* set =
+          dynamic_cast<const filmstore::ReelSetReader*>(reel.value().get())) {
+    const filmstore::ReelCatalog& catalog = set->catalog();
+    std::printf("  catalog version   %s\n",
+                filmstore::kUleReelSetFormatVersion);
+    std::printf("  archive id        %016llx\n",
+                static_cast<unsigned long long>(catalog.archive_id));
+    std::printf("  reels             %zu (%zu readable)\n",
+                catalog.reels.size(), set->surviving_reels());
+    for (size_t i = 0; i < catalog.reels.size(); ++i) {
+      const filmstore::CatalogReel& row = catalog.reels[i];
+      std::printf("    %-18s %6u frames %12llu bytes  %s\n",
+                  row.name.c_str(), row.data_frames + row.system_frames,
+                  static_cast<unsigned long long>(row.bytes),
+                  set->reel_status(i).ok()
+                      ? "ok"
+                      : set->reel_status(i).ToString().c_str());
+    }
+  }
   std::printf("  emblem geometry   data_side %d, dots_per_cell %d, "
               "quiet_cells %d\n",
               opt.data_side, opt.dots_per_cell, opt.quiet_cells);
@@ -352,11 +441,40 @@ int RunVerify(const Args& args) {
   // Directory reels carry no checksums; their integrity pass only proves
   // every frame file still parses. Say which guarantee was checked.
   const bool checksummed =
-      dynamic_cast<const filmstore::ContainerReader*>(reel.value().get()) !=
+      dynamic_cast<const filmstore::DirectoryReader*>(reel.value().get()) ==
       nullptr;
   std::printf("%s: OK (%zu records, %s)\n", args.in.c_str(), records,
               checksummed ? "every checksum valid"
                           : "every frame file parses");
+  return 0;
+}
+
+int RunResume(const Args& args) {
+  if (args.in.empty()) {
+    return Fail(Status::InvalidArgument("resume needs a spool path"));
+  }
+  auto scan = filmstore::ScanSpool(args.in);
+  if (!scan.ok()) return Fail(scan.status());
+  if (scan.value().sealed) {
+    std::printf("%s: already sealed (%zu records) — nothing to resume\n",
+                args.in.c_str(), scan.value().entries.size());
+    return 0;
+  }
+  std::printf("%s: interrupted spool\n", args.in.c_str());
+  std::printf("  complete records  %zu\n", scan.value().entries.size());
+  std::printf("  recovered bytes   %llu\n",
+              static_cast<unsigned long long>(scan.value().recovered_bytes));
+  std::printf("  dropped bytes     %llu (trailing partial record)\n",
+              static_cast<unsigned long long>(scan.value().dropped_bytes));
+  // Hand the completed scan to Resume: one sequential CRC pass over the
+  // spool, not two.
+  auto writer = filmstore::ContainerWriter::Resume(
+      args.in, std::move(scan).TakeValue(),
+      filmstore::ContainerWriter::Options());
+  if (!writer.ok()) return Fail(writer.status());
+  Status sealed = writer.value()->Finish();
+  if (!sealed.ok()) return Fail(sealed);
+  std::printf("sealed: %s now opens as a ULE-C1 reel\n", args.in.c_str());
   return 0;
 }
 
@@ -373,6 +491,7 @@ int main(int argc, char** argv) {
   if (command == "restore") return RunRestore(args.value());
   if (command == "inspect") return RunInspect(args.value());
   if (command == "verify") return RunVerify(args.value());
+  if (command == "resume") return RunResume(args.value());
   std::fprintf(stderr, "ulectl: unknown command: %s\n", command.c_str());
   return Usage(argv[0]);
 }

@@ -5,13 +5,20 @@ Round-trips the CLI surface end to end on a temp directory:
 
   archive (TPC-H dump -> ULE-C1 container) -> inspect -> verify ->
   restore (native), then the same through a browsable directory reel,
-  and checks the restored dumps are byte-identical to the archived one.
+  an interrupted-spool recovery via `ulectl resume`, and checks the
+  restored dumps are byte-identical to the archived one.
 
-Usage: ulectl_smoke.py /path/to/ulectl
+With --sharded, runs the reel-set loop instead: archive sharded across
+ULE-C1 reels under a ULE-R1 catalog at --threads 4, inspect/verify the
+catalog, restore in parallel, and check a deleted reel is reported by
+name.
+
+Usage: ulectl_smoke.py [--sharded] /path/to/ulectl
 """
 
 import filecmp
 import os
+import struct
 import subprocess
 import sys
 import tempfile
@@ -27,54 +34,128 @@ def run(argv):
     return proc.stdout
 
 
+def run_expect_failure(argv, needles):
+    """The command must fail, and its diagnostics must name the damage."""
+    proc = subprocess.run(argv, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode == 0:
+        sys.exit(f"expected failure, got success: {' '.join(argv)}")
+    for needle in needles:
+        if needle not in proc.stdout:
+            sys.exit(f"diagnostic missing {needle!r} in: {proc.stdout}")
+    print(f"rejected as expected: {proc.stdout.strip()}")
+    return proc.stdout
+
+
+def smoke_single(ulectl, td):
+    reel = os.path.join(td, "reel.ulec")
+    dump = os.path.join(td, "dump.sql")
+    restored = os.path.join(td, "restored.sql")
+
+    # A tiny deterministic TPC-H archive; --dump-out keeps the input
+    # text so the round trip can be diffed.
+    run([ulectl, "archive", "--tpch", "0.0002", "--out", reel,
+         "--dump-out", dump, "--threads", "2"])
+    out = run([ulectl, "inspect", reel])
+    for needle in ("ULE-C1", "data frames", "bootstrap         present"):
+        if needle not in out:
+            sys.exit(f"inspect output missing {needle!r}")
+    run([ulectl, "verify", reel])
+    run([ulectl, "restore", "--in", reel, "--out", restored,
+         "--threads", "2"])
+    if not filecmp.cmp(dump, restored, shallow=False):
+        sys.exit("container round trip: restored dump differs")
+
+    # The same loop through the human-browsable directory backend.
+    reel_dir = os.path.join(td, "reel_dir")
+    restored2 = os.path.join(td, "restored2.sql")
+    run([ulectl, "archive", "--in", dump, "--out", reel_dir, "--dir",
+         "--pbm", "--threads", "2"])
+    run([ulectl, "inspect", reel_dir])
+    run([ulectl, "verify", reel_dir])
+    run([ulectl, "restore", "--in", reel_dir, "--out", restored2])
+    if not filecmp.cmp(dump, restored2, shallow=False):
+        sys.exit("directory round trip: restored dump differs")
+
+    # Interrupted spool: strip the index + footer (what a writer that
+    # died before Finish leaves behind), recover it with `resume`, and
+    # the resealed reel must verify and restore byte-identically.
+    spool = os.path.join(td, "spool.ulec")
+    with open(reel, "rb") as f:
+        data = f.read()
+    (index_offset,) = struct.unpack("<Q", data[-20:-12])
+    with open(spool, "wb") as f:
+        f.write(data[:index_offset])
+    run_expect_failure([ulectl, "verify", spool], ["truncated"])
+    out = run([ulectl, "resume", spool])
+    if "sealed" not in out:
+        sys.exit("resume did not reseal the spool")
+    run([ulectl, "verify", spool])
+    restored3 = os.path.join(td, "restored3.sql")
+    run([ulectl, "restore", "--in", spool, "--out", restored3,
+         "--threads", "2"])
+    if not filecmp.cmp(dump, restored3, shallow=False):
+        sys.exit("resumed spool: restored dump differs")
+    out = run([ulectl, "resume", spool])  # idempotent on a sealed reel
+    if "nothing to resume" not in out:
+        sys.exit("resume on a sealed reel should be a no-op")
+
+    # Corruption must fail loudly — and the diagnostic must say *which*
+    # record died and at what byte offset, so the operator knows which
+    # frame of which reel to rescan.
+    with open(reel, "r+b") as f:
+        f.seek(4000)
+        byte = f.read(1)
+        f.seek(4000)
+        f.write(bytes([byte[0] ^ 0xFF]))
+    run_expect_failure([ulectl, "verify", reel],
+                       ["record ", "offset "])
+
+
+def smoke_sharded(ulectl, td):
+    catalog = os.path.join(td, "set.uler")
+    dump = os.path.join(td, "dump.sql")
+    restored = os.path.join(td, "restored.sql")
+
+    # One archive sharded across many reels, written and restored with a
+    # real thread fan-out.
+    run([ulectl, "archive", "--tpch", "0.0002", "--out", catalog,
+         "--dump-out", dump, "--threads", "4", "--shard-frames", "64"])
+    out = run([ulectl, "inspect", catalog])
+    for needle in ("ULE-R1", "reels", "set-000.ulec", "archive id"):
+        if needle not in out:
+            sys.exit(f"inspect output missing {needle!r}")
+    if "(1 readable)" in out:
+        sys.exit("sharding produced a single reel; expected several")
+    run([ulectl, "verify", catalog])
+    run([ulectl, "restore", "--in", catalog, "--out", restored,
+         "--threads", "4"])
+    if not filecmp.cmp(dump, restored, shallow=False):
+        sys.exit("sharded round trip: restored dump differs")
+
+    # A deleted reel must be called out by name — inspect still works,
+    # verify refuses.
+    os.remove(os.path.join(td, "set-001.ulec"))
+    out = run([ulectl, "inspect", catalog])
+    if "set-001.ulec" not in out or "readable" not in out:
+        sys.exit("inspect does not report the damaged reel")
+    run_expect_failure([ulectl, "verify", catalog],
+                       ["reel 1", "set-001.ulec"])
+
+
 def main():
-    if len(sys.argv) != 2:
-        sys.exit(f"usage: {sys.argv[0]} /path/to/ulectl")
-    ulectl = sys.argv[1]
+    args = sys.argv[1:]
+    sharded = "--sharded" in args
+    args = [a for a in args if a != "--sharded"]
+    if len(args) != 1:
+        sys.exit(f"usage: {sys.argv[0]} [--sharded] /path/to/ulectl")
+    ulectl = args[0]
     with tempfile.TemporaryDirectory(prefix="ulectl_smoke_") as td:
-        reel = os.path.join(td, "reel.ulec")
-        dump = os.path.join(td, "dump.sql")
-        restored = os.path.join(td, "restored.sql")
-
-        # A tiny deterministic TPC-H archive; --dump-out keeps the input
-        # text so the round trip can be diffed.
-        run([ulectl, "archive", "--tpch", "0.0002", "--out", reel,
-             "--dump-out", dump, "--threads", "2"])
-        out = run([ulectl, "inspect", reel])
-        for needle in ("ULE-C1", "data frames", "bootstrap         present"):
-            if needle not in out:
-                sys.exit(f"inspect output missing {needle!r}")
-        run([ulectl, "verify", reel])
-        run([ulectl, "restore", "--in", reel, "--out", restored,
-             "--threads", "2"])
-        if not filecmp.cmp(dump, restored, shallow=False):
-            sys.exit("container round trip: restored dump differs")
-
-        # The same loop through the human-browsable directory backend.
-        reel_dir = os.path.join(td, "reel_dir")
-        restored2 = os.path.join(td, "restored2.sql")
-        run([ulectl, "archive", "--in", dump, "--out", reel_dir, "--dir",
-             "--pbm", "--threads", "2"])
-        run([ulectl, "inspect", reel_dir])
-        run([ulectl, "verify", reel_dir])
-        run([ulectl, "restore", "--in", reel_dir, "--out", restored2])
-        if not filecmp.cmp(dump, restored2, shallow=False):
-            sys.exit("directory round trip: restored dump differs")
-
-        # Corruption must fail loudly: flip one byte in a frame payload.
-        with open(reel, "r+b") as f:
-            f.seek(4000)
-            byte = f.read(1)
-            f.seek(4000)
-            f.write(bytes([byte[0] ^ 0xFF]))
-        proc = subprocess.run([ulectl, "verify", reel],
-                              stdout=subprocess.PIPE,
-                              stderr=subprocess.STDOUT, text=True)
-        if proc.returncode == 0:
-            sys.exit("verify accepted a corrupted container")
-        print(f"corrupted container rejected as expected: "
-              f"{proc.stdout.strip()}")
-    print("ulectl smoke test OK")
+        if sharded:
+            smoke_sharded(ulectl, td)
+        else:
+            smoke_single(ulectl, td)
+    print(f"ulectl {'sharded ' if sharded else ''}smoke test OK")
 
 
 if __name__ == "__main__":
