@@ -12,15 +12,19 @@
 
 #include "bench/bench_report.h"
 #include "core/micr_olonys.h"
+#include "core/selective.h"
 #include "dbcoder/dbcoder.h"
 #include "filmstore/container.h"
 #include "filmstore/frame_store.h"
+#include "filmstore/reel_reader.h"
 #include "filmstore/reel_set.h"
 #include "media/profiles.h"
 #include "media/scanner.h"
+#include "minidb/sqldump.h"
 #include "mocoder/outer.h"
 #include "support/parallel.h"
 #include "support/random.h"
+#include "tpch/tpch.h"
 
 using namespace ule;
 using Clock = std::chrono::steady_clock;
@@ -262,6 +266,68 @@ ShardedResult RunSharded(const media::MediaProfile& profile,
   return out;
 }
 
+/// Selective restore vs the full pipe: a TPC-H dump archived with a
+/// ULE-S1 record index on small emblems (the record-I/O ratio is the
+/// point here, not film geometry), then one table restored through the
+/// index while the reader's counters record exactly what hit storage.
+struct SelectiveBench {
+  bool ok = false;  ///< slice byte-identical AND strictly fewer reads
+  double full_s = 0;
+  double selective_s = 0;
+  filmstore::ReadCounters full;
+  core::SelectiveStats stats;
+};
+
+SelectiveBench RunSelective(const std::string& table) {
+  SelectiveBench out;
+  tpch::Options topt;
+  topt.scale_factor = 0.002;
+  auto db = tpch::Generate(topt);
+  if (!db.ok()) return out;
+  const std::string dump = minidb::DumpSql(db.value());
+  core::ArchiveOptions options;
+  options.emblem.data_side = 65;
+  options.emblem.dots_per_cell = 2;
+  options.build_index = true;
+  const std::string path = "bench_microfilm_selective.ulec";
+  struct RemoveOnExit {
+    std::string path;
+    ~RemoveOnExit() {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+  } cleanup{path};
+  auto writer = filmstore::ContainerWriter::Create(path, options.emblem);
+  if (!writer.ok()) return out;
+  auto summary = core::ArchiveDumpStreaming(dump, options, *writer.value());
+  if (!summary.ok() || !writer.value()->Finish().ok()) return out;
+
+  auto full_reader = filmstore::ContainerReader::Open(path);
+  if (!full_reader.ok()) return out;
+  const auto t0 = Clock::now();
+  auto data = full_reader.value()->OpenFrames(mocoder::StreamId::kData);
+  auto system = full_reader.value()->OpenFrames(mocoder::StreamId::kSystem);
+  auto full = core::RestoreNativeStreaming(
+      *data, system.get(), full_reader.value()->emblem_options());
+  out.full_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  if (!full.ok() || full.value() != dump) return out;
+  out.full = full_reader.value()->read_counters();
+
+  auto reader = filmstore::ContainerReader::Open(path);
+  if (!reader.ok()) return out;
+  core::RestorePredicate pred;
+  pred.table = table;
+  const auto t1 = Clock::now();
+  auto slice = core::RestoreSelective(*reader.value(), pred, {}, &out.stats);
+  out.selective_s = std::chrono::duration<double>(Clock::now() - t1).count();
+  out.ok = slice.ok() && !slice.value().empty() &&
+           full.value().find(slice.value()) != std::string::npos &&
+           out.stats.records_read > 0 && out.stats.bytes_read > 0 &&
+           out.stats.records_read < out.full.records &&
+           out.stats.bytes_read < out.full.bytes;
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -355,6 +421,65 @@ int main() {
                     "reels");
   }
 
+  // ---- Restore from memory: OpenFrames yields per-frame copies,
+  // ConsumeFrames moves frames out of the store. The RSS delta between
+  // the two restores is the price of copying (before VectorSource kept
+  // a reference it was O(archive): the whole frame vector was cloned at
+  // open). Consuming runs first — max RSS is monotone. ----
+  std::printf("\n=== memory store: restore via moves vs copies ===\n");
+  const core::ArchiveOptions mem_options =
+      MakeArchiveOptions(film_profile, film_profile.dots_per_cell);
+  bool memstore_exact = true;
+  const uint64_t rss_before_memstore = bench::MaxRssBytes();
+  uint64_t store_bytes = 0;
+  uint64_t rss_after_consume = 0;
+  uint64_t rss_after_copy = 0;
+  for (const bool consume : {true, false}) {
+    filmstore::MemoryStore store;
+    auto summary = core::ArchiveDumpStreaming(payload, mem_options, store);
+    if (!summary.ok()) {
+      memstore_exact = false;
+      break;
+    }
+    store_bytes = 0;
+    for (const auto& f : store.frames(mocoder::StreamId::kData)) {
+      store_bytes += f.pixels().size();
+    }
+    for (const auto& f : store.frames(mocoder::StreamId::kSystem)) {
+      store_bytes += f.pixels().size();
+    }
+    const auto t0 = Clock::now();
+    auto data = consume ? store.ConsumeFrames(mocoder::StreamId::kData)
+                        : store.OpenFrames(mocoder::StreamId::kData);
+    auto system = consume ? store.ConsumeFrames(mocoder::StreamId::kSystem)
+                          : store.OpenFrames(mocoder::StreamId::kSystem);
+    auto restored = core::RestoreNativeStreaming(*data, system.get(),
+                                                 mem_options.emblem);
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    memstore_exact =
+        memstore_exact && restored.ok() && restored.value() == payload;
+    (consume ? rss_after_consume : rss_after_copy) = bench::MaxRssBytes();
+    report.Add(consume ? "memstore_restore_consume" : "memstore_restore_copy",
+               1, seconds, static_cast<double>(payload.size()));
+  }
+  std::printf("%-42s %10s\n", "memory restore byte-exact (both modes)",
+              memstore_exact ? "yes" : "NO");
+  std::printf("%-42s %9.1fM\n", "frames held by the store",
+              store_bytes / 1e6);
+  std::printf("%-42s %9.1fM\n", "RSS delta, consuming restore (moves)",
+              (rss_after_consume - rss_before_memstore) / 1e6);
+  std::printf("%-42s %9.1fM\n", "RSS delta, copying restore (on top)",
+              (rss_after_copy - rss_after_consume) / 1e6);
+  report.AddGauge("memstore_frame_bytes", static_cast<double>(store_bytes),
+                  "bytes");
+  report.AddGauge("memstore_consume_rss_delta",
+                  static_cast<double>(rss_after_consume - rss_before_memstore),
+                  "bytes");
+  report.AddGauge("memstore_copy_rss_delta",
+                  static_cast<double>(rss_after_copy - rss_after_consume),
+                  "bytes");
+
   // The same payload materialized (every frame and scan in vectors): the
   // RSS delta against the gauge above is the bounded-memory win.
   const RunResult big_mat =
@@ -369,6 +494,33 @@ int main() {
              static_cast<double>(big_payload.size()));
   report.AddGauge("peak_rss_after_materialized",
                   static_cast<double>(rss_after_materialized), "bytes");
+
+  // ---- Selective restore: the ULE-S1 index in action. The records/
+  // bytes gauges are deterministic — the regression check treats them as
+  // hard I/O budgets, not timings. ----
+  std::printf("\n=== selective restore: one table vs the whole reel ===\n");
+  const SelectiveBench sel = RunSelective("orders");
+  std::printf("%-42s %10s\n", "slice byte-identical + strictly fewer reads",
+              sel.ok ? "yes" : "NO");
+  std::printf("%-42s %6llu / %llu\n", "records read, selective / full",
+              static_cast<unsigned long long>(sel.stats.records_read),
+              static_cast<unsigned long long>(sel.full.records));
+  std::printf("%-42s %5.1fM / %.1fM\n", "payload bytes read, selective / full",
+              sel.stats.bytes_read / 1e6, sel.full.bytes / 1e6);
+  std::printf("%-42s %10zu\n", "emblems decoded (cache misses)",
+              sel.stats.emblems_decoded);
+  report.Add("selective_restore_orders", 1, sel.selective_s,
+             static_cast<double>(sel.stats.bytes_read));
+  report.Add("selective_full_baseline", 1, sel.full_s,
+             static_cast<double>(sel.full.bytes));
+  report.AddGauge("selective_records_read",
+                  static_cast<double>(sel.stats.records_read), "records");
+  report.AddGauge("selective_bytes_read",
+                  static_cast<double>(sel.stats.bytes_read), "bytes");
+  report.AddGauge("selective_full_records_read",
+                  static_cast<double>(sel.full.records), "records");
+  report.AddGauge("selective_full_bytes_read",
+                  static_cast<double>(sel.full.bytes), "bytes");
 
   std::printf("\n=== E5: microfilm archive (IMAGELINK 9600 geometry) ===\n");
   const auto film = media::Microfilm16mm();
@@ -412,7 +564,7 @@ int main() {
   report.Add("cinema_restore_native", 1, cf.restore_s, bytes);
   report.Write("microfilm");
   return (mf.exact && cf.exact && st.exact && sp.exact && sharded_exact &&
-          big_mat.exact)
+          big_mat.exact && memstore_exact && sel.ok)
              ? 0
              : 1;
 }

@@ -90,8 +90,39 @@ Result<ArchiveSummary> ArchiveDumpStreaming(const std::string& sql_dump,
                                   ThreadPool::kMaxThreads);
   summary.dump_bytes = sql_dump.size();
 
-  ULE_ASSIGN_OR_RETURN(Bytes container,
-                       dbcoder::Encode(ToBytes(sql_dump), options.scheme));
+  // With build_index the stream is written segmented (UDBS) along the
+  // dump's chunk plan, so a selective restore can decode one chunk
+  // without its neighbors; the finished index is handed to the sink
+  // below, once the frame layout it describes is actually on the reel.
+  Bytes container;
+  Bytes index_section;
+  if (options.build_index) {
+    ULE_ASSIGN_OR_RETURN(
+        std::vector<IndexChunk> chunks,
+        PlanDumpChunks(sql_dump, options.index_chunk_bytes));
+    std::vector<dbcoder::SegmentSpan> segments(chunks.size());
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      segments[i].raw_offset = chunks[i].raw_offset;
+      segments[i].raw_len = chunks[i].raw_len;
+    }
+    ULE_ASSIGN_OR_RETURN(container,
+                         dbcoder::EncodeSegmented(ToBytes(sql_dump),
+                                                  options.scheme, &segments));
+    for (size_t i = 0; i < chunks.size(); ++i) {
+      chunks[i].stream_offset = segments[i].stream_offset;
+      chunks[i].stream_len = segments[i].stream_len;
+    }
+    RecordIndex index;
+    index.scheme = options.scheme;
+    index.segmented = true;
+    index.dump_len = sql_dump.size();
+    index.stream_len = container.size();
+    index.chunks = std::move(chunks);
+    index_section = index.Serialize();
+  } else {
+    ULE_ASSIGN_OR_RETURN(container,
+                         dbcoder::Encode(ToBytes(sql_dump), options.scheme));
+  }
   summary.compressed_bytes = container.size();
   summary.bootstrap_text = olonys::GenerateBootstrapText(
       olonys::DynaRiscInterpreter(), decoders::ModecodeProgram());
@@ -113,6 +144,14 @@ Result<ArchiveSummary> ArchiveDumpStreaming(const std::string& sql_dump,
                                  &summary.data_frames));
   ULE_RETURN_IF_ERROR(stream_out(dbdecode_stream, mocoder::StreamId::kSystem,
                                  &summary.system_frames));
+  if (options.build_index) {
+    // Persisting the index needs the full writer contract; a sink with no
+    // finalization half (memory, ad-hoc callbacks) has nowhere durable to
+    // put it, and such archives are restored from RAM anyway.
+    if (auto* writer = dynamic_cast<filmstore::ArchiveWriter*>(&sink)) {
+      ULE_RETURN_IF_ERROR(writer->SetIndexSection(std::move(index_section)));
+    }
+  }
   // Per-reel accounting comes from the sink: a sharding backend knows how
   // it split the stream, core does not. (The byte counts grow a little
   // more when the caller appends the Bootstrap and finishes the reels.)
@@ -269,6 +308,31 @@ mocoder::GridDecodeFn MakeNestedGridDecode(const verisc::Program& interpreter,
   };
 }
 
+/// Runs the archived DBDecode over the recovered DBCoder stream. A
+/// segmented stream (UDBS, docs/FORMAT.md §11.1) is *framing* only: the
+/// contemporary driver walks the segment table and runs the archived
+/// decoder once per UDB1 segment, concatenating the outputs — the
+/// Bootstrap-documented decoder itself never sees the framing.
+Result<Bytes> RunDbDecode(const verisc::Program& interpreter,
+                          const dynarisc::Program& dbdecode, BytesView stream,
+                          verisc::VmFunction vm, uint64_t* steps) {
+  if (!dbcoder::IsSegmented(stream)) {
+    return RunViaBootstrap(interpreter, dbdecode, stream, vm, steps);
+  }
+  ULE_ASSIGN_OR_RETURN(std::vector<dbcoder::SegmentSpan> segments,
+                       dbcoder::ListSegments(stream));
+  Bytes out;
+  for (const dbcoder::SegmentSpan& seg : segments) {
+    ULE_ASSIGN_OR_RETURN(
+        Bytes piece,
+        RunViaBootstrap(interpreter, dbdecode,
+                        stream.subspan(seg.stream_offset, seg.stream_len), vm,
+                        steps));
+    out.insert(out.end(), piece.begin(), piece.end());
+  }
+  return out;
+}
+
 /// Decodes one stream of emblem scans with the archived MODecode program
 /// (under nested emulation), then reassembles it with the outer code.
 /// The scans flow through the streaming decoder: per-scan nested decodes
@@ -350,8 +414,8 @@ Result<std::string> RestoreEmulated(
   ULE_ASSIGN_OR_RETURN(dynarisc::Program dbdecode,
                        dynarisc::Program::Deserialize(dbdecode_stream));
   ULE_ASSIGN_OR_RETURN(Bytes dump,
-                       RunViaBootstrap(bootstrap.dynarisc_emulator, dbdecode,
-                                       container, vm, &local.emulated_steps));
+                       RunDbDecode(bootstrap.dynarisc_emulator, dbdecode,
+                                   container, vm, &local.emulated_steps));
   if (stats) *stats = local;
   return ToString(dump);
 }
@@ -402,8 +466,8 @@ Result<std::string> RestoreEmulatedStreaming(
   ULE_ASSIGN_OR_RETURN(dynarisc::Program dbdecode,
                        dynarisc::Program::Deserialize(dbdecode_stream));
   ULE_ASSIGN_OR_RETURN(Bytes dump,
-                       RunViaBootstrap(bootstrap.dynarisc_emulator, dbdecode,
-                                       container, vm, &local.emulated_steps));
+                       RunDbDecode(bootstrap.dynarisc_emulator, dbdecode,
+                                   container, vm, &local.emulated_steps));
   if (stats) *stats = local;
   return ToString(dump);
 }

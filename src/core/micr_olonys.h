@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/record_index.h"
 #include "dbcoder/dbcoder.h"
 #include "filmstore/frame_store.h"
 #include "media/image.h"
@@ -56,6 +57,15 @@ struct ArchiveOptions {
   dbcoder::Scheme scheme = dbcoder::Scheme::kLzac;  ///< DBCoder scheme
   mocoder::Options emblem;                          ///< emblem geometry
   bool render_images = true;  ///< produce printable frames (else grids only)
+  /// Build the ULE-S1 record index (docs/FORMAT.md §11): the dump is
+  /// chunked along its table structure, the DBCoder stream is written
+  /// segmented (UDBS, §11.1) so each chunk decodes independently, and
+  /// ArchiveDumpStreaming hands the serialized index to the sink when it
+  /// is an ArchiveWriter (Finish persists it). Costs a little
+  /// compression ratio (per-chunk contexts); enables RestoreSelective.
+  bool build_index = false;
+  /// Target dump bytes per index chunk (0 = kDefaultIndexChunkBytes).
+  size_t index_chunk_bytes = 0;
 };
 
 /// A complete physical archive: what gets written to the analog medium.

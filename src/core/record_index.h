@@ -1,0 +1,121 @@
+/// \file record_index.h
+/// \brief The ULE-S1 record index: the logical→physical map behind
+/// selective restoration (docs/FORMAT.md §11).
+///
+/// A full restore decodes every frame; answering "give me table
+/// `lineitem`" that way reads the whole archive. The record index closes
+/// the gap with one small, optional section written at archive time:
+///
+///   dump chunks     the SQL dump partitioned along its own structure —
+///                   prologue, per-table schema text, then row runs of
+///                   roughly `target_chunk_bytes` each (whole lines);
+///   stream spans    when the DBCoder stream is segmented (UDBS,
+///                   FORMAT.md §11.1) each chunk records the byte range
+///                   of its own independently-decodable segment;
+///   identity        dump length, stream length, compression scheme —
+///                   enough to refuse an index that does not match the
+///                   archive it is read from.
+///
+/// Frame-level resolution needs no extra state: stream byte ranges map
+/// to data-emblem sequence numbers arithmetically (mocoder/outer.h), so
+/// the index stays small — O(tables + dump/chunk_size) entries — and the
+/// physical side cannot drift from the emblem layout.
+///
+/// The section is versioned, CRC-protected, and *derivable*: an archive
+/// written before (or without) indexing yields the same logical chunking
+/// through `DeriveRecordIndex` after a one-pass full decode — selective
+/// reads then save decode work only if the stream was segmented, but the
+/// predicate surface is identical.
+
+#ifndef ULE_CORE_RECORD_INDEX_H_
+#define ULE_CORE_RECORD_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dbcoder/dbcoder.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace ule {
+namespace core {
+
+/// \brief Version string of the ULE-S1 record-index section format.
+///
+/// Documented in docs/FORMAT.md (§11), which records this exact string;
+/// tools/check_docs.py fails the build when the two diverge — the same
+/// contract the other layer versions have.
+inline constexpr char kUleIndexFormatVersion[] = "ULE-S1";
+
+/// Binary version byte written in the section header (the "1" in
+/// ULE-S1). Parsers reject anything else with Unimplemented.
+inline constexpr uint8_t kIndexBinaryVersion = 1;
+
+/// Default row-run size for PlanDumpChunks: small enough that a
+/// single-table read skips most of a multi-table archive, large enough
+/// that the index and the per-segment framing stay negligible.
+inline constexpr size_t kDefaultIndexChunkBytes = 64 * 1024;
+
+/// One contiguous piece of the dump and (when the stream is segmented)
+/// the stream bytes that decode to exactly it.
+struct IndexChunk {
+  /// Owning table; "" for structural text between tables (the dump
+  /// prologue). Schema chunks carry the CREATE TABLE + COPY header and
+  /// have row_count == 0; row chunks carry whole data rows.
+  std::string table;
+  uint64_t row_begin = 0;  ///< first data row in this chunk (per table)
+  uint64_t row_count = 0;  ///< data rows in this chunk (0: schema/filler)
+  uint64_t raw_offset = 0;  ///< dump byte range [raw_offset,
+  uint64_t raw_len = 0;     ///<                  raw_offset + raw_len)
+  uint64_t stream_offset = 0;  ///< DBCoder stream range decoding to it
+  uint64_t stream_len = 0;     ///< (the whole stream when unsegmented)
+};
+
+/// \brief The parsed ULE-S1 section: what the archive contains and where.
+struct RecordIndex {
+  dbcoder::Scheme scheme = dbcoder::Scheme::kStore;
+  bool segmented = false;   ///< stream is UDBS; chunks decode independently
+  uint64_t dump_len = 0;    ///< total dump bytes (chunks cover exactly this)
+  uint64_t stream_len = 0;  ///< total DBCoder stream bytes
+  std::vector<IndexChunk> chunks;
+
+  /// Chunk indices of `table`, in dump order (schema chunk first).
+  std::vector<size_t> ChunksOfTable(const std::string& table) const;
+  /// Distinct table names, in dump order.
+  std::vector<std::string> Tables() const;
+  /// Total data rows of `table` across its row chunks.
+  uint64_t RowsOfTable(const std::string& table) const;
+
+  /// Serializes to the ULE-S1 wire form (CRC-protected).
+  Bytes Serialize() const;
+  /// Parses and validates a serialized section: magic, binary version
+  /// (Unimplemented when unknown), trailing CRC, chunk contiguity.
+  static Result<RecordIndex> Parse(BytesView bytes);
+};
+
+/// \brief Partitions a DumpSql-shaped dump into IndexChunks along its
+/// structure: prologue, then per table a schema chunk (CREATE TABLE
+/// through the COPY header) and row chunks of at most ~`target_bytes`
+/// whole rows; the `\.` terminator rides with the table's last chunk.
+/// Deterministic, covers the dump exactly and contiguously; only the
+/// raw_* / table / row fields are filled (stream spans come from the
+/// encoder). InvalidArgument when the dump does not follow the shape.
+Result<std::vector<IndexChunk>> PlanDumpChunks(const std::string& dump,
+                                               size_t target_bytes);
+
+/// \brief Rebuilds the index of an archive written without one, from its
+/// fully-decoded dump and its DBCoder stream (one-pass scan). The chunk
+/// plan is the same as archive time; stream spans are per-segment when
+/// the stream is segmented (UDBS) and the segments align with the plan,
+/// otherwise every chunk points at the whole stream — selective restores
+/// then still read only the needed tables' text, they just decode the
+/// stream once.
+Result<RecordIndex> DeriveRecordIndex(const std::string& dump,
+                                      BytesView stream,
+                                      size_t target_bytes);
+
+}  // namespace core
+}  // namespace ule
+
+#endif  // ULE_CORE_RECORD_INDEX_H_

@@ -11,6 +11,14 @@ namespace {
 
 constexpr std::string_view kMagic = "UDB1";
 
+// Segmented-stream framing (docs/FORMAT.md §11.1): magic, binary
+// version, the shared scheme byte, the segment length table, and a
+// CRC-32 over all of it, followed by the segment containers themselves.
+constexpr std::string_view kSegmentedMagic = "UDBS";
+constexpr uint8_t kSegmentedBinaryVersion = 1;
+// magic(4) + version(1) + scheme(1) + reserved(2) + count(4) + raw_total(8)
+constexpr size_t kSegmentedHeaderBytes = 20;
+
 // ---- LZSS bit stream: flag bit, then literal byte or 13-bit distance-1 +
 // 5-bit length-kMinMatch. MSB-first. ----
 
@@ -210,6 +218,12 @@ Result<Bytes> Encode(BytesView raw, Scheme scheme) {
 }
 
 Result<Scheme> PeekScheme(BytesView container) {
+  if (IsSegmented(container)) {
+    if (container.size() < kSegmentedHeaderBytes) {
+      return Status::Corruption("DBCoder: segmented stream too short");
+    }
+    return static_cast<Scheme>(container[5]);
+  }
   if (container.size() < 13) return Status::Corruption("DBCoder: too short");
   if (ToString(BytesView(container.data(), 4)) != kMagic) {
     return Status::Corruption("DBCoder: bad magic");
@@ -217,7 +231,145 @@ Result<Scheme> PeekScheme(BytesView container) {
   return static_cast<Scheme>(container[4]);
 }
 
+bool IsSegmented(BytesView stream) {
+  return stream.size() >= 4 &&
+         ToString(BytesView(stream.data(), 4)) == kSegmentedMagic;
+}
+
+Result<Bytes> EncodeSegmented(BytesView raw, Scheme scheme,
+                              std::vector<SegmentSpan>* segments) {
+  if (segments == nullptr || segments->empty()) {
+    return Status::InvalidArgument(
+        "EncodeSegmented needs a non-empty segment plan");
+  }
+  // The plan must tile the input exactly: segment boundaries ARE the
+  // random-access boundaries, so a gap or overlap would silently decode
+  // to something other than `raw`.
+  uint64_t expect = 0;
+  for (const SegmentSpan& seg : *segments) {
+    if (seg.raw_offset != expect) {
+      return Status::InvalidArgument(
+          "segment plan has a gap/overlap at raw offset " +
+          std::to_string(seg.raw_offset));
+    }
+    expect += seg.raw_len;
+  }
+  if (expect != raw.size()) {
+    return Status::InvalidArgument("segment plan does not cover the input");
+  }
+
+  std::vector<Bytes> containers;
+  containers.reserve(segments->size());
+  for (const SegmentSpan& seg : *segments) {
+    ULE_ASSIGN_OR_RETURN(
+        Bytes container,
+        Encode(raw.subspan(static_cast<size_t>(seg.raw_offset),
+                           static_cast<size_t>(seg.raw_len)),
+               scheme));
+    containers.push_back(std::move(container));
+  }
+
+  ByteWriter w;
+  w.PutString(kSegmentedMagic);
+  w.PutU8(kSegmentedBinaryVersion);
+  w.PutU8(static_cast<uint8_t>(scheme));
+  w.PutU16(0);  // reserved
+  w.PutU32(static_cast<uint32_t>(segments->size()));
+  w.PutU64(raw.size());
+  for (const Bytes& container : containers) {
+    w.PutU32(static_cast<uint32_t>(container.size()));
+  }
+  w.PutU32(Crc32(w.bytes()));
+
+  uint64_t stream_offset = w.size();
+  for (size_t i = 0; i < containers.size(); ++i) {
+    (*segments)[i].stream_offset = stream_offset;
+    (*segments)[i].stream_len = containers[i].size();
+    stream_offset += containers[i].size();
+    w.PutBytes(containers[i]);
+  }
+  return w.TakeBytes();
+}
+
+Result<std::vector<SegmentSpan>> ListSegments(BytesView stream) {
+  if (!IsSegmented(stream)) {
+    return Status::InvalidArgument("not a segmented (UDBS) stream");
+  }
+  if (stream.size() < kSegmentedHeaderBytes + 4) {
+    return Status::Corruption("DBCoder: segmented stream too short");
+  }
+  if (stream[4] != kSegmentedBinaryVersion) {
+    return Status::Unimplemented("unsupported UDBS version " +
+                                 std::to_string(stream[4]));
+  }
+  ByteReader r(stream.subspan(8));
+  uint32_t count = 0;
+  uint64_t raw_total = 0;
+  ULE_RETURN_IF_ERROR(r.GetU32(&count));
+  ULE_RETURN_IF_ERROR(r.GetU64(&raw_total));
+  const size_t table_end = kSegmentedHeaderBytes +
+                           static_cast<size_t>(count) * 4 + 4;
+  if (count == 0 || stream.size() < table_end) {
+    return Status::Corruption("UDBS segment table does not fit the stream");
+  }
+  uint32_t stored_crc = 0;
+  {
+    ByteReader c(stream.subspan(table_end - 4));
+    ULE_RETURN_IF_ERROR(c.GetU32(&stored_crc));
+  }
+  if (Crc32(stream.subspan(0, table_end - 4)) != stored_crc) {
+    return Status::Corruption("UDBS segment table CRC mismatch");
+  }
+
+  std::vector<SegmentSpan> segments;
+  segments.reserve(count);
+  uint64_t stream_offset = table_end;
+  uint64_t raw_offset = 0;
+  ByteReader lens(stream.subspan(kSegmentedHeaderBytes));
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    ULE_RETURN_IF_ERROR(lens.GetU32(&len));
+    if (len < 13 || stream_offset + len > stream.size()) {
+      return Status::Corruption("UDBS segment " + std::to_string(i) +
+                                " overruns the stream");
+    }
+    // Each segment is a full UDB1 container; its raw length sits at
+    // container offset 5 (after magic + scheme byte).
+    uint32_t seg_raw = 0;
+    ByteReader h(stream.subspan(static_cast<size_t>(stream_offset) + 5));
+    ULE_RETURN_IF_ERROR(h.GetU32(&seg_raw));
+    SegmentSpan seg;
+    seg.raw_offset = raw_offset;
+    seg.raw_len = seg_raw;
+    seg.stream_offset = stream_offset;
+    seg.stream_len = len;
+    segments.push_back(seg);
+    stream_offset += len;
+    raw_offset += seg_raw;
+  }
+  if (stream_offset != stream.size()) {
+    return Status::Corruption("UDBS stream has trailing bytes");
+  }
+  if (raw_offset != raw_total) {
+    return Status::Corruption("UDBS raw total disagrees with its segments");
+  }
+  return segments;
+}
+
 Result<Bytes> Decode(BytesView container) {
+  if (IsSegmented(container)) {
+    ULE_ASSIGN_OR_RETURN(std::vector<SegmentSpan> segments,
+                         ListSegments(container));
+    Bytes raw;
+    for (const SegmentSpan& seg : segments) {
+      ULE_ASSIGN_OR_RETURN(
+          Bytes part,
+          Decode(container.subspan(static_cast<size_t>(seg.stream_offset),
+                                   static_cast<size_t>(seg.stream_len))));
+      raw.insert(raw.end(), part.begin(), part.end());
+    }
+    return raw;
+  }
   ULE_ASSIGN_OR_RETURN(Scheme scheme, PeekScheme(container));
   ByteReader r(container);
   Bytes magic;

@@ -110,11 +110,15 @@ std::string RecordContext(size_t index, const ContainerEntry& entry) {
 }
 
 /// FrameSource over a subset of a sealed container's records. Owns its
-/// file handle (opened lazily) so it can outlive the ContainerReader.
+/// file handle (opened lazily) so it can outlive the ContainerReader;
+/// successful record reads report into the reader's counter cell.
 class ContainerSource final : public FrameSource {
  public:
-  ContainerSource(std::string path, std::vector<ContainerEntry> entries)
-      : path_(std::move(path)), entries_(std::move(entries)) {}
+  ContainerSource(std::string path, std::vector<ContainerEntry> entries,
+                  std::shared_ptr<ReadCounterCell> counters)
+      : path_(std::move(path)),
+        entries_(std::move(entries)),
+        counters_(std::move(counters)) {}
 
   Result<std::optional<media::Image>> Next() override {
     if (next_ >= entries_.size()) return std::optional<media::Image>();
@@ -130,6 +134,7 @@ class ContainerSource final : public FrameSource {
                         " (payload offset " + std::to_string(e.offset) +
                         "): " + payload.status().message());
     }
+    if (counters_) counters_->Count(e.payload_len);
     ULE_ASSIGN_OR_RETURN(media::Image frame,
                          DecodeFramePayload(e.codec, payload.value()));
     return std::optional<media::Image>(std::move(frame));
@@ -138,6 +143,7 @@ class ContainerSource final : public FrameSource {
  private:
   std::string path_;
   std::vector<ContainerEntry> entries_;
+  std::shared_ptr<ReadCounterCell> counters_;
   std::ifstream in_;
   size_t next_ = 0;
 };
@@ -233,6 +239,7 @@ Status ContainerWriter::WriteRaw(BytesView bytes) {
   out_.write(reinterpret_cast<const char*>(bytes.data()),
              static_cast<std::streamsize>(bytes.size()));
   if (!out_) return Status::IoError("write failed: " + path_);
+  std::lock_guard<std::mutex> lock(stats_mu_);
   offset_ += bytes.size();
   return Status::OK();
 }
@@ -262,6 +269,10 @@ Status ContainerWriter::AppendRecord(RecordType type, FrameCodec codec,
   ULE_RETURN_IF_ERROR(WriteRaw(record.bytes()));
   ULE_RETURN_IF_ERROR(WriteRaw(payload));
   entries_.push_back(entry);
+  if (type == RecordType::kDataFrame || type == RecordType::kSystemFrame) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    frame_records_ += 1;
+  }
   return Status::OK();
 }
 
@@ -288,20 +299,42 @@ Status ContainerWriter::AppendBootstrap(const std::string& text) {
 }
 
 size_t ContainerWriter::frames_written() const {
-  size_t n = 0;
-  for (const ContainerEntry& e : entries_) {
-    if (e.type != RecordType::kBootstrap) ++n;
-  }
-  return n;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return frame_records_;
+}
+
+uint64_t ContainerWriter::bytes_written() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return offset_;
 }
 
 std::vector<ReelStats> ContainerWriter::CurrentReelStats() const {
-  return {ReelStats{path_, frames_written(), offset_}};
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return {ReelStats{path_, frame_records_, offset_}};
+}
+
+Status ContainerWriter::SetIndexSection(Bytes section) {
+  if (finished_) {
+    return Status::InvalidArgument("container already finished: " + path_);
+  }
+  if (has_index_section_) {
+    return Status::InvalidArgument(
+        "container already has a record-index section");
+  }
+  index_section_ = std::move(section);
+  has_index_section_ = true;
+  return Status::OK();
 }
 
 Status ContainerWriter::Finish() {
   if (finished_) {
     return Status::InvalidArgument("container already finished: " + path_);
+  }
+  if (has_index_section_) {
+    ULE_RETURN_IF_ERROR(AppendRecord(RecordType::kIndex, FrameCodec::kPgm, 0,
+                                     index_section_));
+    has_index_section_ = false;  // spooled; do not re-append on a retry
+    index_section_.clear();
   }
   const uint64_t index_offset = offset_;
   const Bytes index = SerializeIndex(entries_);
@@ -384,7 +417,7 @@ Result<std::unique_ptr<ContainerReader>> ContainerReader::Open(
     ULE_RETURN_IF_ERROR(r.GetU8(&type));
     ULE_RETURN_IF_ERROR(r.GetU8(&codec));
     ULE_RETURN_IF_ERROR(r.GetU16(&e.seq));
-    if (type > static_cast<uint8_t>(RecordType::kBootstrap) ||
+    if (type > static_cast<uint8_t>(RecordType::kIndex) ||
         codec > static_cast<uint8_t>(FrameCodec::kPbm)) {
       return Status::Corruption("container index entry " + std::to_string(i) +
                                 " has an unknown type/codec: " + path);
@@ -396,18 +429,19 @@ Result<std::unique_ptr<ContainerReader>> ContainerReader::Open(
       return Status::Corruption("container index entry " + std::to_string(i) +
                                 " points outside the record region: " + path);
     }
+    if (e.type == RecordType::kDataFrame) {
+      reader->data_records_.push_back(reader->entries_.size());
+    } else if (e.type == RecordType::kSystemFrame) {
+      reader->system_records_.push_back(reader->entries_.size());
+    }
     reader->entries_.push_back(e);
   }
   return reader;
 }
 
 size_t ContainerReader::frame_count(mocoder::StreamId id) const {
-  const RecordType want = id == mocoder::StreamId::kData
-                              ? RecordType::kDataFrame
-                              : RecordType::kSystemFrame;
-  size_t n = 0;
-  for (const ContainerEntry& e : entries_) n += e.type == want ? 1 : 0;
-  return n;
+  return id == mocoder::StreamId::kData ? data_records_.size()
+                                        : system_records_.size();
 }
 
 bool ContainerReader::has_bootstrap() const {
@@ -417,19 +451,45 @@ bool ContainerReader::has_bootstrap() const {
   return false;
 }
 
-Result<Bytes> ContainerReader::ReadPayload(const ContainerEntry& entry) const {
+Result<Bytes> ContainerReader::ReadPayloadUnchecked(
+    const ContainerEntry& entry) const {
   std::ifstream in(path_, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path_);
   return ReadPayloadFrom(in, path_, entry);
 }
 
+Result<Bytes> ContainerReader::ReadPayload(const ContainerEntry& entry) const {
+  // Accept only entries that are verbatim rows of this container's
+  // index: the entry names a file region, and a stale or hand-built one
+  // must fail loudly instead of reading arbitrary bytes.
+  const bool known = std::any_of(
+      entries_.begin(), entries_.end(), [&](const ContainerEntry& e) {
+        return e.offset == entry.offset && e.payload_len == entry.payload_len &&
+               e.payload_crc == entry.payload_crc && e.type == entry.type;
+      });
+  if (!known) {
+    return Status::OutOfRange("entry (payload offset " +
+                              std::to_string(entry.offset) +
+                              ") is not a record of this container: " + path_);
+  }
+  return ReadPayloadUnchecked(entry);
+}
+
 Result<std::string> ContainerReader::ReadBootstrap() const {
   for (const ContainerEntry& e : entries_) {
     if (e.type != RecordType::kBootstrap) continue;
-    ULE_ASSIGN_OR_RETURN(Bytes payload, ReadPayload(e));
+    ULE_ASSIGN_OR_RETURN(Bytes payload, ReadPayloadUnchecked(e));
     return ToString(payload);
   }
   return Status::NotFound("container has no bootstrap record: " + path_);
+}
+
+Result<Bytes> ContainerReader::ReadIndexSection() const {
+  for (const ContainerEntry& e : entries_) {
+    if (e.type != RecordType::kIndex) continue;
+    return ReadPayloadUnchecked(e);
+  }
+  return Status::NotFound("container has no record-index section: " + path_);
 }
 
 std::unique_ptr<FrameSource> ContainerReader::OpenFrames(
@@ -441,7 +501,22 @@ std::unique_ptr<FrameSource> ContainerReader::OpenFrames(
   for (const ContainerEntry& e : entries_) {
     if (e.type == want) frames.push_back(e);
   }
-  return std::make_unique<ContainerSource>(path_, std::move(frames));
+  return std::make_unique<ContainerSource>(path_, std::move(frames), counters_);
+}
+
+Result<media::Image> ContainerReader::ReadFrame(mocoder::StreamId id,
+                                                size_t index) const {
+  const std::vector<size_t>& records =
+      id == mocoder::StreamId::kData ? data_records_ : system_records_;
+  if (index >= records.size()) {
+    return Status::OutOfRange(
+        "frame " + std::to_string(index) + " out of range (stream has " +
+        std::to_string(records.size()) + " frames): " + path_);
+  }
+  const ContainerEntry& e = entries_[records[index]];
+  ULE_ASSIGN_OR_RETURN(Bytes payload, ReadPayloadUnchecked(e));
+  counters_->Count(e.payload_len);
+  return DecodeFramePayload(e.codec, payload);
 }
 
 Status ContainerReader::Verify() const {
@@ -454,7 +529,8 @@ Status ContainerReader::Verify() const {
       return Status(payload.status().code(),
                     RecordContext(i, e) + ": " + payload.status().message());
     }
-    if (e.type != RecordType::kBootstrap) {
+    if (e.type == RecordType::kDataFrame ||
+        e.type == RecordType::kSystemFrame) {
       auto frame = DecodeFramePayload(e.codec, payload.value());
       if (!frame.ok()) {
         return Status(frame.status().code(),
@@ -516,7 +592,7 @@ Result<RecoveredSpool> ScanSpool(const std::string& path) {
     (void)r.GetU16(&e.seq);
     (void)r.GetU32(&e.payload_len);
     (void)r.GetU32(&e.payload_crc);
-    if (type > static_cast<uint8_t>(RecordType::kBootstrap) ||
+    if (type > static_cast<uint8_t>(RecordType::kIndex) ||
         codec > static_cast<uint8_t>(FrameCodec::kPbm)) {
       break;  // not a record header (index bytes or a torn write)
     }

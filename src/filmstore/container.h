@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,7 @@ enum class RecordType : uint8_t {
   kDataFrame = 0,    ///< one rendered emblem of the data stream
   kSystemFrame = 1,  ///< one rendered emblem of the system stream
   kBootstrap = 2,    ///< the printed Bootstrap document (UTF-8 text)
+  kIndex = 3,        ///< the ULE-S1 record-index section (FORMAT.md §11)
 };
 
 /// Fixed sizes of the ULE-C1 framing (docs/FORMAT.md §9). Public so the
@@ -179,17 +181,25 @@ class ContainerWriter final : public ArchiveWriter {
   /// from the container alone. At most one per container.
   Status AppendBootstrap(const std::string& text) override;
 
+  /// Stores the ULE-S1 record-index section; Finish writes it as a
+  /// `kIndex` record ahead of the trailing index + footer.
+  Status SetIndexSection(Bytes section) override;
+
   /// Writes the index + footer and closes the file. Required; appending
   /// after Finish (or finishing twice) is InvalidArgument.
   Status Finish() override;
 
   /// Bytes written so far (records only until Finish adds the tail).
-  uint64_t bytes_written() const { return offset_; }
+  /// Thread-safe: may be polled while another thread appends.
+  uint64_t bytes_written() const;
 
-  /// Frame records appended so far (bootstrap excluded).
+  /// Frame records appended so far (bootstrap/index records excluded).
+  /// Thread-safe: may be polled while another thread appends.
   size_t frames_written() const;
 
-  /// One entry: this container is a single reel.
+  /// One entry: this container is a single reel. Thread-safe — safe to
+  /// poll (e.g. for progress display) while the archiving thread is
+  /// mid-Append; the snapshot is consistent at record granularity.
   std::vector<ReelStats> CurrentReelStats() const override;
 
  private:
@@ -202,15 +212,23 @@ class ContainerWriter final : public ArchiveWriter {
   Options options_;
   std::ofstream out_;
   std::vector<ContainerEntry> entries_;
+  Bytes index_section_;
+  bool has_index_section_ = false;
   uint64_t offset_ = 0;
   bool finished_ = false;
   bool has_bootstrap_ = false;
+  /// Guards the counters CurrentReelStats() snapshots (`offset_`,
+  /// `frame_records_`) against a poll racing a mid-Append mutation.
+  /// Append/Finish stay single-threaded; only the stats surface is
+  /// concurrent.
+  mutable std::mutex stats_mu_;
+  size_t frame_records_ = 0;
 };
 
 /// \brief Random-access ULE-C1 reader. Open validates the header, footer
 /// and index (structure + index CRC) without touching record payloads;
 /// payload CRCs are checked on every read.
-class ContainerReader final : public ReelReader {
+class ContainerReader final : public ReelReader, public SeekableSource {
  public:
   /// Opens and validates `path`. Corruption for a damaged or truncated
   /// container, Unimplemented for an unknown container version, IoError
@@ -232,6 +250,19 @@ class ContainerReader final : public ReelReader {
   /// CRC validation — O(1) frames in memory regardless of reel size.
   std::unique_ptr<FrameSource> OpenFrames(
       mocoder::StreamId id) const override;
+  /// Seeks straight to one frame record via the trailing index and reads
+  /// just that record (ReadPayload + codec decode). Thread-safe; safe to
+  /// interleave with an open streaming source.
+  Result<media::Image> ReadFrame(mocoder::StreamId id,
+                                 size_t index) const override;
+  /// Reads, CRC-validates and returns one record's payload bytes.
+  /// OutOfRange when `entry` is not one of this container's index
+  /// entries (by offset/length), so a stale or foreign entry cannot read
+  /// arbitrary file bytes.
+  Result<Bytes> ReadPayload(const ContainerEntry& entry) const;
+  /// The ULE-S1 section of the `kIndex` record, when present.
+  Result<Bytes> ReadIndexSection() const override;
+  ReadCounters read_counters() const override { return counters_->Snapshot(); }
   /// Re-reads every record payload and validates its CRC (and that frame
   /// payloads decode as images).
   Status Verify() const override;
@@ -239,11 +270,17 @@ class ContainerReader final : public ReelReader {
  private:
   ContainerReader() = default;
 
-  Result<Bytes> ReadPayload(const ContainerEntry& entry) const;
+  Result<Bytes> ReadPayloadUnchecked(const ContainerEntry& entry) const;
 
   std::string path_;
   mocoder::Options emblem_options_;
   std::vector<ContainerEntry> entries_;
+  /// Positions (into entries_) of each stream's frame records, in
+  /// emitted order — the seek path's frame index → record map.
+  std::vector<size_t> data_records_;
+  std::vector<size_t> system_records_;
+  std::shared_ptr<ReadCounterCell> counters_ =
+      std::make_shared<ReadCounterCell>();
 };
 
 /// Decodes one frame payload with its recorded codec (shared by the

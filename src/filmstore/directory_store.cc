@@ -15,6 +15,7 @@ namespace {
 
 constexpr char kManifestName[] = "manifest.txt";
 constexpr char kBootstrapName[] = "bootstrap.txt";
+constexpr char kIndexSectionName[] = "index.ules";
 
 std::string JoinPath(const std::string& dir, const std::string& name) {
   return (std::filesystem::path(dir) / name).string();
@@ -43,20 +44,38 @@ bool IsFrameFileName(const std::string& name) {
 
 /// Loads frame files one at a time until the per-stream count recorded in
 /// the manifest is exhausted.
+/// Loads one frame file; counts its on-disk bytes into `counters` (the
+/// directory backend's "payload" is the frame file itself).
+Result<media::Image> LoadFrameFile(const std::string& path, bool bitonal,
+                                   ReadCounterCell* counters) {
+  auto frame =
+      bitonal ? media::Image::LoadPbm(path) : media::Image::LoadPgm(path);
+  if (!frame.ok()) return frame.status();
+  if (counters != nullptr) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    counters->Count(ec ? 0 : static_cast<uint64_t>(size));
+  }
+  return std::move(frame).TakeValue();
+}
+
 class DirectorySource final : public FrameSource {
  public:
   DirectorySource(std::string dir, mocoder::StreamId id, size_t count,
-                  bool bitonal)
-      : dir_(std::move(dir)), id_(id), count_(count), bitonal_(bitonal) {}
+                  bool bitonal, std::shared_ptr<ReadCounterCell> counters)
+      : dir_(std::move(dir)),
+        id_(id),
+        count_(count),
+        bitonal_(bitonal),
+        counters_(std::move(counters)) {}
 
   Result<std::optional<media::Image>> Next() override {
     if (next_ >= count_) return std::optional<media::Image>();
     const std::string path =
         JoinPath(dir_, FrameFileName(id_, next_++, bitonal_));
-    auto frame = bitonal_ ? media::Image::LoadPbm(path)
-                          : media::Image::LoadPgm(path);
-    if (!frame.ok()) return frame.status();
-    return std::optional<media::Image>(std::move(frame).TakeValue());
+    ULE_ASSIGN_OR_RETURN(media::Image frame,
+                         LoadFrameFile(path, bitonal_, counters_.get()));
+    return std::optional<media::Image>(std::move(frame));
   }
 
  private:
@@ -64,6 +83,7 @@ class DirectorySource final : public FrameSource {
   mocoder::StreamId id_;
   size_t count_;
   bool bitonal_;
+  std::shared_ptr<ReadCounterCell> counters_;
   size_t next_ = 0;
 };
 
@@ -107,7 +127,7 @@ Result<std::unique_ptr<DirectoryWriter>> DirectoryWriter::Create(
   for (const auto& entry : it) {
     const std::string name = entry.path().filename().string();
     if (name != kManifestName && name != kBootstrapName &&
-        !IsFrameFileName(name)) {
+        name != kIndexSectionName && !IsFrameFileName(name)) {
       continue;
     }
     std::error_code rm_ec;
@@ -146,10 +166,30 @@ Status DirectoryWriter::AppendBootstrap(const std::string& text) {
   return WriteFileText(JoinPath(dir_, kBootstrapName), text);
 }
 
+Status DirectoryWriter::SetIndexSection(Bytes section) {
+  if (finished_) {
+    return Status::InvalidArgument("directory store already finished: " +
+                                   dir_);
+  }
+  if (has_index_section_) {
+    return Status::InvalidArgument(
+        "directory store already has a record-index section: " + dir_);
+  }
+  index_section_ = std::move(section);
+  has_index_section_ = true;
+  return Status::OK();
+}
+
 Status DirectoryWriter::Finish() {
   if (finished_) {
     return Status::InvalidArgument("directory store already finished: " +
                                    dir_);
+  }
+  if (has_index_section_) {
+    ULE_RETURN_IF_ERROR(
+        WriteFileBytes(JoinPath(dir_, kIndexSectionName), index_section_));
+    index_section_.clear();
+    has_index_section_ = false;
   }
   std::ostringstream manifest;
   manifest << "# ULE film-reel directory (one image file per frame)\n"
@@ -230,8 +270,28 @@ Result<std::string> DirectoryReader::ReadBootstrap() const {
 
 std::unique_ptr<FrameSource> DirectoryReader::OpenFrames(
     mocoder::StreamId id) const {
-  return std::make_unique<DirectorySource>(dir_, id, frame_count(id),
-                                           bitonal_);
+  return std::make_unique<DirectorySource>(dir_, id, frame_count(id), bitonal_,
+                                           counters_);
+}
+
+Result<media::Image> DirectoryReader::ReadFrame(mocoder::StreamId id,
+                                                size_t index) const {
+  if (index >= frame_count(id)) {
+    return Status::OutOfRange(
+        "frame " + std::to_string(index) + " out of range (stream has " +
+        std::to_string(frame_count(id)) + " frames): " + dir_);
+  }
+  return LoadFrameFile(JoinPath(dir_, FrameFileName(id, index, bitonal_)),
+                       bitonal_, counters_.get());
+}
+
+Result<Bytes> DirectoryReader::ReadIndexSection() const {
+  const std::string path = JoinPath(dir_, kIndexSectionName);
+  if (!std::filesystem::exists(path)) {
+    return Status::NotFound("no record-index sidecar (" +
+                            std::string(kIndexSectionName) + ") in " + dir_);
+  }
+  return ReadFileBytes(path);
 }
 
 Status DirectoryReader::Verify() const {

@@ -51,6 +51,10 @@ class DirectoryWriter final : public ArchiveWriter {
   /// Writes the Bootstrap document as `bootstrap.txt`.
   Status AppendBootstrap(const std::string& text) override;
 
+  /// Stores the ULE-S1 record-index section; Finish writes it as the
+  /// `index.ules` sidecar file next to the frames.
+  Status SetIndexSection(Bytes section) override;
+
   /// Writes `manifest.txt` (geometry + frame counts). Call last; a
   /// directory without a manifest does not open.
   Status Finish() override;
@@ -64,12 +68,14 @@ class DirectoryWriter final : public ArchiveWriter {
   Options options_;
   size_t data_frames_ = 0;
   size_t system_frames_ = 0;
+  Bytes index_section_;
+  bool has_index_section_ = false;
   bool finished_ = false;
 };
 
 /// \brief Reads a DirectoryWriter-shaped directory back: manifest,
 /// bootstrap, and per-stream frame sources that load one file at a time.
-class DirectoryReader final : public ReelReader {
+class DirectoryReader final : public ReelReader, public SeekableSource {
  public:
   /// Parses `<dir>/manifest.txt`. NotFound when there is no manifest,
   /// Corruption when it does not parse.
@@ -92,6 +98,13 @@ class DirectoryReader final : public ReelReader {
   /// Next() call.
   std::unique_ptr<FrameSource> OpenFrames(
       mocoder::StreamId id) const override;
+  /// Loads the frame file at per-stream position `index`.
+  Result<media::Image> ReadFrame(mocoder::StreamId id,
+                                 size_t index) const override;
+  /// Reads the `index.ules` sidecar; NotFound when the reel was written
+  /// without one.
+  Result<Bytes> ReadIndexSection() const override;
+  ReadCounters read_counters() const override { return counters_->Snapshot(); }
   /// Loads every frame file once (parse check — directory reels carry no
   /// checksums).
   Status Verify() const override;
@@ -104,6 +117,8 @@ class DirectoryReader final : public ReelReader {
   size_t data_frames_ = 0;
   size_t system_frames_ = 0;
   bool bitonal_ = false;
+  std::shared_ptr<ReadCounterCell> counters_ =
+      std::make_shared<ReadCounterCell>();
 };
 
 /// Frame file name for stream `id`, per-stream index `i` (shared by the

@@ -79,6 +79,13 @@ class ArchiveWriter : public FrameSink {
   /// Archives the Bootstrap document so the artifact restores (even
   /// emulated) on its own. At most one per archive.
   virtual Status AppendBootstrap(const std::string& text) = 0;
+  /// \brief Hands the writer the serialized ULE-S1 record-index section
+  /// (core::RecordIndex::Serialize) describing the archive streamed
+  /// through it; Finish persists it (as a container record, on the last
+  /// reel of a set, or as a sidecar file) so a later selective restore
+  /// can map tables/rows to frame records. Optional — at most once,
+  /// before Finish. The section is opaque bytes at this layer.
+  virtual Status SetIndexSection(Bytes section) = 0;
   /// Seals the artifact (indexes, manifests, catalogs). Required;
   /// appending after Finish (or finishing twice) is InvalidArgument.
   virtual Status Finish() = 0;
@@ -112,12 +119,31 @@ class FunctionSink final : public FrameSink {
   Fn fn_;
 };
 
-/// Adapts a pull callback to FrameSource (the old `core::FrameSource`
-/// shape: no error channel, nullopt ends the reel).
+/// \brief Adapts a pull callback to FrameSource. The native callback
+/// shape carries the full FrameSource contract — a frame, end-of-reel,
+/// or an error Status — so a backing-store read failure aborts the
+/// restore instead of masquerading as a short reel.
 class FunctionSource final : public FrameSource {
  public:
-  using Fn = std::function<std::optional<media::Image>()>;
+  /// Error-capable pull callback (the native shape).
+  using Fn = std::function<Result<std::optional<media::Image>>()>;
+  /// Legacy shape with no error channel (the old `core::FrameSource`
+  /// typedef): nullopt ends the reel, so a read failure is
+  /// indistinguishable from exhaustion and silently truncates.
+  using InfallibleFn = std::function<std::optional<media::Image>()>;
+
   explicit FunctionSource(Fn fn) : fn_(std::move(fn)) {}
+
+  /// Wraps a callback with no error channel. Only for callbacks that
+  /// genuinely cannot fail (in-memory generators); anything touching
+  /// storage should use the Result-returning constructor, where a
+  /// mid-reel I/O failure surfaces as a non-OK Status.
+  static FunctionSource FromInfallible(InfallibleFn fn) {
+    return FunctionSource(
+        [fn = std::move(fn)]() -> Result<std::optional<media::Image>> {
+          return fn();
+        });
+  }
 
   Result<std::optional<media::Image>> Next() override { return fn_(); }
 
@@ -125,20 +151,41 @@ class FunctionSource final : public FrameSource {
   Fn fn_;
 };
 
-/// \brief Yields copies of the images in a vector, in order. The vector
-/// must outlive the source.
+/// \brief Yields the images of a vector, in order. Borrowing mode (const
+/// reference: the vector must outlive the source) yields copies; owning
+/// mode (rvalue) and `Consuming` *move* each frame out instead, so a
+/// restore from memory does not pay O(archive) extra RSS on top of the
+/// store itself — the vector's images are left moved-from.
 class VectorSource final : public FrameSource {
  public:
   explicit VectorSource(const std::vector<media::Image>& frames)
       : frames_(&frames) {}
+  explicit VectorSource(std::vector<media::Image>&& frames)
+      : owned_(std::move(frames)), frames_(&owned_), mutable_frames_(&owned_) {}
+
+  /// Consuming source over frames owned elsewhere: each Next() moves the
+  /// frame out of `frames` (which must outlive the source), leaving an
+  /// empty shell behind.
+  static std::unique_ptr<VectorSource> Consuming(
+      std::vector<media::Image>& frames) {
+    auto source = std::make_unique<VectorSource>(
+        static_cast<const std::vector<media::Image>&>(frames));
+    source->mutable_frames_ = &frames;
+    return source;
+  }
 
   Result<std::optional<media::Image>> Next() override {
     if (next_ >= frames_->size()) return std::optional<media::Image>();
+    if (mutable_frames_ != nullptr) {
+      return std::optional<media::Image>(std::move((*mutable_frames_)[next_++]));
+    }
     return std::optional<media::Image>((*frames_)[next_++]);
   }
 
  private:
+  std::vector<media::Image> owned_;
   const std::vector<media::Image>* frames_;
+  std::vector<media::Image>* mutable_frames_ = nullptr;
   size_t next_ = 0;
 };
 
@@ -163,6 +210,12 @@ class MemoryStore final : public FrameSink {
   /// store must outlive the source; frames appended after the call are
   /// picked up until the source reports end-of-reel.
   std::unique_ptr<FrameSource> OpenFrames(mocoder::StreamId id) const;
+
+  /// Like OpenFrames but *moves* each frame out of the store (leaving
+  /// empty shells), so restoring from memory holds one live copy per
+  /// frame instead of two. The store must outlive the source; the
+  /// stream's frames are unusable afterwards (emblems are untouched).
+  std::unique_ptr<FrameSource> ConsumeFrames(mocoder::StreamId id);
 
  private:
   struct Stream {

@@ -12,15 +12,66 @@
 #ifndef ULE_FILMSTORE_REEL_READER_H_
 #define ULE_FILMSTORE_REEL_READER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "filmstore/frame_store.h"
+#include "media/image.h"
 #include "mocoder/mocoder.h"
+#include "support/bytes.h"
 #include "support/status.h"
 
 namespace ule {
 namespace filmstore {
+
+/// \brief Cumulative frame-record read accounting of one reader: how
+/// many records were fetched from the backing store and how many payload
+/// bytes they carried. Selective restoration is judged by exactly this —
+/// a partial restore must *read* less, not just decode less — so the
+/// counters live at the reader, where every streaming source and seek
+/// read it hands out reports in.
+struct ReadCounters {
+  uint64_t records = 0;  ///< frame records fetched
+  uint64_t bytes = 0;    ///< payload bytes of those records
+};
+
+/// \brief Shared mutable cell behind ReelReader::read_counters().
+/// Sources opened by a reader hold a reference, so reads keep counting
+/// even when they outlive the reader; increments are relaxed atomics
+/// (sources fan record loads out across pool workers).
+struct ReadCounterCell {
+  std::atomic<uint64_t> records{0};
+  std::atomic<uint64_t> bytes{0};
+
+  void Count(uint64_t payload_bytes) {
+    records.fetch_add(1, std::memory_order_relaxed);
+    bytes.fetch_add(payload_bytes, std::memory_order_relaxed);
+  }
+  ReadCounters Snapshot() const {
+    return ReadCounters{records.load(std::memory_order_relaxed),
+                        bytes.load(std::memory_order_relaxed)};
+  }
+};
+
+/// \brief Random access into a reel's frames, by stream + emitted
+/// position — the read primitive beneath selective restoration. The
+/// streaming `ReelReader::OpenFrames` contract is untouched: a seekable
+/// backend serves both, and interleaving seek reads with an open
+/// streaming source is safe (readers are stateless per call).
+class SeekableSource {
+ public:
+  virtual ~SeekableSource() = default;
+
+  /// Reads (and validates, where the backend has checksums) one frame of
+  /// `id`'s stream by its 0-based position in the emitted sequence —
+  /// the same order OpenFrames yields and `frame_count` counts.
+  /// OutOfRange past the end; a damaged backing record surfaces as the
+  /// read error the streaming path would hit at that frame.
+  virtual Result<media::Image> ReadFrame(mocoder::StreamId id,
+                                         size_t index) const = 0;
+};
 
 class ReelReader {
  public:
@@ -43,6 +94,18 @@ class ReelReader {
   /// Re-reads every record and validates what the backend can guarantee
   /// (ULE-C1: every CRC; directory: every frame file parses).
   virtual Status Verify() const = 0;
+  /// \brief The serialized ULE-S1 record-index section the archive was
+  /// written with (docs/FORMAT.md §11), for `core::RecordIndex::Parse`.
+  /// NotFound for a reel archived before (or without) indexing — such
+  /// archives stay fully restorable and an index can be re-derived by a
+  /// one-pass scan (`core::DeriveRecordIndex`).
+  virtual Result<Bytes> ReadIndexSection() const {
+    return Status::NotFound("reel has no record-index section");
+  }
+  /// Frame-record reads served so far — by streaming sources this reader
+  /// opened and by seek reads (SeekableSource). Thread-safe snapshot;
+  /// backends without per-record accounting report zeros.
+  virtual ReadCounters read_counters() const { return {}; }
 };
 
 /// Opens the reel at `path` with the matching backend.

@@ -87,8 +87,10 @@ struct FrameJob {
 /// the reel) closes the channel, which unwinds the driver cleanly.
 class ReelSetSource final : public FrameSource {
  public:
-  ReelSetSource(std::vector<FrameJob> jobs, int threads)
+  ReelSetSource(std::vector<FrameJob> jobs, int threads,
+                std::shared_ptr<ReadCounterCell> counters)
       : jobs_(std::move(jobs)),
+        counters_(std::move(counters)),
         threads_(std::min(ResolveThreadCount(threads),
                           ThreadPool::kMaxThreads)),
         window_(static_cast<size_t>(std::max(2, 2 * threads_))),
@@ -128,8 +130,12 @@ class ReelSetSource final : public FrameSource {
           [this](size_t i) -> Status {
             // Errors ride in the slot so the consumer can deliver them in
             // stream order, exactly where a serial reader would hit them.
-            slots_[i % window_] =
+            Result<media::Image> frame =
                 ReadFrameRecord(jobs_[i].path, jobs_[i].entry);
+            if (frame.ok() && counters_) {
+              counters_->Count(jobs_[i].entry.payload_len);
+            }
+            slots_[i % window_] = std::move(frame);
             return Status::OK();
           },
           [this](size_t i) -> Status {
@@ -156,6 +162,7 @@ class ReelSetSource final : public FrameSource {
   }
 
   std::vector<FrameJob> jobs_;
+  std::shared_ptr<ReadCounterCell> counters_;
   const int threads_;
   const size_t window_;
   std::vector<std::optional<Result<media::Image>>> slots_;
@@ -343,7 +350,12 @@ Status ReelSetWriter::SealCurrentReel() {
   ULE_ASSIGN_OR_RETURN(FileDigest sealed, DigestFile(path));
   row.bytes = sealed.bytes;
   row.file_crc = sealed.crc;
-  current_.reset();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    sealed_stats_.push_back(
+        ReelStats{row.name, row.data_frames + row.system_frames, sealed.bytes});
+    current_.reset();
+  }
   current_frames_ = 0;
   current_records_ = 0;
   return Status::OK();
@@ -373,14 +385,17 @@ Status ReelSetWriter::EnsureRoomFor(uint64_t payload_bytes) {
     const std::string path = ReelFileName(catalog_path_,
                                           catalog_.reels.size());
     ULE_ASSIGN_OR_RETURN(
-        current_,
+        std::unique_ptr<ContainerWriter> opened,
         ContainerWriter::Create(path, emblem_options_, options_.container));
     CatalogReel row;
     row.name = std::filesystem::path(path).filename().string();
     row.first_record = static_cast<uint32_t>(total_records_);
     row.first_data_frame = static_cast<uint32_t>(data_frames_total_);
     row.first_system_frame = static_cast<uint32_t>(system_frames_total_);
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    live_name_ = row.name;
     catalog_.reels.push_back(std::move(row));
+    current_ = std::move(opened);
   }
   return Status::OK();
 }
@@ -440,6 +455,20 @@ Status ReelSetWriter::AppendBootstrap(const std::string& text) {
   return Status::OK();
 }
 
+Status ReelSetWriter::SetIndexSection(Bytes section) {
+  if (finished_) {
+    return Status::InvalidArgument("reel set already finished: " +
+                                   catalog_path_);
+  }
+  if (has_index_section_) {
+    return Status::InvalidArgument(
+        "reel set already has a record-index section: " + catalog_path_);
+  }
+  index_section_ = std::move(section);
+  has_index_section_ = true;
+  return Status::OK();
+}
+
 Status ReelSetWriter::Finish() {
   if (finished_) {
     return Status::InvalidArgument("reel set already finished: " +
@@ -450,6 +479,17 @@ Status ReelSetWriter::Finish() {
   if (!current_ && catalog_.reels.empty()) {
     ULE_RETURN_IF_ERROR(EnsureRoomFor(0));
   }
+  if (has_index_section_) {
+    // The index record lands on the final reel, past its frames, and is
+    // counted in that reel's catalog row like any other record.
+    ULE_RETURN_IF_ERROR(current_->AppendRecord(
+        RecordType::kIndex, FrameCodec::kPgm, 0, index_section_));
+    catalog_.reels.back().records += 1;
+    current_records_ += 1;
+    total_records_ += 1;
+    index_section_.clear();
+    has_index_section_ = false;
+  }
   ULE_RETURN_IF_ERROR(SealCurrentReel());
   ULE_RETURN_IF_ERROR(WriteFileBytes(catalog_path_, catalog_.Serialize()));
   finished_ = true;
@@ -457,16 +497,18 @@ Status ReelSetWriter::Finish() {
 }
 
 std::vector<ReelStats> ReelSetWriter::CurrentReelStats() const {
-  std::vector<ReelStats> stats;
-  stats.reserve(catalog_.reels.size());
-  for (size_t i = 0; i < catalog_.reels.size(); ++i) {
-    const CatalogReel& row = catalog_.reels[i];
-    ReelStats s;
-    s.name = row.name;
-    s.frames = row.data_frames + row.system_frames;
-    const bool open = current_ && i + 1 == catalog_.reels.size();
-    s.bytes = open ? current_->bytes_written() : row.bytes;
-    stats.push_back(std::move(s));
+  // Sealed reels come from the snapshot this writer maintains; the open
+  // reel reports through the container's own (thread-safe) counters. The
+  // catalog rows are the archiving thread's private state and are not
+  // touched here.
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  std::vector<ReelStats> stats = sealed_stats_;
+  if (current_) {
+    std::vector<ReelStats> live = current_->CurrentReelStats();
+    if (!live.empty()) {
+      live.front().name = live_name_;
+      stats.push_back(std::move(live.front()));
+    }
   }
   return stats;
 }
@@ -562,7 +604,53 @@ std::unique_ptr<FrameSource> ReelSetReader::OpenFrames(
       if (e.type == want) jobs.push_back(FrameJob{reel_path, e});
     }
   }
-  return std::make_unique<ReelSetSource>(std::move(jobs), restore_threads_);
+  return std::make_unique<ReelSetSource>(std::move(jobs), restore_threads_,
+                                         counters_);
+}
+
+Result<media::Image> ReelSetReader::ReadFrame(mocoder::StreamId id,
+                                              size_t index) const {
+  for (size_t i = 0; i < catalog_.reels.size(); ++i) {
+    const CatalogReel& row = catalog_.reels[i];
+    const size_t first = id == mocoder::StreamId::kData
+                             ? row.first_data_frame
+                             : row.first_system_frame;
+    const size_t count =
+        id == mocoder::StreamId::kData ? row.data_frames : row.system_frames;
+    if (index < first || index >= first + count) continue;
+    if (!reel_status_[i].ok()) {
+      return Status(reel_status_[i].code(),
+                    "frame " + std::to_string(index) +
+                        " lives on a damaged reel: " +
+                        reel_status_[i].message());
+    }
+    return reels_[i]->ReadFrame(id, index - first);
+  }
+  return Status::OutOfRange(
+      "frame " + std::to_string(index) + " out of range (set has " +
+      std::to_string(catalog_.frame_count(id)) + " frames): " + path_);
+}
+
+Result<Bytes> ReelSetReader::ReadIndexSection() const {
+  for (size_t i = reels_.size(); i > 0; --i) {
+    if (!reel_status_[i - 1].ok()) continue;
+    auto section = reels_[i - 1]->ReadIndexSection();
+    if (section.ok() || section.status().code() != StatusCode::kNotFound) {
+      return section;
+    }
+  }
+  return Status::NotFound("reel set has no record-index section: " + path_);
+}
+
+ReadCounters ReelSetReader::read_counters() const {
+  ReadCounters total = counters_->Snapshot();
+  for (const auto& reel : reels_) {
+    if (!reel) continue;
+    const ReadCounters r = reel->read_counters();
+    total.records += r.records;
+    total.bytes += r.bytes;
+  }
+  return total;
 }
 
 Status ReelSetReader::Verify() const {

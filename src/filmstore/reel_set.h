@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -132,12 +133,19 @@ class ReelSetWriter final : public ArchiveWriter {
   /// final shard.
   Status AppendBootstrap(const std::string& text) override;
 
+  /// Stores the ULE-S1 record-index section; Finish appends it as a
+  /// kIndex record on the final reel (counted in that reel's catalog
+  /// row), so the index rides with the shard a historian reads last.
+  /// At most once, before Finish.
+  Status SetIndexSection(Bytes section) override;
+
   /// Seals the last reel and writes the catalog. Required; appending
   /// after Finish (or finishing twice) is InvalidArgument.
   Status Finish() override;
 
   /// One entry per reel opened so far (sealed reels report their final
-  /// size; the open reel its bytes written).
+  /// size; the open reel its bytes written). Thread-safe: progress
+  /// reporters may call this while the archiving thread appends.
   std::vector<ReelStats> CurrentReelStats() const override;
 
   size_t reel_count() const { return catalog_.reels.size(); }
@@ -164,8 +172,17 @@ class ReelSetWriter final : public ArchiveWriter {
   size_t total_records_ = 0;
   size_t data_frames_total_ = 0;
   size_t system_frames_total_ = 0;
+  Bytes index_section_;
+  bool has_index_section_ = false;
   bool finished_ = false;
   bool has_bootstrap_ = false;
+
+  /// Guards what CurrentReelStats reads against the archiving thread:
+  /// the `current_` pointer swaps (roll/seal) and the sealed-reel stats.
+  /// The live reel's own counters are protected by ContainerWriter.
+  mutable std::mutex stats_mu_;
+  std::vector<ReelStats> sealed_stats_;
+  std::string live_name_;  ///< catalog name of the open reel
 };
 
 /// \brief ReelReader over a ULE-R1 catalog and its reels. Opening
@@ -173,7 +190,7 @@ class ReelSetWriter final : public ArchiveWriter {
 /// truncated or inconsistent with the catalog gets a per-reel error
 /// Status instead of failing the whole set, and every surviving reel
 /// still serves its frame ranges.
-class ReelSetReader final : public ReelReader {
+class ReelSetReader final : public ReelReader, public SeekableSource {
  public:
   /// Opens the catalog at `path`. Fails only when the catalog itself is
   /// unreadable/corrupt; per-reel damage is reported via reel_status().
@@ -208,6 +225,18 @@ class ReelSetReader final : public ReelReader {
   /// bytes and DecodeStats, are identical at any thread count.
   std::unique_ptr<FrameSource> OpenFrames(
       mocoder::StreamId id) const override;
+  /// Reads one frame by its *global* stream position: the catalog's
+  /// per-reel frame ranges name the owning reel, the read lands on that
+  /// reel's record. A frame whose reel is damaged reports the reel's
+  /// failure Status (the outer code treats it as a loss).
+  Result<media::Image> ReadFrame(mocoder::StreamId id,
+                                 size_t index) const override;
+  /// Scans the reels last-to-first for the ULE-S1 record; writers put it
+  /// on the final reel, but any surviving copy is accepted.
+  Result<Bytes> ReadIndexSection() const override;
+  /// Streaming reads (the set's sources) plus seek reads served by the
+  /// individual reels, combined.
+  ReadCounters read_counters() const override;
   /// Validates the whole set: every reel opens, matches its catalog row
   /// (sealed size + file CRC) and passes the container integrity pass.
   /// The error names the failing reel (index + file) and record.
@@ -222,6 +251,8 @@ class ReelSetReader final : public ReelReader {
   std::vector<std::unique_ptr<ContainerReader>> reels_;  ///< null when dead
   std::vector<Status> reel_status_;
   int restore_threads_ = 0;
+  std::shared_ptr<ReadCounterCell> counters_ =
+      std::make_shared<ReadCounterCell>();
 };
 
 }  // namespace filmstore

@@ -20,6 +20,22 @@ int TotalEmblemCount(size_t stream_len, int capacity) {
   return (groups - 1) * kGroupSize + last_group_data + kGroupParity;
 }
 
+int FrameIndexOfSeq(uint16_t seq, size_t stream_len, int capacity) {
+  const int d = DataEmblemCount(stream_len, capacity);
+  const int groups = (d + kGroupData - 1) / kGroupData;
+  const int g = seq / kGroupSize;
+  const int s = seq % kGroupSize;
+  if (g >= groups) return -1;
+  // Full groups emit all 20 slots, so the frame index is the sequence
+  // number itself; only the final group omits its virtual data slots.
+  if (g + 1 < groups) return seq;
+  const int last_group_data = d - g * kGroupData;  // real data slots
+  if (s < kGroupData) {
+    return s < last_group_data ? g * kGroupSize + s : -1;  // -1: virtual
+  }
+  return g * kGroupSize + last_group_data + (s - kGroupData);
+}
+
 std::vector<std::optional<Bytes>> BuildGroupPayloads(BytesView stream,
                                                      int capacity) {
   const int d = DataEmblemCount(stream.size(), capacity);
@@ -68,79 +84,88 @@ std::vector<std::optional<Bytes>> BuildGroupPayloads(BytesView stream,
   return out;
 }
 
-Result<Bytes> ReassembleStream(const std::map<uint16_t, Bytes>& payloads,
-                               size_t stream_len, int capacity) {
+Result<std::vector<Bytes>> RecoverGroupData(
+    int group, const std::map<uint16_t, Bytes>& payloads, size_t stream_len,
+    int capacity) {
   const int d = DataEmblemCount(stream_len, capacity);
-  const int groups = (d + kGroupData - 1) / kGroupData;
   static const rs::Codec outer(kGroupSize, kGroupData);
 
-  std::vector<Bytes> data(static_cast<size_t>(d));
-  for (int g = 0; g < groups; ++g) {
-    // Which slots are real in this group, which are present?
-    std::vector<const Bytes*> slot(kGroupSize, nullptr);
-    std::vector<int> missing_real;
-    for (int s = 0; s < kGroupSize; ++s) {
-      const uint16_t seq = static_cast<uint16_t>(g * kGroupSize + s);
-      const bool is_virtual =
-          s < kGroupData && (g * kGroupData + s) >= d;
-      auto it = payloads.find(seq);
-      if (it != payloads.end()) {
-        if (static_cast<int>(it->second.size()) != capacity) {
-          return Status::InvalidArgument("emblem payload has wrong size");
-        }
-        slot[static_cast<size_t>(s)] = &it->second;
-      } else if (!is_virtual) {
-        missing_real.push_back(s);
+  // Which slots are real in this group, which are present?
+  std::vector<const Bytes*> slot(kGroupSize, nullptr);
+  std::vector<int> missing_real;
+  for (int s = 0; s < kGroupSize; ++s) {
+    const uint16_t seq = static_cast<uint16_t>(group * kGroupSize + s);
+    const bool is_virtual =
+        s < kGroupData && (group * kGroupData + s) >= d;
+    auto it = payloads.find(seq);
+    if (it != payloads.end()) {
+      if (static_cast<int>(it->second.size()) != capacity) {
+        return Status::InvalidArgument("emblem payload has wrong size");
       }
+      slot[static_cast<size_t>(s)] = &it->second;
+    } else if (!is_virtual) {
+      missing_real.push_back(s);
     }
-    if (static_cast<int>(missing_real.size()) > kGroupParity) {
-      return Status::Corruption(
-          "group " + std::to_string(g) + " lost " +
-          std::to_string(missing_real.size()) +
-          " emblems; only 3 of 20 are recoverable");
-    }
+  }
+  if (static_cast<int>(missing_real.size()) > kGroupParity) {
+    return Status::Corruption(
+        "group " + std::to_string(group) + " lost " +
+        std::to_string(missing_real.size()) +
+        " emblems; only 3 of 20 are recoverable");
+  }
 
-    std::vector<Bytes> recovered(missing_real.size(),
-                                 Bytes(static_cast<size_t>(capacity), 0));
-    if (!missing_real.empty()) {
-      static const Bytes zeros;
-      Bytes column(kGroupSize, 0);
-      for (int j = 0; j < capacity; ++j) {
-        for (int s = 0; s < kGroupSize; ++s) {
-          column[static_cast<size_t>(s)] =
-              slot[static_cast<size_t>(s)]
-                  ? (*slot[static_cast<size_t>(s)])[static_cast<size_t>(j)]
-                  : 0;
-        }
-        auto fixed = outer.Decode(column, missing_real);
-        if (!fixed.ok()) return fixed.status();
-        for (size_t m = 0; m < missing_real.size(); ++m) {
-          recovered[m][static_cast<size_t>(j)] =
-              fixed.value()[static_cast<size_t>(missing_real[m])];
-        }
+  std::vector<Bytes> recovered(missing_real.size(),
+                               Bytes(static_cast<size_t>(capacity), 0));
+  if (!missing_real.empty()) {
+    Bytes column(kGroupSize, 0);
+    for (int j = 0; j < capacity; ++j) {
+      for (int s = 0; s < kGroupSize; ++s) {
+        column[static_cast<size_t>(s)] =
+            slot[static_cast<size_t>(s)]
+                ? (*slot[static_cast<size_t>(s)])[static_cast<size_t>(j)]
+                : 0;
       }
-    }
-
-    for (int s = 0; s < kGroupData; ++s) {
-      const int idx = g * kGroupData + s;
-      if (idx >= d) break;
-      if (slot[static_cast<size_t>(s)]) {
-        data[static_cast<size_t>(idx)] = *slot[static_cast<size_t>(s)];
-      } else {
-        auto it = std::find(missing_real.begin(), missing_real.end(), s);
-        data[static_cast<size_t>(idx)] =
-            recovered[static_cast<size_t>(it - missing_real.begin())];
+      auto fixed = outer.Decode(column, missing_real);
+      if (!fixed.ok()) return fixed.status();
+      for (size_t m = 0; m < missing_real.size(); ++m) {
+        recovered[m][static_cast<size_t>(j)] =
+            fixed.value()[static_cast<size_t>(missing_real[m])];
       }
     }
   }
 
+  std::vector<Bytes> data(kGroupData, Bytes(static_cast<size_t>(capacity), 0));
+  for (int s = 0; s < kGroupData; ++s) {
+    if (slot[static_cast<size_t>(s)]) {
+      data[static_cast<size_t>(s)] = *slot[static_cast<size_t>(s)];
+    } else if (auto it = std::find(missing_real.begin(), missing_real.end(), s);
+               it != missing_real.end()) {
+      data[static_cast<size_t>(s)] =
+          recovered[static_cast<size_t>(it - missing_real.begin())];
+    }
+    // else: a virtual tail slot — stays zero-filled.
+  }
+  return data;
+}
+
+Result<Bytes> ReassembleStream(const std::map<uint16_t, Bytes>& payloads,
+                               size_t stream_len, int capacity) {
+  const int d = DataEmblemCount(stream_len, capacity);
+  const int groups = (d + kGroupData - 1) / kGroupData;
+
   Bytes stream;
   stream.reserve(stream_len);
-  for (int i = 0; i < d; ++i) {
-    const size_t want = std::min(static_cast<size_t>(capacity),
-                                 stream_len - stream.size());
-    stream.insert(stream.end(), data[static_cast<size_t>(i)].begin(),
-                  data[static_cast<size_t>(i)].begin() + want);
+  for (int g = 0; g < groups; ++g) {
+    ULE_ASSIGN_OR_RETURN(std::vector<Bytes> data,
+                         RecoverGroupData(g, payloads, stream_len, capacity));
+    for (int s = 0; s < kGroupData; ++s) {
+      if (g * kGroupData + s >= d) break;
+      const size_t want = std::min(static_cast<size_t>(capacity),
+                                   stream_len - stream.size());
+      stream.insert(stream.end(), data[static_cast<size_t>(s)].begin(),
+                    data[static_cast<size_t>(s)].begin() +
+                        static_cast<std::ptrdiff_t>(want));
+    }
   }
   return stream;
 }

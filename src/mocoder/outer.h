@@ -43,6 +43,30 @@ constexpr int DataIndexOf(uint16_t seq) {
   return static_cast<int>(seq / kGroupSize) * kGroupData +
          static_cast<int>(seq % kGroupSize);
 }
+/// Sequence slot of data emblem `data_index` (the inverse of DataIndexOf).
+constexpr uint16_t SeqOfDataIndex(int data_index) {
+  return static_cast<uint16_t>((data_index / kGroupData) * kGroupSize +
+                               data_index % kGroupData);
+}
+
+/// \brief Position of sequence slot `seq` in the *emitted* emblem
+/// sequence (= frame index within one stream's reel records). Virtual
+/// zero emblems are not emitted, so in the final group the parity slots
+/// follow the last real data slot directly; everywhere else the frame
+/// index equals the sequence number. Returns -1 for a virtual slot.
+int FrameIndexOfSeq(uint16_t seq, size_t stream_len, int capacity);
+
+/// \brief Recovers the data payloads of ONE group from whatever decoded
+/// payloads of it are present (keyed by absolute sequence number;
+/// payloads of other groups are ignored). Returns kGroupData payloads of
+/// `capacity` bytes each — virtual tail slots come back zero-filled.
+/// Corruption when more than kGroupParity real members are missing.
+/// This is the per-group step ReassembleStream runs over every group;
+/// the selective-restore path calls it directly when a needed emblem
+/// fails its inner decode and must be rebuilt from its group's parity.
+Result<std::vector<Bytes>> RecoverGroupData(
+    int group, const std::map<uint16_t, Bytes>& payloads, size_t stream_len,
+    int capacity);
 
 /// \brief Splits `stream` into per-emblem payloads including parity
 /// emblems. Element i of the result is the payload for sequence number i

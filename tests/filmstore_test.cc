@@ -6,11 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/micr_olonys.h"
 #include "filmstore/container.h"
 #include "filmstore/directory_store.h"
 #include "filmstore/frame_store.h"
@@ -127,11 +130,33 @@ TEST(FrameStoreTest, FunctionAdaptersMatchCallbacks) {
   ExpectSameFrames(collected, data.frames);
 
   size_t i = 0;
-  FunctionSource source([&]() -> std::optional<media::Image> {
-    if (i >= collected.size()) return std::nullopt;
-    return collected[i++];
-  });
+  FunctionSource source =
+      FunctionSource::FromInfallible([&]() -> std::optional<media::Image> {
+        if (i >= collected.size()) return std::nullopt;
+        return collected[i++];
+      });
   ExpectSameFrames(Drain(source), data.frames);
+}
+
+// Regression: a backing-store read failure must surface as a non-OK
+// Status, not masquerade as end-of-reel and silently truncate the
+// restore to however many frames happened to precede the failure.
+TEST(FrameStoreTest, MidReelReadErrorAbortsRestore) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 2000, 9);
+  size_t i = 0;
+  FunctionSource source([&]() -> Result<std::optional<media::Image>> {
+    if (i == data.frames.size() / 2) {
+      return Status::IoError("simulated mid-reel read failure");
+    }
+    if (i >= data.frames.size()) return std::optional<media::Image>();
+    return std::optional<media::Image>(data.frames[i++]);
+  });
+  auto restored =
+      core::RestoreNativeStreaming(source, nullptr, SmallOptions());
+  ASSERT_FALSE(restored.ok());
+  EXPECT_NE(restored.status().ToString().find("mid-reel read failure"),
+            std::string::npos)
+      << restored.status().ToString();
 }
 
 TEST(DirectoryStoreTest, RoundTripWithManifestAndBootstrap) {
@@ -568,6 +593,146 @@ TEST(ContainerResumeTest, VerifyNamesTheRecordAndByteOffset) {
                                            kContainerRecordHeaderBytes)),
             std::string::npos)
       << verify.ToString();
+}
+
+TEST(ContainerResumeTest, ScanSpoolRejectsEmptyFile) {
+  // A zero-byte spool (the writer died before the header landed) is not
+  // resumable material — it must be reported as not-a-spool, not walked.
+  const std::string path = testing::TempDir() + "scan_empty.ulec";
+  ASSERT_TRUE(WriteFileBytes(path, Bytes()).ok());
+  auto scan = ScanSpool(path);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), StatusCode::kCorruption)
+      << scan.status().ToString();
+}
+
+TEST(ContainerResumeTest, ScanSpoolReportsZeroRecordSealedContainer) {
+  // Sealed-but-empty is a legal artifact; the scan must report it sealed
+  // with no records instead of misparsing the footer as record bytes.
+  const std::string path = testing::TempDir() + "scan_zero.ulec";
+  auto writer = ContainerWriter::Create(path, SmallOptions());
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer.value()->Finish().ok());
+  auto scan = ScanSpool(path);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_TRUE(scan.value().sealed);
+  EXPECT_TRUE(scan.value().entries.empty());
+  EXPECT_EQ(scan.value().dropped_bytes, 0u);
+}
+
+TEST(ContainerTest, ReadPayloadRejectsForeignEntry) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 800, 40);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 0, 41);
+  const std::string path = WriteContainer("foreign.ulec", data, system);
+  auto reader = ContainerReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  ASSERT_FALSE(reader.value()->entries().empty());
+
+  // A genuine entry reads fine...
+  EXPECT_TRUE(reader.value()->ReadPayload(reader.value()->entries()[0]).ok());
+
+  // ...but an entry this container never issued (stale, or from another
+  // reel) must be refused, not used to read arbitrary file bytes.
+  ContainerEntry foreign = reader.value()->entries()[0];
+  foreign.offset += 1;
+  auto read = reader.value()->ReadPayload(foreign);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kOutOfRange)
+      << read.status().ToString();
+
+  ContainerEntry fabricated;
+  fabricated.offset = 1u << 20;
+  fabricated.payload_len = 64;
+  auto read2 = reader.value()->ReadPayload(fabricated);
+  ASSERT_FALSE(read2.ok());
+  EXPECT_EQ(read2.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ContainerTest, SeekReadsInterleaveWithStreaming) {
+  // The seek path (SeekableSource::ReadFrame) and the streaming path
+  // (OpenFrames/Next) must not disturb each other on either single-reel
+  // backend: stream half the reel, seek around it, stream the rest.
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 3000, 42);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 500, 43);
+  const std::string file_path =
+      WriteContainer("interleave.ulec", data, system);
+  const std::string dir = testing::TempDir() + "interleave_dir";
+  {
+    auto writer = DirectoryWriter::Create(dir, SmallOptions());
+    ASSERT_TRUE(writer.ok());
+    FillSink(*writer.value(), data, system);
+    ASSERT_TRUE(writer.value()->Finish().ok());
+  }
+
+  for (const std::string& target : {file_path, dir}) {
+    auto reel = OpenReel(target);
+    ASSERT_TRUE(reel.ok()) << reel.status().ToString();
+    const auto* seek = dynamic_cast<const SeekableSource*>(reel.value().get());
+    ASSERT_NE(seek, nullptr) << reel.value()->kind();
+
+    auto source = reel.value()->OpenFrames(mocoder::StreamId::kData);
+    const size_t half = data.frames.size() / 2;
+    std::vector<media::Image> streamed;
+    for (size_t i = 0; i < half; ++i) {
+      auto next = source->Next();
+      ASSERT_TRUE(next.ok()) << next.status().ToString();
+      ASSERT_TRUE(next.value().has_value());
+      streamed.push_back(std::move(*next.value()));
+    }
+    // Seek all over the reel (both streams) mid-drain.
+    auto last = seek->ReadFrame(mocoder::StreamId::kData,
+                                data.frames.size() - 1);
+    ASSERT_TRUE(last.ok()) << last.status().ToString();
+    EXPECT_EQ(last.value().pixels(), data.frames.back().pixels());
+    auto first_sys = seek->ReadFrame(mocoder::StreamId::kSystem, 0);
+    ASSERT_TRUE(first_sys.ok()) << first_sys.status().ToString();
+    EXPECT_EQ(first_sys.value().pixels(), system.frames.front().pixels());
+    auto past_end = seek->ReadFrame(mocoder::StreamId::kData,
+                                    data.frames.size());
+    ASSERT_FALSE(past_end.ok());
+    EXPECT_EQ(past_end.status().code(), StatusCode::kOutOfRange);
+    // The streaming source resumes exactly where it left off.
+    for (auto& frame : Drain(*source)) streamed.push_back(std::move(frame));
+    ExpectSameFrames(streamed, data.frames);
+  }
+}
+
+TEST(ContainerTest, CurrentReelStatsIsSafeDuringAppends) {
+  // One thread archives, another polls CurrentReelStats (the shape a
+  // progress UI has); TSan (the CI thread-sanitizer job runs every fast
+  // suite) must see no race, and every observed snapshot must be
+  // internally consistent (monotonic frames/bytes).
+  const std::string path = testing::TempDir() + "stats_race.ulec";
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 4000, 44);
+  auto writer = ContainerWriter::Create(path, SmallOptions());
+  ASSERT_TRUE(writer.ok());
+
+  std::atomic<bool> done{false};
+  size_t last_frames = 0;
+  uint64_t last_bytes = 0;
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto stats = writer.value()->CurrentReelStats();
+      ASSERT_EQ(stats.size(), 1u);
+      EXPECT_GE(stats[0].frames, last_frames);
+      EXPECT_GE(stats[0].bytes, last_bytes);
+      last_frames = stats[0].frames;
+      last_bytes = stats[0].bytes;
+    }
+  });
+  for (size_t i = 0; i < data.frames.size(); ++i) {
+    media::Image frame = data.frames[i];
+    ASSERT_TRUE(writer.value()
+                    ->Append(mocoder::StreamId::kData, data.emblems[i],
+                             std::move(frame))
+                    .ok());
+  }
+  done.store(true, std::memory_order_release);
+  poller.join();
+  ASSERT_TRUE(writer.value()->Finish().ok());
+  const auto final_stats = writer.value()->CurrentReelStats();
+  ASSERT_EQ(final_stats.size(), 1u);
+  EXPECT_GE(final_stats[0].frames, data.frames.size());
 }
 
 TEST(ReelReaderTest, OpenReelPicksTheBackendFromThePath) {

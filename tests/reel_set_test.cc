@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/micr_olonys.h"
@@ -368,6 +370,109 @@ TEST_F(ReelSetFaultTest, FlippedRecordByteSurfacesMidStreamWithContext) {
   ASSERT_FALSE(verify.ok());
   EXPECT_NE(verify.message().find(catalog_.reels[1].name),
             std::string::npos);
+}
+
+TEST(ReelSetTest, SeekReadsInterleaveWithStreamingAcrossReels) {
+  // ReadFrame resolves a *global* frame position through the catalog to
+  // the owning reel; interleaving it with an open streaming source must
+  // disturb neither, even when consecutive seeks hop reels.
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 3000, 50);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 600, 51);
+  const std::string path =
+      WriteSet("reelset_interleave.uler", data, system, ByFrames(4));
+  auto reader = ReelSetReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  ASSERT_GE(reader.value()->catalog().reels.size(), 3u);
+  const SeekableSource& seek = *reader.value();
+
+  auto source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+  std::vector<media::Image> streamed;
+  for (size_t i = 0; i < data.frames.size(); ++i) {
+    // Seek to the mirror-image position before every streamed pull.
+    const size_t mirror = data.frames.size() - 1 - i;
+    auto seeked = seek.ReadFrame(mocoder::StreamId::kData, mirror);
+    ASSERT_TRUE(seeked.ok()) << seeked.status().ToString();
+    EXPECT_EQ(seeked.value().pixels(), data.frames[mirror].pixels());
+    auto next = source->Next();
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    ASSERT_TRUE(next.value().has_value());
+    streamed.push_back(std::move(*next.value()));
+  }
+  ExpectSameFrames(streamed, data.frames);
+  auto sys = seek.ReadFrame(mocoder::StreamId::kSystem, 0);
+  ASSERT_TRUE(sys.ok());
+  EXPECT_EQ(sys.value().pixels(), system.frames.front().pixels());
+  auto past_end =
+      seek.ReadFrame(mocoder::StreamId::kData, data.frames.size());
+  ASSERT_FALSE(past_end.ok());
+  EXPECT_EQ(past_end.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ReelSetTest, SeekIntoDamagedReelNamesTheFrame) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 2200, 52);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 0, 53);
+  const std::string path =
+      WriteSet("reelset_seek_dead.uler", data, system, ByFrames(4));
+  auto catalog = LoadCatalog(path);
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_GE(catalog.value().reels.size(), 3u);
+  const CatalogReel& dead = catalog.value().reels[1];
+  ASSERT_GT(dead.data_frames, 0u);
+  ASSERT_TRUE(std::filesystem::remove(testing::TempDir() + dead.name));
+
+  auto reader = ReelSetReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  // Frames on live reels still seek fine.
+  auto live = reader.value()->ReadFrame(mocoder::StreamId::kData, 0);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  // A frame on the dead reel fails with the frame named, not a crash.
+  auto lost = reader.value()->ReadFrame(mocoder::StreamId::kData,
+                                        dead.first_data_frame);
+  ASSERT_FALSE(lost.ok());
+  EXPECT_NE(lost.status().message().find("damaged reel"), std::string::npos)
+      << lost.status().ToString();
+}
+
+TEST(ReelSetTest, CurrentReelStatsIsSafeDuringAppendsAndRollovers) {
+  // One thread archives across several reel rollovers while another
+  // polls CurrentReelStats (a progress UI); TSan (the CI job runs every
+  // fast suite) must see no race, and each snapshot must be internally
+  // consistent: total frames never decrease.
+  const std::string path = testing::TempDir() + "reelset_stats_race.uler";
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 4000, 54);
+  ReelSetWriter::Options opt;
+  opt.shard = ByFrames(3);
+  auto writer = ReelSetWriter::Create(path, SmallOptions(), opt);
+  ASSERT_TRUE(writer.ok());
+
+  std::atomic<bool> done{false};
+  size_t last_total = 0;
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      size_t total = 0;
+      for (const ReelStats& s : writer.value()->CurrentReelStats()) {
+        total += s.frames;
+      }
+      EXPECT_GE(total, last_total);
+      last_total = total;
+    }
+  });
+  for (size_t i = 0; i < data.frames.size(); ++i) {
+    media::Image frame = data.frames[i];
+    ASSERT_TRUE(writer.value()
+                    ->Append(mocoder::StreamId::kData, data.emblems[i],
+                             std::move(frame))
+                    .ok());
+  }
+  done.store(true, std::memory_order_release);
+  poller.join();
+  ASSERT_TRUE(writer.value()->Finish().ok());
+  ASSERT_GE(writer.value()->reel_count(), 3u);
+  size_t final_total = 0;
+  for (const ReelStats& s : writer.value()->CurrentReelStats()) {
+    final_total += s.frames;
+  }
+  EXPECT_GE(final_total, data.frames.size());
 }
 
 // ---------------------------------------------------------------------------

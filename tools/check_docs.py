@@ -9,7 +9,9 @@ Fails (exit 1) when:
   * the ULE-C1 container version in docs/FORMAT.md diverges from the
     kUleContainerFormatVersion constant in src/filmstore/container.h;
   * the ULE-R1 reel-set version in docs/FORMAT.md diverges from the
-    kUleReelSetFormatVersion constant in src/filmstore/reel_set.h.
+    kUleReelSetFormatVersion constant in src/filmstore/reel_set.h;
+  * the ULE-S1 record-index version in docs/FORMAT.md diverges from the
+    kUleIndexFormatVersion constant in src/core/record_index.h.
 
 Run from anywhere: paths are resolved relative to the repository root
 (the parent of this script's directory). Stdlib only.
@@ -33,6 +35,9 @@ CODE_CONTAINER_RE = re.compile(
 DOC_REELSET_RE = re.compile(r"\*\*Reel-set version:\s*`([^`]+)`\*\*")
 CODE_REELSET_RE = re.compile(
     r'kUleReelSetFormatVersion\[\]\s*=\s*"([^"]+)"')
+DOC_INDEX_RE = re.compile(r"\*\*Index version:\s*`([^`]+)`\*\*")
+CODE_INDEX_RE = re.compile(
+    r'kUleIndexFormatVersion\[\]\s*=\s*"([^"]+)"')
 
 
 def github_slug(heading: str) -> str:
@@ -95,6 +100,9 @@ def check_version() -> list:
         ("reel-set", DOC_REELSET_RE, CODE_REELSET_RE,
          REPO / "src" / "filmstore" / "reel_set.h",
          "kUleReelSetFormatVersion"),
+        ("index", DOC_INDEX_RE, CODE_INDEX_RE,
+         REPO / "src" / "core" / "record_index.h",
+         "kUleIndexFormatVersion"),
     ]:
         doc = doc_re.search(fmt_text)
         code = code_re.search(header.read_text(encoding="utf-8"))

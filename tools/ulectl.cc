@@ -8,8 +8,11 @@
 //   ulectl archive --tpch 0.0002 --out reel/ --dir --pbm
 //   ulectl archive --in dump.sql --out set.uler --shard-frames 8
 //   ulectl inspect reel.ulec          (or set.uler, or a reel directory)
+//   ulectl inspect --index reel.ulec  (tables/rows of the ULE-S1 index)
 //   ulectl verify  reel.ulec
 //   ulectl restore --in set.uler --out restored.sql [--emulated]
+//   ulectl restore --in set.uler --out orders.sql --table orders
+//                  [--columns o_orderkey,o_totalprice] [--rows 100:50]
 //   ulectl resume  spool.ulec         (recover an interrupted archive)
 //
 // Archival spools frames straight to disk (peak RSS O(threads × emblem),
@@ -20,6 +23,7 @@
 // only costs the frames it owned.
 
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +34,8 @@
 #include <vector>
 
 #include "core/micr_olonys.h"
+#include "core/record_index.h"
+#include "core/selective.h"
 #include "dbcoder/dbcoder.h"
 #include "filmstore/container.h"
 #include "filmstore/directory_store.h"
@@ -77,10 +83,21 @@ int Usage(const char* argv0) {
       "  --scheme NAME      dbcoder scheme: store|lzss|lzac|columnar\n"
       "  --data-side N      emblem data-area side (default 128)\n"
       "  --dots-per-cell N  render pitch (default 4)\n"
+      "  --no-index         skip the ULE-S1 record index (selective\n"
+      "                     restore then needs a derived index)\n"
       "\n"
       "restore options:\n"
       "  --emulated         full ULE path: only the reel's Bootstrap\n"
-      "                     document and frames are used (slow)\n",
+      "                     document and frames are used (slow)\n"
+      "  --table NAME       selective: restore one table through the\n"
+      "                     ULE-S1 index, reading only its frame records\n"
+      "  --columns A,B,...  selective: keep only these columns\n"
+      "  --rows BEGIN:COUNT selective: keep COUNT rows starting at BEGIN\n"
+      "                     (0-based)\n"
+      "\n"
+      "inspect options:\n"
+      "  --index            also list the ULE-S1 record index (tables,\n"
+      "                     rows, chunks)\n",
       argv0);
   return 2;
 }
@@ -105,6 +122,13 @@ struct Args {
   int shard_frames = 0;
   int64_t shard_bytes = 0;
   dbcoder::Scheme scheme = dbcoder::Scheme::kLzac;
+  bool no_index = false;    ///< archive: skip the ULE-S1 record index
+  bool show_index = false;  ///< inspect: list the record index
+  std::string table;        ///< restore: selective predicate
+  std::vector<std::string> columns;
+  uint64_t row_begin = 0;
+  uint64_t row_count = UINT64_MAX;
+  bool rows_set = false;
 };
 
 bool ParseScheme(const std::string& name, dbcoder::Scheme* out) {
@@ -139,6 +163,18 @@ Result<int64_t> ParseInt64(const std::string& flag, const std::string& s) {
                                    "got: " + s);
   }
   return static_cast<int64_t>(v);
+}
+
+Result<uint64_t> ParseUint64(const std::string& flag, const std::string& s) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE ||
+      s.find('-') != std::string::npos) {
+    return Status::InvalidArgument(flag + " needs a non-negative integer, "
+                                   "got: " + s);
+  }
+  return static_cast<uint64_t>(v);
 }
 
 Result<double> ParseDouble(const std::string& flag, const std::string& s) {
@@ -202,6 +238,40 @@ Result<Args> ParseArgs(int argc, char** argv) {
       if (!ParseScheme(v, &args.scheme)) {
         return Status::InvalidArgument("unknown scheme: " + v);
       }
+    } else if (arg == "--no-index") {
+      args.no_index = true;
+    } else if (arg == "--index") {
+      args.show_index = true;
+    } else if (arg == "--table") {
+      ULE_ASSIGN_OR_RETURN(args.table, value());
+    } else if (arg == "--columns") {
+      ULE_ASSIGN_OR_RETURN(std::string list, value());
+      size_t start = 0;
+      while (start <= list.size()) {
+        const size_t comma = list.find(',', start);
+        const std::string name =
+            list.substr(start, comma == std::string::npos ? std::string::npos
+                                                          : comma - start);
+        if (name.empty()) {
+          return Status::InvalidArgument("--columns has an empty name in: " +
+                                         list);
+        }
+        args.columns.push_back(name);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--rows") {
+      ULE_ASSIGN_OR_RETURN(std::string range, value());
+      const size_t colon = range.find(':');
+      if (colon == std::string::npos) {
+        return Status::InvalidArgument("--rows needs BEGIN:COUNT, got: " +
+                                       range);
+      }
+      ULE_ASSIGN_OR_RETURN(args.row_begin,
+                           ParseUint64(arg, range.substr(0, colon)));
+      ULE_ASSIGN_OR_RETURN(args.row_count,
+                           ParseUint64(arg, range.substr(colon + 1)));
+      args.rows_set = true;
     } else if (!arg.empty() && arg[0] != '-' && args.in.empty()) {
       args.in = arg;  // bare positional: the reel (inspect/verify/restore)
     } else {
@@ -241,6 +311,9 @@ int RunArchive(const Args& args) {
   options.emblem.data_side = args.data_side;
   options.emblem.dots_per_cell = args.dots_per_cell;
   options.emblem.threads = args.threads;
+  // The index costs a little compression and buys `restore --table`;
+  // archives meant to be restored are worth making seekable by default.
+  options.build_index = !args.no_index;
 
   const bool sharded = args.shard_frames > 0 || args.shard_bytes > 0;
   if (sharded && args.dir) {
@@ -320,9 +393,62 @@ int RunArchive(const Args& args) {
   return 0;
 }
 
+int RunRestoreSelective(const Args& args) {
+  if (args.emulated) {
+    return Fail(Status::InvalidArgument(
+        "--table restores through the contemporary decoders; it does not "
+        "combine with --emulated"));
+  }
+  auto reel = filmstore::OpenReel(args.in);
+  if (!reel.ok()) return Fail(reel.status());
+  if (auto* set =
+          dynamic_cast<filmstore::ReelSetReader*>(reel.value().get())) {
+    set->set_restore_threads(args.threads);
+  }
+
+  core::RestorePredicate pred;
+  pred.table = args.table;
+  pred.columns = args.columns;
+  pred.row_begin = args.row_begin;
+  pred.row_count = args.row_count;
+  core::SelectiveOptions options;
+  options.threads = args.threads;
+  core::SelectiveStats stats;
+  auto restored =
+      core::RestoreSelective(*reel.value(), pred, options, &stats);
+  if (!restored.ok()) return Fail(restored.status());
+  Status s = WriteFileText(args.out, restored.value());
+  if (!s.ok()) return Fail(s);
+
+  std::printf("restored table %s (%zu bytes) -> %s (selective path)\n",
+              pred.table.c_str(), restored.value().size(), args.out.c_str());
+  if (!pred.all_columns()) {
+    std::printf("  columns           %zu of the table's kept\n",
+                pred.columns.size());
+  }
+  if (args.rows_set) {
+    std::printf("  rows              %llu starting at %llu\n",
+                static_cast<unsigned long long>(pred.row_count),
+                static_cast<unsigned long long>(pred.row_begin));
+  }
+  std::printf("  records read      %llu (%llu payload bytes)\n",
+              static_cast<unsigned long long>(stats.records_read),
+              static_cast<unsigned long long>(stats.bytes_read));
+  std::printf("  emblems decoded   %zu (%zu recovered, %zu cache hits)\n",
+              stats.emblems_decoded, stats.emblems_recovered,
+              stats.cache_hits);
+  std::printf("  chunks decoded    %zu\n", stats.chunks_decoded);
+  return 0;
+}
+
 int RunRestore(const Args& args) {
   if (args.in.empty() || args.out.empty()) {
     return Fail(Status::InvalidArgument("restore needs --in and --out"));
+  }
+  if (!args.table.empty()) return RunRestoreSelective(args);
+  if (!args.columns.empty() || args.rows_set) {
+    return Fail(Status::InvalidArgument(
+        "--columns/--rows select within one table; they need --table"));
   }
   auto reel = filmstore::OpenReel(args.in);
   if (!reel.ok()) return Fail(reel.status());
@@ -423,6 +549,36 @@ int RunInspect(const Args& args) {
               reel.value()->frame_count(mocoder::StreamId::kSystem));
   std::printf("  bootstrap         %s\n",
               reel.value()->has_bootstrap() ? "present" : "absent");
+
+  auto section = reel.value()->ReadIndexSection();
+  if (!section.ok() && section.status().code() != StatusCode::kNotFound) {
+    return Fail(section.status());
+  }
+  std::printf("  record index      %s\n",
+              section.ok() ? "present (ULE-S1)" : "absent");
+  if (args.show_index) {
+    if (!section.ok()) {
+      return Fail(Status::NotFound(
+          "no ULE-S1 record index on this reel (archived with --no-index?)"));
+    }
+    auto index = core::RecordIndex::Parse(section.value());
+    if (!index.ok()) return Fail(index.status());
+    std::printf("  index version     %s\n", core::kUleIndexFormatVersion);
+    std::printf("  dump bytes        %llu (%llu compressed, %s)\n",
+                static_cast<unsigned long long>(index.value().dump_len),
+                static_cast<unsigned long long>(index.value().stream_len),
+                index.value().segmented ? "segmented" : "whole-stream");
+    for (const std::string& table : index.value().Tables()) {
+      size_t chunks = 0;
+      for (const core::IndexChunk& c : index.value().chunks) {
+        if (c.table == table) ++chunks;
+      }
+      std::printf("    %-18s %10llu rows %6zu chunks\n", table.c_str(),
+                  static_cast<unsigned long long>(
+                      index.value().RowsOfTable(table)),
+                  chunks);
+    }
+  }
   return 0;
 }
 
