@@ -276,6 +276,7 @@ struct SelectiveBench {
   double selective_s = 0;
   filmstore::ReadCounters full;
   core::SelectiveStats stats;
+  core::SelectiveRestorer::CacheCounters cache;
 };
 
 SelectiveBench RunSelective(const std::string& table) {
@@ -317,9 +318,14 @@ SelectiveBench RunSelective(const std::string& table) {
   if (!reader.ok()) return out;
   core::RestorePredicate pred;
   pred.table = table;
+  // Open the restorer explicitly (not the one-shot) so the decoded-payload
+  // LRU's own hit/miss/eviction counters are observable afterwards.
   const auto t1 = Clock::now();
-  auto slice = core::RestoreSelective(*reader.value(), pred, {}, &out.stats);
+  auto restorer = core::SelectiveRestorer::Open(*reader.value());
+  if (!restorer.ok()) return out;
+  auto slice = restorer.value().Restore(pred, &out.stats);
   out.selective_s = std::chrono::duration<double>(Clock::now() - t1).count();
+  out.cache = restorer.value().cache_counters();
   out.ok = slice.ok() && !slice.value().empty() &&
            full.value().find(slice.value()) != std::string::npos &&
            out.stats.records_read > 0 && out.stats.bytes_read > 0 &&
@@ -521,6 +527,17 @@ int main() {
                   static_cast<double>(sel.full.records), "records");
   report.AddGauge("selective_full_bytes_read",
                   static_cast<double>(sel.full.bytes), "bytes");
+  std::printf("%-42s %zu hit / %zu miss / %zu evicted\n",
+              "decoded-payload LRU",
+              static_cast<size_t>(sel.cache.hits),
+              static_cast<size_t>(sel.cache.misses),
+              static_cast<size_t>(sel.cache.evictions));
+  report.AddGauge("selective_cache_hits",
+                  static_cast<double>(sel.cache.hits), "hits");
+  report.AddGauge("selective_cache_misses",
+                  static_cast<double>(sel.cache.misses), "misses");
+  report.AddGauge("selective_cache_evictions",
+                  static_cast<double>(sel.cache.evictions), "evictions");
 
   std::printf("\n=== E5: microfilm archive (IMAGELINK 9600 geometry) ===\n");
   const auto film = media::Microfilm16mm();

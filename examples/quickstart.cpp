@@ -10,9 +10,13 @@
 #include <cstdlib>
 
 #include "core/micr_olonys.h"
+#include "dbcoder/dbcoder.h"
+#include "decoders/dbdecode.h"
 #include "minidb/database.h"
 #include "minidb/sqldump.h"
+#include "olonys/dynarisc_in_verisc.h"
 #include "support/parallel.h"
+#include "verisc/machine.h"
 
 using namespace ule;
 
@@ -75,5 +79,27 @@ int main(int argc, char** argv) {
   auto sum = reloaded.value().GetTable("accounts")->SumWhere("balance", nullptr);
   std::printf("sum(balance) after restoration: %.2f\n",
               static_cast<double>(sum.value()) / 100.0);
+
+  // 6. Under the hood of the fully emulated restore: the archived
+  // DBDecode program (DynaRISC) interpreted by the archived interpreter
+  // (itself a VeRISC program) on the 4-instruction Machine, driven in
+  // bounded slices — with the dispatch core's own instrumentation.
+  auto container = dbcoder::Encode(ToBytes(dump), dbcoder::Scheme::kLzac);
+  if (!container.ok()) return 1;
+  const Bytes packed =
+      olonys::PackNestedInput(decoders::DbDecodeProgram(), container.value());
+  verisc::Machine vm;
+  if (!vm.Load(olonys::DynaRiscInterpreter()).ok()) return 1;
+  vm.SetInput(packed);
+  while (vm.RunFor(1u << 22) == verisc::MachineState::kPaused) {
+  }
+  const verisc::Machine::RunStats rs = vm.LastRunStats();
+  std::printf("nested emulation decoded the container: %s — %llu VeRISC "
+              "instructions in %llu slices, %.1f%% retired fused\n",
+              vm.output() == ToBytes(dump) ? "byte-identical" : "MISMATCH",
+              static_cast<unsigned long long>(rs.retired),
+              static_cast<unsigned long long>(rs.slices),
+              rs.retired ? 100.0 * rs.fused / rs.retired : 0.0);
+  if (vm.output() != ToBytes(dump)) return 1;
   return restored.value() == dump ? 0 : 1;
 }

@@ -263,9 +263,24 @@ namespace {
 Result<Bytes> RunViaBootstrap(const verisc::Program& interpreter,
                               const dynarisc::Program& guest, BytesView input,
                               verisc::VmFunction vm, uint64_t* steps) {
-  const Bytes packed = olonys::PackNestedInput(guest, input);
   verisc::RunOptions opts;
   opts.max_steps = 200'000'000'000ull;
+  // When the parsed Bootstrap's emulator is word-for-word the in-tree
+  // interpreter (the round-trip guarantee olonys_test pins down) and the
+  // caller runs the reference engine, route through RunNested so the
+  // shared translation cache and the warm-start interpreter apply across
+  // every frame of the restore. Output bytes are unchanged; `steps`
+  // counts the VeRisc instructions the engine actually retired.
+  if ((vm == nullptr || vm == &verisc::Run) &&
+      interpreter.words == olonys::DynaRiscInterpreter().words) {
+    olonys::NestedRunStats nested_stats;
+    Result<Bytes> out =
+        olonys::RunNested(guest, input, opts, &verisc::Run,
+                          olonys::NestedMode::kAuto, &nested_stats);
+    if (steps) *steps += nested_stats.steps;
+    return out;
+  }
+  const Bytes packed = olonys::PackNestedInput(guest, input);
   ULE_ASSIGN_OR_RETURN(verisc::RunResult r, vm(interpreter, packed, opts));
   if (steps) *steps += r.steps;
   if (r.reason != verisc::StopReason::kHalted) {

@@ -92,6 +92,17 @@ class SelectiveRestorer {
 
   const RecordIndex& index() const { return index_; }
 
+  /// Lifetime counters of the decoded-payload LRU cache, across every
+  /// Restore on this restorer (SelectiveStats is per-call and only counts
+  /// the chunk-assembly probes; these gauge the cache itself, including
+  /// group-recovery lookups — bench_microfilm records them).
+  struct CacheCounters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  CacheCounters cache_counters() const;
+
   /// Restores the dump text selected by `pred` (see file comment for the
   /// exact shape). NotFound names the available tables when `pred.table`
   /// is not in the archive; a row range reaching past the table's end is
@@ -116,6 +127,7 @@ class SelectiveRestorer {
     explicit PayloadCache(size_t budget) : budget_(budget) {}
     const Bytes* Get(uint16_t seq);
     void Put(uint16_t seq, Bytes payload);
+    const CacheCounters& counters() const { return counters_; }
 
    private:
     size_t budget_;
@@ -124,6 +136,7 @@ class SelectiveRestorer {
     std::unordered_map<uint16_t,
                        std::pair<Bytes, std::list<uint16_t>::iterator>>
         entries_;
+    CacheCounters counters_;
   };
 
   const filmstore::ReelReader* reader_ = nullptr;

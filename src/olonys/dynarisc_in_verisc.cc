@@ -1,9 +1,11 @@
 #include "olonys/dynarisc_in_verisc.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "dynarisc/isa.h"
+#include "olonys/translation_cache.h"
 #include "verisc/builder.h"
 #include "verisc/machine.h"
 
@@ -20,9 +22,30 @@ using Fn = Builder::Fn;
 /// slice at current dispatch throughput).
 inline constexpr uint64_t kNestedSliceSteps = 1ull << 24;
 
+/// Test override for the slice size (0 = use the default).
+std::atomic<uint64_t> g_nested_slice_steps{0};
+
+uint64_t NestedSliceSteps() {
+  const uint64_t v = g_nested_slice_steps.load(std::memory_order_relaxed);
+  return v != 0 ? v : kNestedSliceSteps;
+}
+
 /// Generates the interpreter. Structured as one long emitter; every guest
 /// architectural element is an interpreter cell, every opcode a handler.
-verisc::Program BuildInterpreter() {
+///
+/// With `warm_out` set, generates the warm-start variant instead: no table
+/// fill and no input-protocol startup (the host pokes the static tables,
+/// the guest image and the entry point directly), and the cold main loop's
+/// fetch + table decode is replaced by one dispatch through the
+/// per-address predecode tables, with per-opcode prologues reading the
+/// instruction's predecoded rd/rs/mode fields. STM and CALL redirect the
+/// handler-table entries covering every byte they overwrite to a redecode
+/// routine, which keeps predecode coherent under guest self-modification.
+/// Guest-visible semantics are identical by construction: both variants
+/// share every handler body, and immediates are always fetched live from
+/// guest memory.
+verisc::Program BuildInterpreter(WarmInterpreter* warm_out) {
+  const bool warm = warm_out != nullptr;
   Builder b;
 
   // ---- guest architectural state ----
@@ -72,7 +95,19 @@ verisc::Program BuildInterpreter() {
   const Cell f_vstep = b.NewCell();
   const Cell f_v = b.NewCell();
   const Cell f_k = b.NewCell();
-  const Fn fill = b.DeclareFn();
+  Fn fill{};  // cold only: warm tables are host-poked, never filled
+  if (!warm) fill = b.DeclareFn();
+
+  // Warm-only plumbing: the redecode routine's address (for invalidation
+  // stores) and an address scratch cell for the `ptr - 1` computation.
+  Label redecode{};
+  Cell redec_c{};
+  Cell inv_a{};
+  if (warm) {
+    redecode = b.NewLabel();
+    redec_c = b.NewLabelCell(redecode);
+    inv_a = b.NewCell();
+  }
 
   // ---- helper functions ----
   const Fn fetch = b.DeclareFn();   // fetched <- next guest word; GPC += 2
@@ -85,8 +120,8 @@ verisc::Program BuildInterpreter() {
   b.Jmp(start);
 
   // ---------------------------------------------------------------- fill
-  b.BeginFn(fill);
-  {
+  if (!warm) {
+    b.BeginFn(fill);
     b.LdImm(0);
     b.St(f_v);
     b.St(f_k);
@@ -113,6 +148,40 @@ verisc::Program BuildInterpreter() {
     b.Jnz(loop);
     b.Ret(fill);
   }
+
+  // Warm handler prologue: read the instruction's predecoded fields, then
+  // step GPC past the instruction word (the cold main loop does both via
+  // fetch + table decode before dispatching).
+  auto warm_prologue = [&](bool rd, bool rs, bool mode) {
+    if (!warm) return;
+    if (rd) {
+      b.LdIndexedAbs(kRdIdxBase, gpc);
+      b.St(rdc);
+    }
+    if (rs) {
+      b.LdIndexedAbs(kRsIdxBase, gpc);
+      b.St(rsc);
+    }
+    if (mode) {
+      b.LdIndexedAbs(kModeIdxBase, gpc);
+      b.St(modec);
+    }
+    b.Ld(gpc);
+    b.AddImm(2);
+    b.AndImm(0xFFFF);
+    b.St(gpc);
+  };
+
+  // Warm: the guest just overwrote the byte at guest address mem[addr];
+  // any instruction covering that byte must be redecoded before it runs
+  // again, so point its handler entry at the redecode routine. (Stale
+  // rd/rs/mode entries are harmless: execution always routes through the
+  // handler table, and redecode refreshes all four.)
+  auto warm_invalidate = [&](Cell addr) {
+    if (!warm) return;
+    b.Ld(redec_c);
+    b.StIndexedAbs(kHandlerBase, addr);
+  };
 
   // --------------------------------------------------------------- fetch
   b.BeginFn(fetch);
@@ -206,7 +275,12 @@ verisc::Program BuildInterpreter() {
 
   // ------------------------------------------------------------- startup
   b.Bind(start);
-  {
+  if (warm) {
+    // The host has already poked the static tables, the guest image, the
+    // predecode tables and the entry point; the input port carries only
+    // the guest's own stream. Nothing to set up.
+    b.Jmp(mainloop);
+  } else {
     // Fill LSR1: period 2 (pmask 1), step 1, no wrap.
     auto call_fill = [&](uint32_t dst, uint32_t count, uint32_t pmask,
                          uint32_t vmask, uint32_t vstep) {
@@ -277,7 +351,12 @@ verisc::Program BuildInterpreter() {
 
   // ------------------------------------------------------------ mainloop
   b.Bind(mainloop);
-  {
+  if (warm) {
+    // PC <- handler[gpc]: one predecoded dispatch replaces the cold
+    // loop's fetch call and three table lookups.
+    b.LdIndexedAbs(kHandlerBase, gpc);
+    b.StMapped(1);
+  } else {
     b.Call(fetch);
     b.LdIndexedAbs(kOpBase, fetched);
     b.St(opc);
@@ -296,6 +375,7 @@ verisc::Program BuildInterpreter() {
   // ------------------------------------------------------------ ADD / ADC
   for (const bool with_carry : {false, true}) {
     b.Bind(handlers[with_carry ? dynarisc::kAdc : dynarisc::kAdd]);
+    warm_prologue(true, true, false);
     b.Call(load_ab);
     b.Ld(va);
     b.AddCell(vb);
@@ -312,6 +392,7 @@ verisc::Program BuildInterpreter() {
   // ------------------------------------------------------ SUB / SBB / CMP
   for (const uint8_t op : {dynarisc::kSub, dynarisc::kSbb, dynarisc::kCmp}) {
     b.Bind(handlers[op]);
+    warm_prologue(true, true, false);
     b.Call(load_ab);
     if (op == dynarisc::kSbb) {
       b.Ld(vb);
@@ -336,6 +417,7 @@ verisc::Program BuildInterpreter() {
   // ----------------------------------------------------------------- MUL
   {
     b.Bind(handlers[dynarisc::kMul]);
+    warm_prologue(true, true, false);
     b.Call(load_ab);
     b.LdImm(0);
     b.St(plo);
@@ -427,6 +509,7 @@ verisc::Program BuildInterpreter() {
   // ------------------------------------------------------- AND / OR / XOR
   {
     b.Bind(handlers[dynarisc::kAnd]);
+    warm_prologue(true, true, false);
     b.Call(load_ab);
     b.Ld(va);
     b.And(vb);
@@ -436,6 +519,7 @@ verisc::Program BuildInterpreter() {
 
     // OR  = a + b - (a & b); XOR = a + b - 2*(a & b). Both fit in 32 bits.
     b.Bind(handlers[dynarisc::kOr]);
+    warm_prologue(true, true, false);
     b.Call(load_ab);
     b.Ld(va);
     b.And(vb);
@@ -448,6 +532,7 @@ verisc::Program BuildInterpreter() {
     b.Jmp(mainloop);
 
     b.Bind(handlers[dynarisc::kXor]);
+    warm_prologue(true, true, false);
     b.Call(load_ab);
     b.Ld(va);
     b.And(vb);
@@ -471,6 +556,7 @@ verisc::Program BuildInterpreter() {
     for (int s = 0; s < 4; ++s) {
       const uint8_t op = static_cast<uint8_t>(dynarisc::kLsl + s);
       b.Bind(handlers[op]);
+      warm_prologue(true, true, true);
       // amount: mode bit0 ? rs | (mode bit1 ? 8 : 0) : R[rs] & 15
       const Label from_reg = b.NewLabel();
       const Label have_amt = b.NewLabel();
@@ -578,6 +664,7 @@ verisc::Program BuildInterpreter() {
   // ---------------------------------------------------------------- MOVE
   {
     b.Bind(handlers[dynarisc::kMove]);
+    warm_prologue(true, true, true);
     const Label src_d = b.NewLabel();
     const Label src_hi = b.NewLabel();
     const Label have_src = b.NewLabel();
@@ -623,6 +710,7 @@ verisc::Program BuildInterpreter() {
   // ----------------------------------------------------------------- LDI
   {
     b.Bind(handlers[dynarisc::kLdi]);
+    warm_prologue(true, false, false);
     b.Call(fetch);
     b.Ld(fetched);
     b.St(val);
@@ -633,6 +721,7 @@ verisc::Program BuildInterpreter() {
   // ----------------------------------------------------------------- LDM
   {
     b.Bind(handlers[dynarisc::kLdm]);
+    warm_prologue(true, true, true);
     const Label byte_access = b.NewLabel();
     const Label no_inc = b.NewLabel();
     b.Ld(rsc);
@@ -676,6 +765,7 @@ verisc::Program BuildInterpreter() {
   // ----------------------------------------------------------------- STM
   {
     b.Bind(handlers[dynarisc::kStm]);
+    warm_prologue(true, true, true);
     const Label byte_access = b.NewLabel();
     const Label no_inc = b.NewLabel();
     b.Ld(rdc);
@@ -688,6 +778,15 @@ verisc::Program BuildInterpreter() {
     b.Ld(val);
     b.AndImm(0xFF);
     b.StIndexedAbs(kGuestBase, ptr);
+    if (warm) {
+      // A 2-byte instruction starting at ptr-1 or ptr covers this byte.
+      b.Ld(ptr);
+      b.SubImm(1);
+      b.AndImm(0xFFFF);
+      b.St(inv_a);
+      warm_invalidate(inv_a);
+      warm_invalidate(ptr);
+    }
     b.Ld(modec);
     b.AndImm(dynarisc::kModeWord);
     b.Jz(byte_access);
@@ -697,6 +796,7 @@ verisc::Program BuildInterpreter() {
     b.St(ptr2);
     b.LdIndexedAbs(kShr8Base, val);
     b.StIndexedAbs(kGuestBase, ptr2);
+    warm_invalidate(ptr2);
     b.Bind(byte_access);
     b.Ld(modec);
     b.AndImm(dynarisc::kModePostInc);
@@ -716,12 +816,14 @@ verisc::Program BuildInterpreter() {
   // ------------------------------------------- JUMP / JZ / JC / CALL / RET
   {
     b.Bind(handlers[dynarisc::kJump]);
+    warm_prologue(false, false, false);
     b.Call(fetch);
     b.Ld(fetched);
     b.St(gpc);
     b.Jmp(mainloop);
 
     b.Bind(handlers[dynarisc::kJz]);
+    warm_prologue(false, false, false);
     b.Call(fetch);
     b.Ld(gz);
     {
@@ -734,6 +836,7 @@ verisc::Program BuildInterpreter() {
     b.Jmp(mainloop);
 
     b.Bind(handlers[dynarisc::kJc]);
+    warm_prologue(false, false, false);
     b.Call(fetch);
     b.Ld(gc);
     {
@@ -746,6 +849,7 @@ verisc::Program BuildInterpreter() {
     b.Jmp(mainloop);
 
     b.Bind(handlers[dynarisc::kCall]);
+    warm_prologue(false, false, false);
     b.Call(fetch);
     // D3 -= 2; guest[D3] = pc.lo; guest[D3+1] = pc.hi; pc = fetched.
     b.Ld(Builder::At(gd, 3));
@@ -762,11 +866,22 @@ verisc::Program BuildInterpreter() {
     b.St(ptr2);
     b.LdIndexedAbs(kShr8Base, gpc);
     b.StIndexedAbs(kGuestBase, ptr2);
+    if (warm) {
+      // The pushed return address overwrote guest bytes ptr and ptr2.
+      b.Ld(ptr);
+      b.SubImm(1);
+      b.AndImm(0xFFFF);
+      b.St(inv_a);
+      warm_invalidate(inv_a);
+      warm_invalidate(ptr);
+      warm_invalidate(ptr2);
+    }
     b.Ld(fetched);
     b.St(gpc);
     b.Jmp(mainloop);
 
     b.Bind(handlers[dynarisc::kRet]);
+    warm_prologue(false, false, false);
     b.Ld(Builder::At(gd, 3));
     b.St(ptr);
     b.AddImm(1);
@@ -789,6 +904,7 @@ verisc::Program BuildInterpreter() {
   // ----------------------------------------------------------------- SYS
   {
     b.Bind(handlers[dynarisc::kSys]);
+    warm_prologue(false, false, true);
     const Label sys_read = b.NewLabel();
     const Label sys_write = b.NewLabel();
     b.Ld(modec);
@@ -828,16 +944,89 @@ verisc::Program BuildInterpreter() {
   b.Bind(halt_handler);
   b.Halt();
 
+  // ------------------------------------------------------------- redecode
+  if (warm) {
+    // An invalidated handler entry lands here. Recompute the four
+    // predecode words for the instruction at GPC from the live guest
+    // bytes (exactly the cold fetch + table decode), then re-dispatch:
+    // H[gpc] is fresh now, so the main loop reaches the real handler.
+    b.Bind(redecode);
+    b.LdIndexedAbs(kGuestBase, gpc);
+    b.St(h0);
+    b.Ld(gpc);
+    b.AddImm(1);
+    b.AndImm(0xFFFF);
+    b.St(h1);
+    b.LdIndexedAbs(kGuestBase, h1);
+    b.St(h2);
+    b.LdIndexedAbs(kShl8Base, h2);
+    b.AddCell(h0);
+    b.St(fetched);
+    b.LdIndexedAbs(kOpBase, fetched);
+    b.St(opc);
+    b.LdIndexed(jt, opc);
+    b.StIndexedAbs(kHandlerBase, gpc);
+    b.LdIndexedAbs(kRdBase, fetched);
+    b.StIndexedAbs(kRdIdxBase, gpc);
+    b.LdIndexedAbs(kRsBase, fetched);
+    b.StIndexedAbs(kRsIdxBase, gpc);
+    b.Ld(fetched);
+    b.AndImm(31);
+    b.StIndexedAbs(kModeIdxBase, gpc);
+    b.Jmp(mainloop);
+  }
+
   auto built = b.Build();
   assert(built.ok() && "interpreter generation failed");
-  return built.TakeValue();
+  verisc::Program program = built.TakeValue();
+  if (warm_out) {
+    warm_out->gpc_addr = b.CellAddress(gpc);
+    for (int i = 0; i < 32; ++i) {
+      warm_out->handler_addr[i] = b.LabelAddress(handlers[i]);
+    }
+  }
+  return program;
+}
+
+/// Drives a loaded machine to completion in bounded slices, honouring the
+/// caller's step budget. Shared by the cold and warm reference paths.
+Result<Bytes> DriveMachine(verisc::Machine& machine,
+                           const verisc::RunOptions& options) {
+  const uint64_t slice = NestedSliceSteps();
+  for (;;) {
+    const uint64_t left = options.max_steps - machine.steps();
+    switch (machine.RunFor(std::min<uint64_t>(left, slice))) {
+      case verisc::MachineState::kHalted:
+        return machine.TakeOutput();
+      case verisc::MachineState::kFault:
+        return Status::ExecutionFault("nested emulation fault");
+      default:
+        if (machine.steps() >= options.max_steps) {
+          return Status::ResourceExhausted(
+              "nested emulation exceeded step limit");
+        }
+    }
+  }
 }
 
 }  // namespace
 
 const verisc::Program& DynaRiscInterpreter() {
-  static const verisc::Program kProgram = BuildInterpreter();
+  static const verisc::Program kProgram = BuildInterpreter(nullptr);
   return kProgram;
+}
+
+const WarmInterpreter& WarmDynaRiscInterpreter() {
+  static const WarmInterpreter kWarm = [] {
+    WarmInterpreter w;
+    w.program = BuildInterpreter(&w);
+    return w;
+  }();
+  return kWarm;
+}
+
+void SetNestedSliceStepsForTest(uint64_t steps) {
+  g_nested_slice_steps.store(steps, std::memory_order_relaxed);
 }
 
 Bytes PackNestedInput(const dynarisc::Program& program, BytesView input) {
@@ -852,38 +1041,92 @@ Bytes PackNestedInput(const dynarisc::Program& program, BytesView input) {
 
 Result<Bytes> RunNested(const dynarisc::Program& program, BytesView input,
                         const verisc::RunOptions& options,
-                        verisc::VmFunction vm) {
-  const Bytes packed = PackNestedInput(program, input);
+                        verisc::VmFunction vm, NestedMode mode,
+                        NestedRunStats* stats) {
+  if (stats != nullptr) *stats = NestedRunStats{};
+  const bool reference = (vm == nullptr || vm == &verisc::Run);
+  if (!reference && mode == NestedMode::kTranslated) {
+    return Status::InvalidArgument(
+        "NestedMode::kTranslated requires the reference VeRisc engine");
+  }
 
-  // Default path: drive the execution engine incrementally, in bounded
-  // slices, instead of one monolithic run. The per-thread machine keeps
-  // its 4 MiB memory image across nested invocations, and the slice loop
-  // is where future callers can interleave progress reporting or
-  // cancellation without touching the engine.
-  if (vm == nullptr || vm == &verisc::Run) {
+  if (reference) {
+    // Reference path: drive the execution engine incrementally, in
+    // bounded slices, instead of one monolithic run. The per-thread
+    // machine keeps its 4 MiB memory image across nested invocations,
+    // and the slice loop is where future callers can interleave progress
+    // reporting or cancellation without touching the engine.
     verisc::Machine& machine = verisc::ThreadLocalMachine();
+
+    if (mode != NestedMode::kCold) {
+      // Warm path: the shared translation cache has already expanded the
+      // guest image and predecoded every guest address, so poke that
+      // state straight into machine memory and start in the dispatch
+      // loop — no table fill, no header parse, no byte-by-byte copy.
+      bool cache_hit = false;
+      TranslationCache::EntryPtr entry =
+          TranslationCache::Global().Acquire(program, &cache_hit);
+      const WarmInterpreter& warm = WarmDynaRiscInterpreter();
+
+      // The 1 MiB of static shift/decode tables survives across frames
+      // as long as nobody else re-loaded this thread's machine since our
+      // last run (load_seq detects any interleaved Load).
+      static thread_local const verisc::Machine* resident_machine = nullptr;
+      static thread_local uint64_t resident_seq = 0;
+      const bool resident = resident_machine == &machine &&
+                            resident_seq == machine.load_seq() &&
+                            resident_seq != 0;
+      if (resident) {
+        ULE_RETURN_IF_ERROR(machine.LoadNoZero(warm.program));
+      } else {
+        ULE_RETURN_IF_ERROR(machine.Load(warm.program));
+        const StaticTables& tables = WarmStaticTables();
+        machine.WriteWords(kLsr1Base, tables.low.data(), tables.low.size());
+        machine.WriteWords(kShr8Base, tables.high.data(),
+                           tables.high.size());
+      }
+      machine.WriteWords(kGuestBase, entry->guest_words.data(),
+                         entry->guest_words.size());
+      machine.WriteWords(kHandlerBase, entry->decode_words.data(),
+                         entry->decode_words.size());
+      const uint32_t entry_word = entry->entry_point;
+      machine.WriteWords(warm.gpc_addr, &entry_word, 1);
+      resident_machine = &machine;
+      resident_seq = machine.load_seq();
+      // No archival input protocol: the port carries the guest stream.
+      machine.SetInput(input);
+
+      Result<Bytes> out = DriveMachine(machine, options);
+      if (stats != nullptr) {
+        const verisc::Machine::RunStats rs = machine.LastRunStats();
+        stats->translated = true;
+        stats->cache_hit = cache_hit;
+        stats->steps = rs.retired;
+        stats->fused = rs.fused;
+      }
+      return out;
+    }
+
+    // Cold path: the archived interpreter bootstraps itself from the
+    // input port, exactly as a future implementer would run it.
+    const Bytes packed = PackNestedInput(program, input);
     ULE_RETURN_IF_ERROR(machine.Load(DynaRiscInterpreter()));
     machine.SetInput(packed);
-    for (;;) {
-      const uint64_t left = options.max_steps - machine.steps();
-      switch (machine.RunFor(std::min<uint64_t>(left, kNestedSliceSteps))) {
-        case verisc::MachineState::kHalted:
-          return machine.TakeOutput();
-        case verisc::MachineState::kFault:
-          return Status::ExecutionFault("nested emulation fault");
-        default:
-          if (machine.steps() >= options.max_steps) {
-            return Status::ResourceExhausted(
-                "nested emulation exceeded step limit");
-          }
-      }
+    Result<Bytes> out = DriveMachine(machine, options);
+    if (stats != nullptr) {
+      const verisc::Machine::RunStats rs = machine.LastRunStats();
+      stats->steps = rs.retired;
+      stats->fused = rs.fused;
     }
+    return out;
   }
 
   // Portability path: an independently written VeRisc implementation that
   // only offers the monolithic VmFunction entry point.
+  const Bytes packed = PackNestedInput(program, input);
   ULE_ASSIGN_OR_RETURN(verisc::RunResult r,
                        vm(DynaRiscInterpreter(), packed, options));
+  if (stats != nullptr) stats->steps = r.steps;
   switch (r.reason) {
     case verisc::StopReason::kHalted:
       return std::move(r.output);

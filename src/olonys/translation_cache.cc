@@ -1,0 +1,157 @@
+#include "olonys/translation_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dynarisc/isa.h"
+#include "olonys/dynarisc_in_verisc.h"
+
+namespace ule {
+namespace olonys {
+namespace {
+
+/// FNV-1a 64 over entry point + image bytes. Collisions are survivable:
+/// Acquire verifies the exact image before declaring a hit.
+uint64_t HashProgram(const dynarisc::Program& program) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<uint8_t>(program.entry & 0xFF));
+  mix(static_cast<uint8_t>(program.entry >> 8));
+  for (uint8_t byte : program.image) mix(byte);
+  return h;
+}
+
+/// Builds the translation: expands the image to one word per byte and
+/// predecodes EVERY guest address as an instruction start — DynaRisc has
+/// no alignment rule, so the guest may legally jump into what the
+/// assembler laid out as an immediate or data. Addresses beyond the image
+/// decode the zero word, exactly as the cold interpreter's zeroed guest
+/// memory does. The 16-bit fetch wraps at the address-space boundary,
+/// matching the cold fetch routine's per-byte wrap.
+TranslationCache::EntryPtr Translate(const dynarisc::Program& program) {
+  auto e = std::make_shared<TranslationCache::Entry>();
+  e->image = program.image;
+  e->entry_point = program.entry;
+  e->guest_words.assign(dynarisc::kMemorySize, 0);
+  for (size_t i = 0; i < program.image.size(); ++i) {
+    e->guest_words[i] = program.image[i];
+  }
+  const WarmInterpreter& warm = WarmDynaRiscInterpreter();
+  e->decode_words.assign(4 * dynarisc::kMemorySize, 0);
+  uint32_t* handler = e->decode_words.data();
+  uint32_t* rd = handler + dynarisc::kMemorySize;
+  uint32_t* rs = rd + dynarisc::kMemorySize;
+  uint32_t* mode = rs + dynarisc::kMemorySize;
+  for (uint32_t a = 0; a < dynarisc::kMemorySize; ++a) {
+    const uint32_t w =
+        e->guest_words[a] | (e->guest_words[(a + 1) & 0xFFFF] << 8);
+    handler[a] = warm.handler_addr[w >> 11];
+    rd[a] = (w >> 8) & 7;
+    rs[a] = (w >> 5) & 7;
+    mode[a] = w & 31;
+  }
+  return e;
+}
+
+}  // namespace
+
+TranslationCache& TranslationCache::Global() {
+  // Leaked: shared with detached pool threads at process exit.
+  static TranslationCache* cache = new TranslationCache;
+  return *cache;
+}
+
+TranslationCache::EntryPtr TranslationCache::Acquire(
+    const dynarisc::Program& program, bool* cache_hit) {
+  const uint64_t key = HashProgram(program);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+      EntryPtr entry = it->second->entry;
+      if (entry->entry_point == program.entry &&
+          entry->image.size() == program.image.size() &&
+          std::equal(entry->image.begin(), entry->image.end(),
+                     program.image.begin())) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        if (cache_hit != nullptr) *cache_hit = true;
+        return entry;
+      }
+      // Hash collision with a different program: evict the old entry and
+      // fall through to a rebuild.
+      lru_.erase(it->second);
+      by_key_.erase(it);
+      ++stats_.evictions;
+    }
+  }
+
+  // Translate outside the lock: building is the expensive part, and two
+  // threads racing on the same miss merely duplicate work, never state —
+  // the loser's entry is dropped below.
+  EntryPtr entry = Translate(program);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  if (cache_hit != nullptr) *cache_hit = false;
+  if (by_key_.find(key) == by_key_.end()) {
+    lru_.push_front(Slot{key, entry});
+    by_key_[key] = lru_.begin();
+    while (lru_.size() > capacity_) {
+      by_key_.erase(lru_.back().key);
+      lru_.pop_back();
+      ++stats_.evictions;
+    }
+  }
+  return entry;
+}
+
+TranslationCache::Stats TranslationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+void TranslationCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  by_key_.clear();
+  stats_ = Stats{};
+}
+
+void TranslationCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(capacity, 1);
+  while (lru_.size() > capacity_) {
+    by_key_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+const StaticTables& WarmStaticTables() {
+  static const StaticTables kTables = [] {
+    StaticTables t;
+    t.low.resize(4 * 0x10000);
+    for (uint32_t v = 0; v < 0x10000; ++v) {
+      t.low[v] = v >> 1;              // LSR1
+      t.low[0x10000 + v] = v >> 11;   // OP
+      t.low[0x20000 + v] = (v >> 8) & 7;  // RD
+      t.low[0x30000 + v] = (v >> 5) & 7;  // RS
+    }
+    t.high.resize(0x10000 + 256);
+    for (uint32_t v = 0; v < 0x10000; ++v) t.high[v] = v >> 8;  // SHR8
+    for (uint32_t v = 0; v < 256; ++v) {
+      t.high[0x10000 + v] = v << 8;  // SHL8
+    }
+    return t;
+  }();
+  return kTables;
+}
+
+}  // namespace olonys
+}  // namespace ule

@@ -1,0 +1,104 @@
+/// \file translation_cache.h
+/// \brief Shared DynaRISC→VeRISC translation cache.
+///
+/// The nested emulation path re-runs the same DynaRisc decoder program for
+/// every frame of an archive. The cold path pays for that redundantly: each
+/// run boots the archived interpreter, which fills its shift tables, parses
+/// the header and copies the guest image through the input port, then
+/// fetches and table-decodes every guest instruction again and again.
+///
+/// This cache performs that work once per distinct DynaRisc program: the
+/// guest image is expanded to one word per byte, and every guest address is
+/// predecoded into the warm interpreter's handler/operand tables (resolved
+/// VeRisc handler addresses + rd/rs/mode fields — see kHandlerBase in
+/// dynarisc_in_verisc.h). RunNested then pokes the entry into machine
+/// memory and starts directly in the dispatch loop. Entries are immutable
+/// and shared (`shared_ptr`), keyed by a hash of the program image, bounded
+/// by an LRU, and safe to use from SharedPool workers concurrently: the
+/// mutex only guards the map, never a running machine.
+///
+/// Nothing in here is archival: a future implementer only ever sees the
+/// cold interpreter and its input-port protocol.
+
+#ifndef ULE_OLONYS_TRANSLATION_CACHE_H_
+#define ULE_OLONYS_TRANSLATION_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dynarisc/machine.h"
+#include "support/bytes.h"
+
+namespace ule {
+namespace olonys {
+
+class TranslationCache {
+ public:
+  /// One translated program: everything the warm interpreter needs poked
+  /// into VeRisc memory, ready to blit.
+  struct Entry {
+    /// Guest memory image, one word per byte (64 Ki words at kGuestBase).
+    std::vector<uint32_t> guest_words;
+    /// Predecode tables, contiguous from kHandlerBase: handler address,
+    /// rd, rs, mode — 4 × 64 Ki words.
+    std::vector<uint32_t> decode_words;
+    /// Exact identity for hit verification (hashes can collide).
+    Bytes image;
+    uint16_t entry_point = 0;
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t entries = 0;
+  };
+
+  /// Process-wide cache shared by all RunNested callers and pool workers.
+  static TranslationCache& Global();
+
+  /// Returns the translation for `program`, building and inserting it on a
+  /// miss (evicting the least-recently-used entry beyond the capacity).
+  /// `cache_hit`, when non-null, reports whether the entry was served from
+  /// the cache (per-call, race-free, unlike diffing stats()).
+  EntryPtr Acquire(const dynarisc::Program& program,
+                   bool* cache_hit = nullptr);
+
+  Stats stats() const;
+  /// Drops all entries and zeroes the counters (tests and benches).
+  void Clear();
+  /// Maximum resident entries (default 8, ~1.3 MiB each).
+  void set_capacity(size_t capacity);
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    EntryPtr entry;
+  };
+
+  mutable std::mutex mu_;
+  std::list<Slot> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Slot>::iterator> by_key_;
+  size_t capacity_ = 8;
+  Stats stats_;
+};
+
+/// Host-computed images of the tables the cold interpreter fills at
+/// startup, laid out for two contiguous WriteWords blits.
+struct StaticTables {
+  /// [kLsr1Base, kGuestBase): LSR1, OP, RD, RS (4 × 64 Ki words).
+  std::vector<uint32_t> low;
+  /// [kShr8Base, kShl8Base + 256): SHR8 (64 Ki) then SHL8 (256 words).
+  std::vector<uint32_t> high;
+};
+const StaticTables& WarmStaticTables();
+
+}  // namespace olonys
+}  // namespace ule
+
+#endif  // ULE_OLONYS_TRANSLATION_CACHE_H_

@@ -41,6 +41,22 @@ Builder::Label Builder::NewLabel() {
 void Builder::Bind(Label l) {
   assert(label_pos_[l.id] == -1 && "label bound twice");
   label_pos_[l.id] = static_cast<int64_t>(code_.size());
+  last_bind_pos_ = code_.size();
+}
+
+void Builder::Emit(Opcode op, OperandRef ref) {
+  // Peephole: `ST c; LD c` — the LD is a no-op (ST leaves R == mem[c] and
+  // neither touches borrow). Dropping it is only legal when no label is
+  // bound here (a jump could land on the LD alone).
+  if (op == kLd && ref.kind == OperandRef::kCellRef && !code_.empty() &&
+      last_bind_pos_ != code_.size()) {
+    const Emitted& prev = code_.back();
+    if (prev.op == kSt && prev.ref.kind == OperandRef::kCellRef &&
+        prev.ref.index == ref.index) {
+      return;
+    }
+  }
+  code_.push_back({op, ref});
 }
 
 Builder::Fn Builder::DeclareFn() { return Fn{NewLabel(), NewCell(0)}; }
@@ -154,21 +170,21 @@ void Builder::JmpCell(Cell c) {
 }
 
 void Builder::BorrowSelectJump(Label taken) {
-  // PC <- borrow ? taken : fallthrough. Clobbers t0..t3.
+  // PC <- borrow ? taken : fallthrough, via the arithmetic select
+  //   PC = fall - (mask & (fall - taken)),
+  // which is `taken` when the mask is all-ones and `fall` when it is zero
+  // (exact under mod-2^32 wraparound). 8 instructions; clobbers t1.
   Label fall = NewLabel();
-  const Cell taken_c = PoolConst(ConstSpec{0, static_cast<int>(taken.id), -1, false});
-  const Cell fall_c = PoolConst(ConstSpec{0, static_cast<int>(fall.id), -1, false});
+  const Cell diff_c = PoolConst(ConstSpec{0, static_cast<int>(fall.id), -1,
+                                          false, static_cast<int>(taken.id)});
+  const Cell fall_c =
+      PoolConst(ConstSpec{0, static_cast<int>(fall.id), -1, false});
   LdMapped(2);     // R = mask (all-ones when borrow)
+  And(diff_c);     // R = mask & (fall - taken)
   St(t_[1]);
-  And(taken_c);    // R = mask & taken
-  St(t_[2]);
   Clc();
-  LdImm(0xFFFFFFFFu);
-  Sbb(t_[1]);      // R = ~mask (no borrow possible)
-  And(fall_c);     // R = ~mask & fall
-  St(t_[3]);
-  Ld(t_[2]);
-  AddCell(t_[3]);  // disjoint bits: addition == or
+  Ld(fall_c);
+  Sbb(t_[1]);      // R = fall - (mask & (fall - taken)); borrow was 0
   StMapped(1);
   Bind(fall);
 }
@@ -176,22 +192,18 @@ void Builder::BorrowSelectJump(Label taken) {
 void Builder::Jc(Label l) { BorrowSelectJump(l); }
 
 void Builder::Jnc(Label l) {
-  // Invert: select `fall` on borrow. Implemented by selecting between l and
-  // fall with the roles swapped: jump to l when borrow is clear.
+  // Mirror of BorrowSelectJump: PC = l - (mask & (l - fall)), i.e. stay on
+  // borrow, jump to l when the mask is zero. Clobbers t1.
   Label fall = NewLabel();
-  const Cell taken_c = PoolConst(ConstSpec{0, static_cast<int>(l.id), -1, false});
-  const Cell fall_c = PoolConst(ConstSpec{0, static_cast<int>(fall.id), -1, false});
+  const Cell diff_c = PoolConst(ConstSpec{0, static_cast<int>(l.id), -1,
+                                          false, static_cast<int>(fall.id)});
+  const Cell l_c = PoolConst(ConstSpec{0, static_cast<int>(l.id), -1, false});
   LdMapped(2);
+  And(diff_c);     // R = mask & (l - fall)
   St(t_[1]);
-  And(fall_c);     // mask & fall  (borrow set -> stay)
-  St(t_[2]);
   Clc();
-  LdImm(0xFFFFFFFFu);
-  Sbb(t_[1]);
-  And(taken_c);    // ~mask & l    (borrow clear -> jump)
-  St(t_[3]);
-  Ld(t_[2]);
-  AddCell(t_[3]);
+  Ld(l_c);
+  Sbb(t_[1]);      // R = l - (mask & (l - fall))
   StMapped(1);
   Bind(fall);
 }
@@ -217,7 +229,10 @@ void Builder::Halt() { StMapped(5); }
 
 void Builder::PatchSlot(Label l) {
   Bind(l);
-  // Placeholder word; always overwritten before execution.
+  // Placeholder word; always overwritten before execution. Recorded so the
+  // fusion pass never pairs across a word whose opcode is decided at run
+  // time (StIndexed patches an ST word over this LD template).
+  patch_slots_.push_back(static_cast<uint32_t>(code_.size()));
   Emit(kLd, OperandRef{OperandRef::kMappedAddr, 0});
 }
 
@@ -310,6 +325,11 @@ Result<Program> Builder::Build() {
       v += a;
     }
     if (spec.cell_id >= 0) v += cell_addr(static_cast<uint32_t>(spec.cell_id));
+    if (spec.sub_label_id >= 0) {
+      ULE_ASSIGN_OR_RETURN(
+          uint32_t a, label_addr(static_cast<uint32_t>(spec.sub_label_id)));
+      v -= a;
+    }
     if (spec.negate) v = 0u - v;
     data[id] = v;
   }
@@ -320,7 +340,68 @@ Result<Program> Builder::Build() {
         "VeRisc program overlaps the fixed table/guest regions (size " +
         std::to_string(p.words.size()) + " words)");
   }
+  AppendFusionPlan(p);
   return p;
+}
+
+void Builder::AppendFusionPlan(Program& p) const {
+  // Greedy left-to-right scan for fusible 2-3 instruction sequences. The
+  // plan is advisory metadata: the engine rewrites only the *first* word of
+  // a sequence, so jumping into the middle of one still executes the plain
+  // tail words. Patch-slot words are excluded on either side — their opcode
+  // is decided at run time (StIndexed patches an ST over the LD template),
+  // so no static pairing across them is sound.
+  std::vector<char> is_slot(code_.size(), 0);
+  for (uint32_t s : patch_slots_) is_slot[s] = 1;
+  // Cell and label operands both resolve to addresses >= kProgramOrigin, so
+  // any non-mapped operand is a plain memory access.
+  auto plain = [&](size_t i, Opcode op) {
+    return !is_slot[i] && code_[i].op == op &&
+           code_[i].ref.kind != OperandRef::kMappedAddr;
+  };
+  auto mapped = [&](size_t i, Opcode op, uint32_t addr) {
+    return !is_slot[i] && code_[i].op == op &&
+           code_[i].ref.kind == OperandRef::kMappedAddr &&
+           code_[i].ref.index == addr;
+  };
+  for (size_t i = 0; i + 1 < code_.size();) {
+    uint8_t nibble = 0;
+    size_t len = 2;
+    if (i + 2 < code_.size() && plain(i, kSt) && mapped(i + 1, kLd, 0) &&
+        mapped(i + 2, kSt, 2)) {
+      nibble = kFusedStClc;
+      len = 3;
+    } else if (mapped(i, kLd, 0) && mapped(i + 1, kSt, 2)) {
+      nibble = kFusedClc;
+    } else if (mapped(i, kLd, 2) && plain(i + 1, kAnd)) {
+      nibble = kFusedMaskAnd;
+    } else if (plain(i, kLd) && plain(i + 1, kSbb)) {
+      nibble = kFusedLdSbb;
+    } else if (plain(i, kLd) && plain(i + 1, kSt)) {
+      nibble = kFusedLdSt;
+    } else if (plain(i, kLd) && plain(i + 1, kAnd)) {
+      nibble = kFusedLdAnd;
+    } else if (plain(i, kLd) && mapped(i + 1, kSt, 1)) {
+      nibble = kFusedLdJmp;
+    } else if (plain(i, kSbb) && plain(i + 1, kSt)) {
+      nibble = kFusedSbbSt;
+    } else if (plain(i, kSbb) && mapped(i + 1, kSt, 1)) {
+      nibble = kFusedSbbJmp;
+    } else if (plain(i, kAnd) && plain(i + 1, kSt)) {
+      nibble = kFusedAndSt;
+    } else if (plain(i, kSt) && plain(i + 1, kLd)) {
+      nibble = kFusedStLd;
+    } else if (plain(i, kSt) && plain(i + 1, kSt)) {
+      nibble = kFusedStSt;
+    }
+    if (nibble != 0) {
+      p.fusion_plan.push_back(
+          Program::Fusion{static_cast<uint32_t>(i), nibble});
+      i += len;
+    } else {
+      ++i;
+    }
+  }
 }
 
 }  // namespace verisc

@@ -21,6 +21,7 @@
 #ifndef ULE_VERISC_BUILDER_H_
 #define ULE_VERISC_BUILDER_H_
 
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -124,7 +125,21 @@ class Builder {
   /// Number of instruction words emitted so far.
   size_t code_size() const { return code_.size(); }
 
-  /// Lays out code then data, resolves labels/constants, and returns the
+  /// Absolute address of a cell in the built image. Only meaningful once
+  /// all code has been emitted (layout places data after the code words);
+  /// call after Build() succeeded. Used by hosts that poke machine state
+  /// directly (e.g. the warm-start nested interpreter).
+  uint32_t CellAddress(Cell c) const {
+    return kProgramOrigin + static_cast<uint32_t>(code_.size()) + c.id;
+  }
+  /// Absolute address of a bound label in the built image.
+  uint32_t LabelAddress(Label l) const {
+    assert(label_pos_[l.id] >= 0 && "label not bound");
+    return kProgramOrigin + static_cast<uint32_t>(label_pos_[l.id]);
+  }
+
+  /// Lays out code then data, resolves labels/constants, computes the
+  /// superinstruction fusion plan (Program::fusion_plan), and returns the
   /// program. Fails if a label was never bound or the image exceeds the
   /// fixed data regions (see dynarisc_in_verisc.h layout).
   Result<Program> Build();
@@ -144,19 +159,25 @@ class Builder {
     uint32_t literal = 0;
     int label_id = -1;  // if >= 0, value = address of that label
   };
-  // Constant-pool key: value = sign * (literal + addr(label) + addr(cell)).
+  // Constant-pool key:
+  //   value = sign * (literal + addr(label) + addr(cell) - addr(sub_label)).
+  // The subtracted label lets macros pool label-difference constants
+  // (BorrowSelectJump needs `fallthrough - taken`).
   struct ConstSpec {
     uint32_t literal = 0;
     int label_id = -1;
     int cell_id = -1;
     bool negate = false;
+    int sub_label_id = -1;
     bool operator<(const ConstSpec& o) const {
-      return std::tie(literal, label_id, cell_id, negate) <
-             std::tie(o.literal, o.label_id, o.cell_id, o.negate);
+      return std::tie(literal, label_id, cell_id, negate, sub_label_id) <
+             std::tie(o.literal, o.label_id, o.cell_id, o.negate,
+                      o.sub_label_id);
     }
   };
 
-  void Emit(Opcode op, OperandRef ref) { code_.push_back({op, ref}); }
+  void Emit(Opcode op, OperandRef ref);
+  void AppendFusionPlan(Program& p) const;
   OperandRef CellOp(Cell c) { return {OperandRef::kCellRef, c.id}; }
   OperandRef LabelOp(Label l) { return {OperandRef::kLabelRef, l.id}; }
   Cell PoolConst(ConstSpec spec);
@@ -172,6 +193,8 @@ class Builder {
   std::vector<int64_t> label_pos_;          // code index or -1
   std::map<ConstSpec, uint32_t> const_pool_;  // spec -> cell id
   std::vector<std::pair<uint32_t, ConstSpec>> pool_cells_;
+  std::vector<uint32_t> patch_slots_;       // code indices of PatchSlot words
+  size_t last_bind_pos_ = SIZE_MAX;         // code_.size() at the last Bind()
   Cell t_[8];                                // shared macro temps
 };
 

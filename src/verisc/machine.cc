@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 
 namespace ule {
 namespace verisc {
@@ -11,7 +12,14 @@ namespace {
 /// address (low 28 bits) is < 2^20: both conditions collapse into "none of
 /// bits 31,30 (opcode >= 4) or 27..20 (address >= 2^20) are set".
 inline constexpr uint32_t kIllegalMask = 0xCFF00000u;
-/// With kIllegalMask checked, the address fits in the low 20 bits.
+/// Address-range check alone (bits 27..20): the computed-goto core routes
+/// the opcode nibble through a 32-entry dispatch table instead, where the
+/// nibbles 4..15 either fault (plain programs) or execute a quickened
+/// superinstruction (fused words installed by Machine::Load). The guard
+/// word 0xFFFFFFFF has bits 27..20 set, so the out-of-range-PC fault is
+/// still caught here, before the table is consulted.
+inline constexpr uint32_t kBadAddrMask = 0x0FF00000u;
+/// With the masks above checked, the address fits in the low 20 bits.
 inline constexpr uint32_t kAddrMask = 0x000FFFFFu;
 
 #if defined(__GNUC__) || defined(__clang__)
@@ -56,7 +64,64 @@ uint64_t Machine::TotalConstructed() {
   return g_machines_constructed.load(std::memory_order_relaxed);
 }
 
-Status Machine::Load(const Program& program) {
+#if defined(ULE_THREADED_DISPATCH) && (defined(__GNUC__) || defined(__clang__))
+#define ULE_USE_COMPUTED_GOTO 1
+#else
+#define ULE_USE_COMPUTED_GOTO 0
+#endif
+
+#if ULE_USE_COMPUTED_GOTO
+namespace {
+
+// Word predicates mirroring the builder's fusion pass. Re-checked against
+// the actual program words at Load time as defense in depth: a plan entry
+// that does not match (stale index, foreign plan) is skipped, never
+// mis-quickened.
+inline bool IsPlainWord(uint32_t w, Opcode op) {
+  const uint32_t addr = w & 0x0FFFFFFFu;
+  return (w >> 28) == static_cast<uint32_t>(op) && addr >= kProgramOrigin &&
+         addr < kMemoryWords;
+}
+inline bool IsMappedWord(uint32_t w, Opcode op, uint32_t addr) {
+  return w == Instr(op, addr);
+}
+
+bool FusionMatches(const uint32_t* w, uint8_t nibble) {
+  switch (nibble) {
+    case kFusedClc:
+      return IsMappedWord(w[0], kLd, 0) && IsMappedWord(w[1], kSt, 2);
+    case kFusedStClc:
+      return IsPlainWord(w[0], kSt) && IsMappedWord(w[1], kLd, 0) &&
+             IsMappedWord(w[2], kSt, 2);
+    case kFusedLdSbb:
+      return IsPlainWord(w[0], kLd) && IsPlainWord(w[1], kSbb);
+    case kFusedLdSt:
+      return IsPlainWord(w[0], kLd) && IsPlainWord(w[1], kSt);
+    case kFusedSbbSt:
+      return IsPlainWord(w[0], kSbb) && IsPlainWord(w[1], kSt);
+    case kFusedLdAnd:
+      return IsPlainWord(w[0], kLd) && IsPlainWord(w[1], kAnd);
+    case kFusedAndSt:
+      return IsPlainWord(w[0], kAnd) && IsPlainWord(w[1], kSt);
+    case kFusedStLd:
+      return IsPlainWord(w[0], kSt) && IsPlainWord(w[1], kLd);
+    case kFusedMaskAnd:
+      return IsMappedWord(w[0], kLd, 2) && IsPlainWord(w[1], kAnd);
+    case kFusedLdJmp:
+      return IsPlainWord(w[0], kLd) && IsMappedWord(w[1], kSt, 1);
+    case kFusedSbbJmp:
+      return IsPlainWord(w[0], kSbb) && IsMappedWord(w[1], kSt, 1);
+    case kFusedStSt:
+      return IsPlainWord(w[0], kSt) && IsPlainWord(w[1], kSt);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+#endif  // ULE_USE_COMPUTED_GOTO
+
+Status Machine::LoadImpl(const Program& program, bool zero_dirty) {
   if (program.words.size() > kMemoryWords - kProgramOrigin) {
     return Status::InvalidArgument("VeRisc program exceeds memory");
   }
@@ -64,20 +129,54 @@ Status Machine::Load(const Program& program) {
       kProgramOrigin + static_cast<uint32_t>(program.words.size());
   std::copy(program.words.begin(), program.words.end(),
             mem_.begin() + kProgramOrigin);
-  if (dirty_end_ > program_end) {
-    std::fill(mem_.begin() + program_end, mem_.begin() + dirty_end_, 0u);
+  if (zero_dirty) {
+    if (dirty_end_ > program_end) {
+      std::fill(mem_.begin() + program_end, mem_.begin() + dirty_end_, 0u);
+    }
+    dirty_end_ = program_end;
+  } else if (dirty_end_ < program_end) {
+    dirty_end_ = program_end;
   }
-  dirty_end_ = program_end;
+#if ULE_USE_COMPUTED_GOTO
+  // Quicken fusible sequences in machine memory (the Program is untouched:
+  // serialization and foreign VMs keep seeing pure 4-instruction words).
+  for (const Program::Fusion& f : program.fusion_plan) {
+    const size_t len = f.nibble == kFusedStClc ? 3 : 2;
+    if (f.index > program.words.size() || program.words.size() - f.index < len) {
+      continue;
+    }
+    const uint32_t* w = program.words.data() + f.index;
+    if (!FusionMatches(w, f.nibble)) continue;
+    mem_[kProgramOrigin + f.index] =
+        (static_cast<uint32_t>(f.nibble) << 28) | (w[0] & 0x0FFFFFFFu);
+  }
+#endif
   r_ = 0;
   borrow_ = 0;
   pc_ = kProgramOrigin;
   steps_ = 0;
+  fused_ = 0;
+  slices_ = 0;
+  ++load_seq_;
   state_ = MachineState::kReady;
   default_in_.Reset({});
   default_out_.Clear();
   in_ = &default_in_;
   out_ = &default_out_;
   return Status::OK();
+}
+
+Status Machine::Load(const Program& program) { return LoadImpl(program, true); }
+
+Status Machine::LoadNoZero(const Program& program) {
+  return LoadImpl(program, false);
+}
+
+void Machine::WriteWords(uint32_t addr, const uint32_t* words, size_t count) {
+  assert(addr <= kMemoryWords && count <= kMemoryWords - addr);
+  std::copy(words, words + count, mem_.begin() + addr);
+  const uint32_t end = addr + static_cast<uint32_t>(count);
+  if (end > dirty_end_) dirty_end_ = end;
 }
 
 void Machine::SetInput(BytesView input) {
@@ -90,16 +189,11 @@ void Machine::SetPorts(InputPort* input, OutputPort* output) {
   out_ = output != nullptr ? output : &default_out_;
 }
 
-#if defined(ULE_THREADED_DISPATCH) && (defined(__GNUC__) || defined(__clang__))
-#define ULE_USE_COMPUTED_GOTO 1
-#else
-#define ULE_USE_COMPUTED_GOTO 0
-#endif
-
 MachineState Machine::RunFor(uint64_t budget) {
   if (state_ == MachineState::kHalted || state_ == MachineState::kFault) {
     return state_;
   }
+  ++slices_;
   uint32_t* const mem = mem_.data();
   InputPort* const in = in_;
   OutputPort* const out = out_;
@@ -111,6 +205,7 @@ MachineState Machine::RunFor(uint64_t budget) {
   // a set of values is >= each of them).
   uint32_t dirty_top = dirty_end_ - 1;
   uint64_t remaining = budget;
+  uint64_t fused_acc = 0;
   MachineState state;
   uint32_t word;
   uint32_t addr;
@@ -120,12 +215,38 @@ MachineState Machine::RunFor(uint64_t budget) {
   // no central loop branch to mispredict and the plain-memory handlers
   // never touch the mapped-address logic.
   //
-  // Dispatch key: for a legal word bit 27 is zero, so `word >> 27` is
-  // exactly opcode*2; the address-class bit ((addr + 0xFFFF0) >> 20 is 1
-  // iff addr >= 16) selects the mapped or plain-memory handler.
-  static const void* const kTargets[8] = {
-      &&op_ld_mapped,  &&op_ld_mem,  &&op_st_mapped,  &&op_st_mem,
-      &&op_sbb_mapped, &&op_sbb_mem, &&op_and_mapped, &&op_and_mem};
+  // Dispatch key: with bits 27..20 checked zero, `word >> 27` is exactly
+  // nibble*2; the address-class bit ((addr + 0xFFFF0) >> 20 is 1 iff
+  // addr >= 16) selects the mapped or plain-memory handler. Nibbles 4..15
+  // are superinstructions installed by Load-time quickening (only ever at
+  // the operand class their first constituent uses); every other slot
+  // faults, preserving the spec's illegal-opcode semantics for plain
+  // programs.
+  //
+  // Fused handlers charge budget per *constituent* instruction, so step
+  // accounting is identical to the unfused program. When the budget runs
+  // out mid-sequence they pause with PC on the next constituent — a real
+  // instruction word (quickening only rewrites the first word of a
+  // sequence), so the resumed slice executes the tail unfused and the
+  // architectural state stays exactly that of the plain program.
+  static const void* const kTargets[32] = {
+      &&op_ld_mapped,      &&op_ld_mem,       // 0 LD
+      &&op_st_mapped,      &&op_st_mem,       // 1 ST
+      &&op_sbb_mapped,     &&op_sbb_mem,      // 2 SBB
+      &&op_and_mapped,     &&op_and_mem,      // 3 AND
+      &&op_fused_clc,      &&op_illegal,      // 4 LD[0];ST[2]
+      &&op_illegal,        &&op_fused_st_clc, // 5 ST a;LD[0];ST[2]
+      &&op_illegal,        &&op_fused_ld_sbb, // 6 LD a;SBB b
+      &&op_illegal,        &&op_fused_ld_st,  // 7 LD a;ST b
+      &&op_illegal,        &&op_fused_sbb_st, // 8 SBB a;ST b
+      &&op_illegal,        &&op_fused_ld_and, // 9 LD a;AND b
+      &&op_illegal,        &&op_fused_and_st, // 10 AND a;ST b
+      &&op_illegal,        &&op_fused_st_ld,  // 11 ST a;LD b
+      &&op_fused_mask_and, &&op_illegal,      // 12 LD[2];AND a
+      &&op_illegal,        &&op_fused_ld_jmp, // 13 LD a;ST[1]
+      &&op_illegal,        &&op_fused_sbb_jmp,// 14 SBB a;ST[1]
+      &&op_illegal,        &&op_fused_st_st,  // 15 ST a;ST b
+  };
   // Pin the table base in a register: without the barrier GCC re-forms the
   // rip-relative address at every dispatch site.
   const void* const* targets = kTargets;
@@ -137,9 +258,23 @@ MachineState Machine::RunFor(uint64_t budget) {
     word = mem[pc];                                                   \
     ++pc;                                                             \
     --remaining;                                                      \
-    if (ULE_UNLIKELY((word & kIllegalMask) != 0)) goto out_fault;     \
+    if (ULE_UNLIKELY((word & kBadAddrMask) != 0)) goto out_fault;     \
     addr = word & kAddrMask;                                          \
     goto* targets[(word >> 27) + ((addr + 0xFFFF0u) >> 20)];          \
+  } while (0)
+
+// Charges and fetches the second (or third) constituent of a fused
+// sequence; pauses on the architectural boundary when the budget is gone.
+#define ULE_FUSE_NEXT(consumed)                                       \
+  do {                                                                \
+    if (ULE_UNLIKELY(remaining == 0)) {                               \
+      fused_acc += (consumed);                                        \
+      goto out_paused;                                                \
+    }                                                                 \
+    --remaining;                                                      \
+    word = mem[pc];                                                   \
+    ++pc;                                                             \
+    addr = word & kAddrMask;                                          \
   } while (0)
 
   ULE_DISPATCH();
@@ -191,6 +326,128 @@ op_and_mapped:
   r &= ReadMapped(addr, pc, borrow, in);
   ULE_DISPATCH();
 
+  // ---- fused superinstructions (Load-time quickening) ----
+  // Second/third operands are fetched live from the intact tail words, so
+  // self-modification of operand fields behaves exactly as unfused.
+
+op_fused_clc:  // LD [0]; ST [2]
+  r = 0;
+  if (ULE_UNLIKELY(remaining == 0)) {
+    ++fused_acc;
+    goto out_paused;
+  }
+  --remaining;
+  ++pc;
+  borrow = 0;
+  fused_acc += 2;
+  ULE_DISPATCH();
+op_fused_st_clc:  // ST a; LD [0]; ST [2]
+  mem[addr] = r;
+  dirty_top |= addr;
+  if (ULE_UNLIKELY(remaining == 0)) {
+    ++fused_acc;
+    goto out_paused;
+  }
+  --remaining;
+  ++pc;
+  r = 0;
+  if (ULE_UNLIKELY(remaining == 0)) {
+    fused_acc += 2;
+    goto out_paused;
+  }
+  --remaining;
+  ++pc;
+  borrow = 0;
+  fused_acc += 3;
+  ULE_DISPATCH();
+op_fused_ld_sbb: {  // LD a; SBB b
+  r = mem[addr];
+  ULE_FUSE_NEXT(1);
+  const uint64_t rhs = static_cast<uint64_t>(mem[addr]) + borrow;
+  borrow = r < rhs ? 1u : 0u;
+  r = static_cast<uint32_t>(r - rhs);
+  fused_acc += 2;
+  ULE_DISPATCH();
+}
+op_fused_ld_st:  // LD a; ST b
+  r = mem[addr];
+  ULE_FUSE_NEXT(1);
+  mem[addr] = r;
+  dirty_top |= addr;
+  fused_acc += 2;
+  ULE_DISPATCH();
+op_fused_sbb_st: {  // SBB a; ST b
+  const uint64_t rhs = static_cast<uint64_t>(mem[addr]) + borrow;
+  borrow = r < rhs ? 1u : 0u;
+  r = static_cast<uint32_t>(r - rhs);
+  ULE_FUSE_NEXT(1);
+  mem[addr] = r;
+  dirty_top |= addr;
+  fused_acc += 2;
+  ULE_DISPATCH();
+}
+op_fused_ld_and:  // LD a; AND b
+  r = mem[addr];
+  ULE_FUSE_NEXT(1);
+  r &= mem[addr];
+  fused_acc += 2;
+  ULE_DISPATCH();
+op_fused_and_st:  // AND a; ST b
+  r &= mem[addr];
+  ULE_FUSE_NEXT(1);
+  mem[addr] = r;
+  dirty_top |= addr;
+  fused_acc += 2;
+  ULE_DISPATCH();
+op_fused_st_ld:  // ST a; LD b
+  mem[addr] = r;
+  dirty_top |= addr;
+  ULE_FUSE_NEXT(1);
+  r = mem[addr];
+  fused_acc += 2;
+  ULE_DISPATCH();
+op_fused_mask_and:  // LD [2]; AND a
+  r = borrow ? 0xFFFFFFFFu : 0u;
+  ULE_FUSE_NEXT(1);
+  r &= mem[addr];
+  fused_acc += 2;
+  ULE_DISPATCH();
+op_fused_ld_jmp:  // LD a; ST [1]
+  r = mem[addr];
+  if (ULE_UNLIKELY(remaining == 0)) {
+    ++fused_acc;
+    goto out_paused;
+  }
+  --remaining;
+  pc = r & (kMemoryWords - 1);
+  fused_acc += 2;
+  ULE_DISPATCH();
+op_fused_sbb_jmp: {  // SBB a; ST [1]
+  const uint64_t rhs = static_cast<uint64_t>(mem[addr]) + borrow;
+  borrow = r < rhs ? 1u : 0u;
+  r = static_cast<uint32_t>(r - rhs);
+  if (ULE_UNLIKELY(remaining == 0)) {
+    ++fused_acc;
+    goto out_paused;
+  }
+  --remaining;
+  pc = r & (kMemoryWords - 1);
+  fused_acc += 2;
+  ULE_DISPATCH();
+}
+op_fused_st_st:  // ST a; ST b
+  mem[addr] = r;
+  dirty_top |= addr;
+  ULE_FUSE_NEXT(1);
+  mem[addr] = r;
+  dirty_top |= addr;
+  fused_acc += 2;
+  ULE_DISPATCH();
+
+op_illegal:
+  goto out_fault;
+
+#undef ULE_FUSE_NEXT
 #undef ULE_DISPATCH
 
 #else  // !ULE_USE_COMPUTED_GOTO
@@ -277,6 +534,7 @@ out_done:
   pc_ = pc;
   dirty_end_ = dirty_top + 1;
   steps_ += budget - remaining;
+  fused_ += fused_acc;
   state_ = state;
   return state;
 }

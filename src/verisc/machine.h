@@ -104,7 +104,29 @@ class Machine {
   /// Memory is reused: only the region dirtied by previous loads/stores is
   /// re-zeroed, which makes repeated (e.g. nested-emulation) runs cheap.
   /// Ports are reset to the built-in byte-buffer ports with empty input.
+  /// When the program carries a fusion plan and the engine was built with
+  /// computed-goto dispatch, fusible sequences are quickened in place (in
+  /// machine memory only — `program` itself is never modified).
   Status Load(const Program& program);
+
+  /// \brief Load variant that skips the dirty-region re-zero.
+  ///
+  /// The caller promises to overwrite — or not depend on — every word it
+  /// previously dirtied beyond the program image. Used by the warm-start
+  /// nested interpreter, which re-pokes its guest image and decode tables
+  /// each frame and keeps its large static tables across frames.
+  Status LoadNoZero(const Program& program);
+
+  /// Monotonic count of Load/LoadNoZero calls on this machine. Lets a
+  /// caller detect whether anyone else re-loaded the machine since it last
+  /// set up resident state (e.g. the warm interpreter's static tables).
+  uint64_t load_seq() const { return load_seq_; }
+
+  /// \brief Writes `count` words at absolute address `addr`.
+  ///
+  /// Host-side state injection (decode tables, guest images, entry-point
+  /// cells); extends the dirty region so a later Load re-zeroes it.
+  void WriteWords(uint32_t addr, const uint32_t* words, size_t count);
 
   /// Feeds `input` to the built-in input port. The view is not copied and
   /// must outlive the run.
@@ -126,6 +148,20 @@ class Machine {
   /// Current machine state (kReady until the first RunFor).
   MachineState state() const { return state_; }
 
+  /// Per-run execution statistics (reset by Load/LoadNoZero).
+  struct RunStats {
+    uint64_t retired = 0;  ///< instructions executed (== steps())
+    uint64_t fused = 0;    ///< of those, retired inside fused handlers
+    uint64_t slices = 0;   ///< RunFor calls that entered the core
+    uint64_t faults = 0;   ///< 1 when the run ended in kFault
+  };
+  /// Statistics for the run since the last Load — the dispatch-core
+  /// instrumentation benches use to report fusion coverage.
+  RunStats LastRunStats() const {
+    return RunStats{steps_, fused_, slices_,
+                    state_ == MachineState::kFault ? 1ull : 0ull};
+  }
+
   /// Bytes written to the built-in output port since the last Load.
   const Bytes& output() const { return default_out_.bytes(); }
   Bytes TakeOutput() { return default_out_.TakeBytes(); }
@@ -136,11 +172,16 @@ class Machine {
                                const RunOptions& options);
 
  private:
+  Status LoadImpl(const Program& program, bool zero_dirty);
+
   std::vector<uint32_t> mem_;
   uint32_t r_ = 0;
   uint32_t borrow_ = 0;
   uint32_t pc_ = kProgramOrigin;
   uint64_t steps_ = 0;
+  uint64_t fused_ = 0;
+  uint64_t slices_ = 0;
+  uint64_t load_seq_ = 0;
   /// One past the highest word that may be non-zero (for cheap re-zeroing).
   uint32_t dirty_end_ = kProgramOrigin;
   MachineState state_ = MachineState::kReady;

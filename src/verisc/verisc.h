@@ -65,10 +65,46 @@ constexpr uint32_t Instr(Opcode op, uint32_t addr) {
   return (static_cast<uint32_t>(op) << 28) | (addr & 0x0FFFFFFF);
 }
 
+/// Superinstruction ids (top 4 bits of a *quickened* instruction word).
+///
+/// These are an engine-side acceleration, not part of the archival spec:
+/// opcodes 4..15 stay illegal in every serialized/archived image, and a
+/// future implementer never sees them. The builder detects hot adjacent
+/// instruction sequences at Build() time and records them in
+/// `Program::fusion_plan`; `Machine::Load` may then rewrite the *first*
+/// word of each sequence to one of these fused opcodes (the tail words
+/// stay intact, so jumps into the middle of a sequence and runtime
+/// patches of operand words behave exactly as in the unfused program).
+enum FusedOp : uint8_t {
+  kFusedClc = 4,      ///< LD [0]; ST [2]            (the Clc idiom)
+  kFusedStClc = 5,    ///< ST a;  LD [0]; ST [2]     (macro prologue)
+  kFusedLdSbb = 6,    ///< LD a;  SBB b
+  kFusedLdSt = 7,     ///< LD a;  ST b
+  kFusedSbbSt = 8,    ///< SBB a; ST b
+  kFusedLdAnd = 9,    ///< LD a;  AND b
+  kFusedAndSt = 10,   ///< AND a; ST b
+  kFusedStLd = 11,    ///< ST a;  LD b
+  kFusedMaskAnd = 12, ///< LD [2]; AND a             (borrow-select prologue)
+  kFusedLdJmp = 13,   ///< LD a;  ST [1]             (indirect jump)
+  kFusedSbbJmp = 14,  ///< SBB a; ST [1]             (borrow-select epilogue)
+  kFusedStSt = 15,    ///< ST a;  ST b
+};
+
 /// \brief An executable VeRisc image: instruction/data words placed at
 /// kProgramOrigin.
 struct Program {
   std::vector<uint32_t> words;
+
+  /// One fusible sequence: `words[index]` starts a 2-3 instruction run the
+  /// engine may quicken to the fused opcode `nibble` (see FusedOp).
+  struct Fusion {
+    uint32_t index = 0;
+    uint8_t nibble = 0;
+  };
+  /// Builder-derived quickening plan. Deliberately *not* serialized: the
+  /// archival byte format stays pure 4-instruction VeRisc, and foreign VM
+  /// implementations never observe fused opcodes.
+  std::vector<Fusion> fusion_plan;
 
   /// Serialises to the archival byte format: magic "VRX1", u32 word count,
   /// then each word little-endian, then CRC32 of everything before it.

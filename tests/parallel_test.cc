@@ -20,6 +20,7 @@
 #include "core/micr_olonys.h"
 #include "dynarisc/assembler.h"
 #include "olonys/dynarisc_in_verisc.h"
+#include "olonys/translation_cache.h"
 #include "support/parallel.h"
 #include "verisc/machine.h"
 
@@ -522,6 +523,42 @@ TEST(CoreParallelSmokeTest, NestedEmulationFromPoolWorkers) {
       4);
   ASSERT_TRUE(s.ok()) << s.ToString();
   for (const Bytes& out : outputs) EXPECT_EQ(out, input);
+}
+
+TEST(CoreParallelSmokeTest, SharedTranslationCacheUnderContention) {
+  // Workers acquiring translations of several guests concurrently: misses
+  // race to insert, hits splice the LRU, and a capacity below the working
+  // set forces eviction under load. The TSan CI job runs this at 4
+  // threads to police the shared-cache locking.
+  std::vector<dynarisc::Program> guests;
+  for (int g = 0; g < 3; ++g) {
+    auto p = dynarisc::Assemble("LDI R0,#" + std::to_string(10 + g) +
+                                "\nSYS #1\nSYS #2");
+    ASSERT_TRUE(p.ok());
+    guests.push_back(p.TakeValue());
+  }
+  auto& cache = olonys::TranslationCache::Global();
+  cache.Clear();
+  cache.set_capacity(2);
+  Status s = ParallelFor(
+      0, 24,
+      [&](size_t i) -> Status {
+        const size_t g = i % guests.size();
+        olonys::NestedRunStats stats;
+        ULE_ASSIGN_OR_RETURN(
+            Bytes out,
+            olonys::RunNested(guests[g], {}, {}, &verisc::Run,
+                              olonys::NestedMode::kTranslated, &stats));
+        const Bytes expected{static_cast<uint8_t>(10 + g)};
+        if (out != expected || !stats.translated) {
+          return Status::ExecutionFault("wrong nested output under contention");
+        }
+        return Status::OK();
+      },
+      4);
+  cache.set_capacity(8);
+  cache.Clear();
+  ASSERT_TRUE(s.ok()) << s.ToString();
 }
 
 }  // namespace

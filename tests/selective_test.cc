@@ -128,7 +128,7 @@ TEST(RecordIndexTest, PlanCoversTheDumpContiguously) {
     EXPECT_GT(c.row_count, 0u);
     next_row += c.row_count;
   }
-  for (const std::string& table : {"region", "orders", "lineitem"}) {
+  for (const std::string table : {"region", "orders", "lineitem"}) {
     auto chunks = [&] {
       RecordIndex idx;
       idx.chunks = plan.value();

@@ -546,6 +546,142 @@ TEST(MachineTest, ProgramTooLargeRejected) {
   EXPECT_FALSE(m.Load(p).ok());
 }
 
+TEST(MachineTest, WriteWordsInjectsAndLoadRezeroes) {
+  // Program emits the low byte of a far cell; the host injects the value
+  // after Load. WriteWords must extend the dirty region so a plain reload
+  // reads zero again.
+  const uint32_t far_cell = 0x40000;
+  Program p;
+  p.words = {Instr(kLd, far_cell), Instr(kSt, 4), Instr(kSt, 5)};
+  Machine m;
+  ASSERT_TRUE(m.Load(p).ok());
+  const uint32_t v = 0x5A;
+  m.WriteWords(far_cell, &v, 1);
+  EXPECT_EQ(m.RunFor(10), MachineState::kHalted);
+  ASSERT_EQ(m.output().size(), 1u);
+  EXPECT_EQ(m.output()[0], 0x5A);
+  ASSERT_TRUE(m.Load(p).ok());
+  EXPECT_EQ(m.RunFor(10), MachineState::kHalted);
+  ASSERT_EQ(m.output().size(), 1u);
+  EXPECT_EQ(m.output()[0], 0);
+}
+
+TEST(MachineTest, LoadNoZeroKeepsResidentState) {
+  const uint32_t far_cell = 0x40000;
+  Program p;
+  p.words = {Instr(kLd, far_cell), Instr(kSt, 4), Instr(kSt, 5)};
+  Machine m;
+  ASSERT_TRUE(m.Load(p).ok());
+  const uint32_t v = 0x77;
+  m.WriteWords(far_cell, &v, 1);
+  const uint64_t seq = m.load_seq();
+  ASSERT_TRUE(m.LoadNoZero(p).ok());
+  EXPECT_EQ(m.load_seq(), seq + 1);
+  EXPECT_EQ(m.RunFor(10), MachineState::kHalted);
+  ASSERT_EQ(m.output().size(), 1u);
+  EXPECT_EQ(m.output()[0], 0x77);  // resident word survived the reload
+}
+
+// ---------------- superinstruction fusion (engine acceleration) ----------------
+
+TEST(FusionTest, ClearingThePlanIsInvisible) {
+  const Program fused = EchoProgram();
+  ASSERT_FALSE(fused.fusion_plan.empty());  // the peephole found pairs
+  Program plain = fused;
+  plain.fusion_plan.clear();
+
+  const Bytes input{1, 2, 3, 4, 0xFF, 0};
+  Machine mf, mp;
+  ASSERT_TRUE(mf.Load(fused).ok());
+  ASSERT_TRUE(mp.Load(plain).ok());
+  mf.SetInput(input);
+  mp.SetInput(input);
+  EXPECT_EQ(mf.RunFor(1'000'000), MachineState::kHalted);
+  EXPECT_EQ(mp.RunFor(1'000'000), MachineState::kHalted);
+  EXPECT_EQ(mf.output(), mp.output());
+  // Per-constituent accounting: a fused pair retires as two instructions,
+  // so the step count is dispatch-strategy invariant.
+  EXPECT_EQ(mf.steps(), mp.steps());
+}
+
+TEST(FusionTest, PlanIsNotSerialized) {
+  // Archival purity: the byte format stays pure 4-instruction VeRisc.
+  const Program p = EchoProgram();
+  ASSERT_FALSE(p.fusion_plan.empty());
+  auto rt = Program::Deserialize(p.Serialize());
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(rt.value().words, p.words);
+  EXPECT_TRUE(rt.value().fusion_plan.empty());
+}
+
+TEST(FusionTest, MidPairPausesAreInvisible) {
+  // Budget 1 forces a pause between the constituents of every fused pair;
+  // output and step accounting must match the monolithic run exactly.
+  const Program p = EchoProgram();
+  const Bytes input{5, 6, 7, 8, 9, 0xAA};
+  const RunResult mono = MustRun(p, input);
+  Machine m;
+  ASSERT_TRUE(m.Load(p).ok());
+  m.SetInput(input);
+  MachineState st = MachineState::kReady;
+  while ((st = m.RunFor(1)) == MachineState::kPaused) {
+  }
+  EXPECT_EQ(st, MachineState::kHalted);
+  EXPECT_EQ(m.output(), mono.output);
+  EXPECT_EQ(m.steps(), mono.steps);
+}
+
+TEST(FusionTest, LastRunStatsCountTheRun) {
+  const Program p = EchoProgram();
+  const Bytes input{1, 2, 3, 0};
+  Machine m;
+  ASSERT_TRUE(m.Load(p).ok());
+  m.SetInput(input);
+  uint64_t slices = 0;
+  MachineState st = MachineState::kReady;
+  do {
+    st = m.RunFor(7);
+    ++slices;
+  } while (st == MachineState::kPaused);
+  EXPECT_EQ(st, MachineState::kHalted);
+  const Machine::RunStats rs = m.LastRunStats();
+  EXPECT_EQ(rs.retired, m.steps());
+  EXPECT_EQ(rs.slices, slices);
+  EXPECT_EQ(rs.faults, 0u);
+  EXPECT_LE(rs.fused, rs.retired);
+  // With threaded dispatch the echo loop retires fused pairs; the
+  // portable switch engine never quickens and reports zero.
+  if (rs.fused > 0) {
+    EXPECT_LT(rs.fused, rs.retired);
+  }
+
+  // A faulting run flips the fault counter, and Load resets the stats.
+  Program runoff;
+  runoff.words = {Instr(kLd, 0)};
+  ASSERT_TRUE(m.Load(runoff).ok());
+  EXPECT_EQ(m.LastRunStats().retired, 0u);
+  EXPECT_EQ(m.RunFor(2 * kMemoryWords), MachineState::kFault);
+  EXPECT_EQ(m.LastRunStats().faults, 1u);
+}
+
+TEST(FusionTest, FusedNibblesOutsideTheirAddressClassFault) {
+  // Each fused opcode is only dispatchable in the one address class the
+  // quickener emits it for (4 and 12 start with a mapped access, the rest
+  // with a memory access). A word carrying the nibble in the *other*
+  // class is an illegal instruction and must fault on the first step —
+  // the spec's fault semantics survive the fused dispatch table.
+  for (uint32_t nibble = 4; nibble <= 15; ++nibble) {
+    const bool mapped_class = (nibble == 4 || nibble == 12);
+    const uint32_t addr = mapped_class ? 100u : 5u;  // the wrong class
+    Program p;
+    p.words = {(nibble << 28) | addr, Instr(kSt, 5)};
+    Machine m;
+    ASSERT_TRUE(m.Load(p).ok());
+    EXPECT_EQ(m.RunFor(10), MachineState::kFault) << nibble;
+    EXPECT_EQ(m.steps(), 1u) << nibble;
+  }
+}
+
 // ---------------- implementation conformance (portability, E7) ----------------
 
 struct ConformanceCase {

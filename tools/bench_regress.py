@@ -23,6 +23,13 @@ missing or empty history directory passes — the first record has no
 baseline. `--save LABEL` copies the results into `bench/history/LABEL/`
 so the next PR can commit them.
 
+Two extra knobs serve the opt-in perf gate (`ULE_PERF_TESTS` in CMake,
+ctest label `perf`), which runs on the machine that recorded the
+history and can therefore afford a much tighter threshold than CI:
+`--run CMD [ARGS...]` executes the bench inside the results directory
+first, and `--only SUB[,SUB...]` restricts the comparison to records
+whose name contains one of the substrings.
+
 Run from anywhere: default paths resolve relative to the repository
 root (the parent of this script's directory). Stdlib only.
 """
@@ -30,6 +37,7 @@ root (the parent of this script's directory). Stdlib only.
 import argparse
 import json
 import shutil
+import subprocess
 import sys
 from pathlib import Path
 
@@ -50,11 +58,13 @@ def latest_history_entry(history: Path):
 
 
 def compare_file(current: Path, baseline: Path, timing_threshold: float,
-                 gauge_threshold: float) -> list:
+                 gauge_threshold: float, only=None) -> list:
     errors = []
     cur = load_records(current)
     base = load_records(baseline)
     for name in sorted(cur.keys() | base.keys()):
+        if only and not any(sub in name for sub in only):
+            continue
         if name not in base:
             print(f"  new record (no baseline): {name}")
             continue
@@ -96,7 +106,22 @@ def main() -> int:
                         help="allowed growth factor for counter gauges")
     parser.add_argument("--save", metavar="LABEL",
                         help="also copy the results to bench/history/LABEL/")
+    parser.add_argument("--only", metavar="SUB[,SUB...]",
+                        help="compare only records whose name contains one "
+                             "of these substrings")
+    parser.add_argument("--run", nargs=argparse.REMAINDER, metavar="CMD",
+                        help="first run CMD (and all following args) inside "
+                             "the results directory to produce the results")
     args = parser.parse_args()
+
+    if args.run:
+        args.results.mkdir(parents=True, exist_ok=True)
+        print(f"running: {' '.join(args.run)} (in {args.results})")
+        proc = subprocess.run(args.run, cwd=args.results)
+        if proc.returncode != 0:
+            print(f"error: bench command failed ({proc.returncode})",
+                  file=sys.stderr)
+            return 1
 
     results = sorted(args.results.glob("BENCH_*.json"))
     if not results:
@@ -115,9 +140,10 @@ def main() -> int:
             if not baseline.exists():
                 print(f"  no baseline file for {current.name}")
                 continue
+            only = args.only.split(",") if args.only else None
             errors.extend(compare_file(current, baseline,
                                        args.timing_threshold,
-                                       args.gauge_threshold))
+                                       args.gauge_threshold, only))
 
     if args.save:
         dest = args.history / args.save
