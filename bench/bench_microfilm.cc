@@ -16,8 +16,10 @@
 #include "dbcoder/dbcoder.h"
 #include "filmstore/container.h"
 #include "filmstore/frame_store.h"
+#include "filmstore/parity.h"
 #include "filmstore/reel_reader.h"
 #include "filmstore/reel_set.h"
+#include "filmstore/scrub.h"
 #include "media/profiles.h"
 #include "media/scanner.h"
 #include "minidb/sqldump.h"
@@ -266,6 +268,96 @@ ShardedResult RunSharded(const media::MediaProfile& profile,
   return out;
 }
 
+/// Parity + scrub: a sharded reel set protected with m=2 ULE-P1 parity
+/// reels, then a small fleet of copies with whole reels knocked out,
+/// repaired by the scrub engine. Measures the parity-encode cost (the
+/// write-side overhead of whole-reel protection) and scrub+repair
+/// throughput across archives.
+struct ParityScrubResult {
+  bool ok = false;  ///< every injected loss repaired, fleet exits 0
+  double encode_s = 0;        ///< ParityReelWriter::Build over the set
+  uint64_t data_bytes = 0;    ///< all data reels (the parity input)
+  uint64_t parity_bytes = 0;  ///< the encoded parity files
+  double scrub_s = 0;  ///< ScrubFleet with repair across the fleet
+  size_t archives = 0;
+  size_t repaired = 0;  ///< archives rebuilt from parity
+  uint64_t repaired_bytes = 0;
+};
+
+ParityScrubResult RunParityScrub(const media::MediaProfile& profile,
+                                 const std::string& payload,
+                                 int dots_per_cell, size_t frames,
+                                 size_t reel_target, size_t archives) {
+  namespace fs = std::filesystem;
+  const core::ArchiveOptions options = MakeArchiveOptions(profile,
+                                                          dots_per_cell);
+  ParityScrubResult out;
+  const fs::path root = "bench_microfilm_fleet";
+  struct RemoveOnExit {
+    fs::path root;
+    ~RemoveOnExit() {
+      std::error_code ec;
+      fs::remove_all(root, ec);
+    }
+  } cleanup{root};
+  std::error_code ec;
+  fs::remove_all(root, ec);
+  if (!fs::create_directories(root / "a00", ec) || ec) return out;
+  const std::string catalog = (root / "a00" / "set.uler").string();
+  filmstore::ReelSetWriter::Options sopt;
+  sopt.shard.max_frames_per_reel =
+      std::max<size_t>(1, (frames + reel_target - 1) / reel_target);
+  sopt.container.bitonal = profile.bitonal_write;
+  auto writer = filmstore::ReelSetWriter::Create(catalog, options.emblem,
+                                                 sopt);
+  if (!writer.ok()) return out;
+  auto summary = core::ArchiveDumpStreaming(payload, options,
+                                            *writer.value());
+  if (!summary.ok() || !writer.value()->Finish().ok()) return out;
+  for (const filmstore::ReelStats& reel : writer.value()->CurrentReelStats()) {
+    out.data_bytes += reel.bytes;
+  }
+
+  const auto t0 = Clock::now();
+  auto sealed = filmstore::ParityReelWriter::Build(catalog, 2);
+  out.encode_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  if (!sealed.ok()) return out;
+  for (const filmstore::CatalogParityReel& reel : sealed.value().parity.reels) {
+    out.parity_bytes += reel.bytes;
+  }
+
+  // Clone the sealed archive into a fleet and knock one data reel out
+  // of every other copy: the scrub must rebuild each from parity.
+  size_t expect_repaired = 0;
+  for (size_t i = 1; i < archives; ++i) {
+    char name[8];
+    std::snprintf(name, sizeof name, "a%02zu", i);
+    fs::copy(root / "a00", root / name, fs::copy_options::recursive, ec);
+    if (ec) return out;
+  }
+  for (size_t i = 0; i < archives; i += 2) {
+    char name[8];
+    std::snprintf(name, sizeof name, "a%02zu", i);
+    const std::string victim =
+        filmstore::ReelFileName((root / name / "set.uler").string(), 0);
+    if (!fs::remove(victim, ec) || ec) return out;
+    ++expect_repaired;
+  }
+
+  filmstore::ScrubOptions scrub_options;
+  scrub_options.repair = true;
+  const auto t1 = Clock::now();
+  auto fleet = filmstore::ScrubFleet(root.string(), scrub_options);
+  out.scrub_s = std::chrono::duration<double>(Clock::now() - t1).count();
+  if (!fleet.ok()) return out;
+  out.archives = fleet.value().archives.size();
+  out.repaired = fleet.value().repaired;
+  out.repaired_bytes = fleet.value().repaired_bytes;
+  out.ok = out.archives == archives && out.repaired == expect_repaired &&
+           out.repaired_bytes > 0 && fleet.value().ExitCode() == 0;
+  return out;
+}
+
 /// Selective restore vs the full pipe: a TPC-H dump archived with a
 /// ULE-S1 record index on small emblems (the record-I/O ratio is the
 /// point here, not film geometry), then one table restored through the
@@ -427,6 +519,36 @@ int main() {
                     "reels");
   }
 
+  // ---- Parity + scrub: ULE-P1 encode cost over the sharded set, then
+  // a 6-archive fleet with whole reels deleted, repaired by the scrub
+  // engine. ----
+  std::printf("\n=== parity + scrub: ULE-P1 encode and fleet repair ===\n");
+  const ParityScrubResult ps = RunParityScrub(film_profile, big_payload,
+                                              film_profile.dots_per_cell,
+                                              sp.frames, 4, 6);
+  std::printf("%-42s %10s\n", "fleet repaired + scrub exits 0",
+              ps.ok ? "yes" : "NO");
+  std::printf("%-42s %9.1fM/s\n", "parity encode (m=2 over data reels)",
+              ps.encode_s > 0 ? ps.data_bytes / 1e6 / ps.encode_s : 0.0);
+  std::printf("%-42s %9.1f%%\n", "parity storage overhead",
+              ps.data_bytes > 0 ? 100.0 * ps.parity_bytes / ps.data_bytes
+                                : 0.0);
+  std::printf("%-42s %9.1f/s\n", "scrub+repair (archives per second)",
+              ps.scrub_s > 0 ? ps.archives / ps.scrub_s : 0.0);
+  std::printf("%-42s %9.1fM\n", "bytes rewritten from parity",
+              ps.repaired_bytes / 1e6);
+  report.Add("parity_encode_m2", 1, ps.encode_s,
+             static_cast<double>(ps.data_bytes));
+  report.Add("scrub_fleet_repair", ps.archives, ps.scrub_s,
+             static_cast<double>(ps.repaired_bytes));
+  report.AddGauge("parity_overhead_pct",
+                  ps.data_bytes > 0
+                      ? 100.0 * ps.parity_bytes / ps.data_bytes
+                      : 0.0,
+                  "percent");
+  report.AddGauge("scrub_repaired_bytes",
+                  static_cast<double>(ps.repaired_bytes), "bytes");
+
   // ---- Restore from memory: OpenFrames yields per-frame copies,
   // ConsumeFrames moves frames out of the store. The RSS delta between
   // the two restores is the price of copying (before VectorSource kept
@@ -581,7 +703,7 @@ int main() {
   report.Add("cinema_restore_native", 1, cf.restore_s, bytes);
   report.Write("microfilm");
   return (mf.exact && cf.exact && st.exact && sp.exact && sharded_exact &&
-          big_mat.exact && memstore_exact && sel.ok)
+          ps.ok && big_mat.exact && memstore_exact && sel.ok)
              ? 0
              : 1;
 }

@@ -26,14 +26,21 @@ bool LooksLikeCatalog(const std::string& path) {
 }  // namespace
 
 Result<std::unique_ptr<ReelReader>> OpenReel(const std::string& path) {
+  return OpenReel(path, ReelOpenOptions());
+}
+
+Result<std::unique_ptr<ReelReader>> OpenReel(const std::string& path,
+                                             const ReelOpenOptions& options) {
   if (std::filesystem::is_directory(path)) {
     ULE_ASSIGN_OR_RETURN(std::unique_ptr<DirectoryReader> reader,
                          DirectoryReader::Open(path));
     return std::unique_ptr<ReelReader>(std::move(reader));
   }
   if (LooksLikeCatalog(path)) {
+    ReelSetReader::OpenOptions sopt;
+    sopt.reconstruct = options.reconstruct;
     ULE_ASSIGN_OR_RETURN(std::unique_ptr<ReelSetReader> reader,
-                         ReelSetReader::Open(path));
+                         ReelSetReader::Open(path, sopt));
     return std::unique_ptr<ReelReader>(std::move(reader));
   }
   ULE_ASSIGN_OR_RETURN(std::unique_ptr<ContainerReader> reader,

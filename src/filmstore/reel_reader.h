@@ -108,8 +108,18 @@ class ReelReader {
   virtual ReadCounters read_counters() const { return {}; }
 };
 
+struct ReelOpenOptions {
+  /// Reel sets with ULE-P1 parity transparently rebuild up to m damaged
+  /// reels on open. Verify-style callers turn this off: they judge the
+  /// artifact as stored, and must not write recovery temp files into
+  /// the archive directory.
+  bool reconstruct = true;
+};
+
 /// Opens the reel at `path` with the matching backend.
 Result<std::unique_ptr<ReelReader>> OpenReel(const std::string& path);
+Result<std::unique_ptr<ReelReader>> OpenReel(const std::string& path,
+                                             const ReelOpenOptions& options);
 
 }  // namespace filmstore
 }  // namespace ule

@@ -1,12 +1,14 @@
 #include "filmstore/reel_set.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "filmstore/parity.h"
 #include "support/crc32.h"
 #include "support/io.h"
 #include "support/parallel.h"
@@ -31,6 +33,10 @@ namespace filmstore {
 //     u32 first_system_frame | u32 system_frames
 //     u8  has_bootstrap
 //     u64 sealed file bytes | u32 CRC-32 of the sealed file bytes
+//   optional ULE-P1 parity section (docs/FORMAT.md §10.1):
+//     magic "ULEP" | u8 parity binary version | u8 parity reel count m
+//     u16 reserved (0) | u64 stripe bytes, then per parity reel:
+//       u16 name_len | name bytes | u64 file bytes | u32 file CRC-32
 //   trailer (8 bytes at EOF):
 //     u32 CRC-32 of all preceding bytes | magic "RCAT"
 
@@ -38,38 +44,13 @@ namespace {
 
 constexpr char kCatalogMagic[4] = {'U', 'L', 'E', 'R'};
 constexpr char kCatalogTrailerMagic[4] = {'R', 'C', 'A', 'T'};
+constexpr char kCatalogParityMagic[4] = {'U', 'L', 'E', 'P'};
 constexpr size_t kCatalogHeaderBytes = 16;
 constexpr size_t kCatalogTrailerBytes = 8;
 
 std::string JoinPath(const std::string& dir, const std::string& name) {
   if (dir.empty()) return name;
   return (std::filesystem::path(dir) / name).string();
-}
-
-/// Size + CRC-32 of a sealed reel file, streamed in bounded chunks — a
-/// reel can be far larger than RAM, and sealing/verifying it must not
-/// break the pipeline's bounded-memory story by slurping it whole.
-struct FileDigest {
-  uint64_t bytes = 0;
-  uint32_t crc = 0;
-};
-
-Result<FileDigest> DigestFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
-  FileDigest digest;
-  Bytes chunk(1 << 20);
-  for (;;) {
-    in.read(reinterpret_cast<char*>(chunk.data()),
-            static_cast<std::streamsize>(chunk.size()));
-    const size_t got = static_cast<size_t>(in.gcount());
-    if (got == 0) break;
-    digest.crc = Crc32(BytesView(chunk).subspan(0, got), digest.crc);
-    digest.bytes += got;
-    if (!in) break;  // short final chunk: EOF
-  }
-  if (in.bad()) return Status::IoError("read failed: " + path);
-  return digest;
 }
 
 /// One record load for the parallel reel-set source.
@@ -177,6 +158,24 @@ class ReelSetSource final : public FrameSource {
 // ---------------------------------------------------------------------------
 // Catalog
 
+Result<FileDigest> DigestFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  FileDigest digest;
+  Bytes chunk(1 << 20);
+  for (;;) {
+    in.read(reinterpret_cast<char*>(chunk.data()),
+            static_cast<std::streamsize>(chunk.size()));
+    const size_t got = static_cast<size_t>(in.gcount());
+    if (got == 0) break;
+    digest.crc = Crc32(BytesView(chunk).subspan(0, got), digest.crc);
+    digest.bytes += got;
+    if (!in) break;  // short final chunk: EOF
+  }
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return digest;
+}
+
 size_t ReelCatalog::frame_count(mocoder::StreamId id) const {
   size_t n = 0;
   for (const CatalogReel& reel : reels) {
@@ -209,6 +208,20 @@ Bytes ReelCatalog::Serialize() const {
     w.PutU8(reel.has_bootstrap ? 1 : 0);
     w.PutU64(reel.bytes);
     w.PutU32(reel.file_crc);
+  }
+  if (parity.present()) {
+    w.PutBytes(
+        BytesView(reinterpret_cast<const uint8_t*>(kCatalogParityMagic), 4));
+    w.PutU8(kParityBinaryVersion);
+    w.PutU8(parity.parity_reels);
+    w.PutU16(0);  // reserved
+    w.PutU64(parity.stripe_bytes);
+    for (const CatalogParityReel& reel : parity.reels) {
+      w.PutU16(static_cast<uint16_t>(reel.name.size()));
+      w.PutBytes(ToBytes(reel.name));
+      w.PutU64(reel.bytes);
+      w.PutU32(reel.file_crc);
+    }
   }
   const uint32_t crc = Crc32(w.bytes());
   w.PutU32(crc);
@@ -297,8 +310,60 @@ Result<ReelCatalog> ReelCatalog::Parse(BytesView bytes) {
     reel.has_bootstrap = has_bootstrap != 0;
     catalog.reels.push_back(std::move(reel));
   }
+  // Anything after the reel rows must be the (optional) ULE-P1 parity
+  // section; a parity-less catalog ends right here. Both shapes ride
+  // under the same trailer CRC already checked above.
   if (r.remaining() != 0) {
-    return Status::Corruption("catalog has trailing bytes after its reels");
+    uint8_t magic[4] = {0, 0, 0, 0};
+    for (uint8_t& c : magic) ULE_RETURN_IF_ERROR(r.GetU8(&c));
+    if (!std::equal(kCatalogParityMagic, kCatalogParityMagic + 4, magic)) {
+      return Status::Corruption("catalog has trailing bytes after its reels");
+    }
+    uint8_t parity_version = 0, parity_count = 0;
+    uint16_t reserved16 = 0;
+    ULE_RETURN_IF_ERROR(r.GetU8(&parity_version));
+    ULE_RETURN_IF_ERROR(r.GetU8(&parity_count));
+    ULE_RETURN_IF_ERROR(r.GetU16(&reserved16));
+    if (parity_version != kParityBinaryVersion) {
+      return Status::Unimplemented(
+          "unsupported ULE-P1 parity section version " +
+          std::to_string(parity_version) + " (this reader understands "
+          "version " + std::to_string(kParityBinaryVersion) + ")");
+    }
+    if (parity_count == 0) {
+      return Status::Corruption("catalog parity section lists no reels");
+    }
+    if (reel_count + parity_count > 255) {
+      return Status::Corruption(
+          "catalog parity section overflows RS(n+m <= 255): " +
+          std::to_string(reel_count) + " data + " +
+          std::to_string(parity_count) + " parity reels");
+    }
+    catalog.parity.parity_reels = parity_count;
+    ULE_RETURN_IF_ERROR(r.GetU64(&catalog.parity.stripe_bytes));
+    catalog.parity.reels.reserve(parity_count);
+    for (uint8_t p = 0; p < parity_count; ++p) {
+      CatalogParityReel reel;
+      uint16_t name_len = 0;
+      ULE_RETURN_IF_ERROR(r.GetU16(&name_len));
+      if (name_len == 0 || name_len > r.remaining()) {
+        return Status::Corruption("catalog parity reel " + std::to_string(p) +
+                                  " has an implausible name length");
+      }
+      reel.name.resize(name_len);
+      for (uint16_t j = 0; j < name_len; ++j) {
+        uint8_t c = 0;
+        ULE_RETURN_IF_ERROR(r.GetU8(&c));
+        reel.name[j] = static_cast<char>(c);
+      }
+      ULE_RETURN_IF_ERROR(r.GetU64(&reel.bytes));
+      ULE_RETURN_IF_ERROR(r.GetU32(&reel.file_crc));
+      catalog.parity.reels.push_back(std::move(reel));
+    }
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("catalog has trailing bytes after its parity "
+                              "section");
   }
   return catalog;
 }
@@ -492,6 +557,13 @@ Status ReelSetWriter::Finish() {
   }
   ULE_RETURN_IF_ERROR(SealCurrentReel());
   ULE_RETURN_IF_ERROR(WriteFileBytes(catalog_path_, catalog_.Serialize()));
+  if (options_.parity_reels > 0) {
+    // Parity is a function of the sealed reel bytes, so it can only be
+    // encoded now; Build rewrites the catalog with the ULE-P1 section.
+    ULE_ASSIGN_OR_RETURN(
+        catalog_, ParityReelWriter::Build(catalog_path_,
+                                          options_.parity_reels));
+  }
   finished_ = true;
   return Status::OK();
 }
@@ -518,6 +590,15 @@ std::vector<ReelStats> ReelSetWriter::CurrentReelStats() const {
 
 Result<std::unique_ptr<ReelSetReader>> ReelSetReader::Open(
     const std::string& path) {
+  return Open(path, OpenOptions());
+}
+
+ReelSetReader::~ReelSetReader() {
+  for (const std::string& temp : temp_files_) std::remove(temp.c_str());
+}
+
+Result<std::unique_ptr<ReelSetReader>> ReelSetReader::Open(
+    const std::string& path, const OpenOptions& opt) {
   ULE_ASSIGN_OR_RETURN(ReelCatalog catalog, LoadCatalog(path));
   auto reader = std::unique_ptr<ReelSetReader>(new ReelSetReader());
   reader->path_ = path;
@@ -562,7 +643,64 @@ Result<std::unique_ptr<ReelSetReader>> ReelSetReader::Open(
     reader->reels_.push_back(std::move(reel));
     reader->reel_status_.push_back(std::move(status));
   }
+  reader->reel_damage_ = reader->reel_status_;
+  reader->reconstructed_.assign(cat.reels.size(), false);
+
+  // A parity-protected set is digested on open: the catalog's per-file
+  // CRCs catch silent flips a structural open never sees, and whatever
+  // they catch (up to m whole streams) is rebuilt from parity into temp
+  // copies before any frame is served — the per-emblem recovery above
+  // this layer then has nothing to do.
+  if (cat.parity.present()) {
+    reader->parity_status_.assign(cat.parity.reels.size(), Status::OK());
+    ULE_ASSIGN_OR_RETURN(SetHealth health, AssessSet(cat, reader->dir_));
+    for (size_t p : health.damaged_parity) {
+      reader->parity_status_[p] = Status::Corruption(
+          "parity reel " + std::to_string(p) + " (" +
+          cat.parity.reels[p].name + "): file disagrees with the catalog");
+    }
+    for (size_t i : health.damaged_data) {
+      if (reader->reel_damage_[i].ok()) {
+        reader->reel_damage_[i] = Status::Corruption(
+            "reel " + std::to_string(i) + " (" + cat.reels[i].name +
+            "): file bytes disagree with the catalog (silent corruption)");
+      }
+    }
+    if (!health.damaged_data.empty() && opt.reconstruct &&
+        Recoverable(cat, health)) {
+      // Unique temp suffix: two readers may heal the same set at once.
+      static std::atomic<uint64_t> recovery_seq{0};
+      const std::string suffix =
+          ".recovered." + std::to_string(recovery_seq.fetch_add(1));
+      ReconstructOptions ropt;
+      ropt.data_suffix = suffix;
+      auto rebuilt = ReconstructDamaged(cat, reader->dir_, health, ropt);
+      if (rebuilt.ok()) {
+        for (size_t i : health.damaged_data) {
+          const std::string rebuilt_path =
+              JoinPath(reader->dir_, cat.reels[i].name + suffix);
+          reader->temp_files_.push_back(rebuilt_path);
+          auto opened = ContainerReader::Open(rebuilt_path);
+          if (!opened.ok()) continue;  // keep the original damage Status
+          reader->reels_[i] = std::move(opened).TakeValue();
+          reader->reel_status_[i] = Status::OK();
+          reader->reconstructed_[i] = true;
+        }
+      }
+      // A failed reconstruction leaves the per-reel damage in place:
+      // the set degrades exactly like a parity-less one. Likewise when
+      // the damage exceeds parity's reach — a silently-flipped reel
+      // that still opens keeps serving, and its record CRCs fail
+      // exactly at the flipped record, nowhere else.
+    }
+  }
   return reader;
+}
+
+size_t ReelSetReader::reconstructed_reels() const {
+  size_t n = 0;
+  for (bool r : reconstructed_) n += r ? 1 : 0;
+  return n;
 }
 
 size_t ReelSetReader::surviving_reels() const {
@@ -599,7 +737,9 @@ std::unique_ptr<FrameSource> ReelSetReader::OpenFrames(
   std::vector<FrameJob> jobs;
   for (size_t i = 0; i < reels_.size(); ++i) {
     if (!reel_status_[i].ok()) continue;  // dead reel: its frames are lost
-    const std::string reel_path = JoinPath(dir_, catalog_.reels[i].name);
+    // The reel's own path, not the catalog name: a parity-reconstructed
+    // reel serves from its rebuilt temp copy.
+    const std::string& reel_path = reels_[i]->path();
     for (const ContainerEntry& e : reels_[i]->entries()) {
       if (e.type == want) jobs.push_back(FrameJob{reel_path, e});
     }
@@ -658,7 +798,10 @@ Status ReelSetReader::Verify() const {
     const CatalogReel& row = catalog_.reels[i];
     const std::string context =
         "reel " + std::to_string(i) + " (" + row.name + "): ";
-    if (!reel_status_[i].ok()) return reel_status_[i];
+    // Pre-reconstruction damage: a reel serving from a parity-rebuilt
+    // copy is still a damaged artifact on disk, and verify's job is to
+    // say so (scrub's is to repair it).
+    if (!reel_damage_[i].ok()) return reel_damage_[i];
     const std::string reel_path = JoinPath(dir_, row.name);
     ULE_ASSIGN_OR_RETURN(FileDigest sealed, DigestFile(reel_path));
     if (sealed.bytes != row.bytes) {
@@ -673,6 +816,25 @@ Status ReelSetReader::Verify() const {
     Status deep = reels_[i]->Verify();
     if (!deep.ok()) {
       return Status(deep.code(), context + deep.message());
+    }
+  }
+  // Parity reels are part of the artifact too: a set whose parity
+  // rotted is one failure away from real loss, and skipping them here
+  // silently would defeat the whole point of scrubbing.
+  for (size_t p = 0; p < catalog_.parity.reels.size(); ++p) {
+    const CatalogParityReel& row = catalog_.parity.reels[p];
+    const std::string context =
+        "parity reel " + std::to_string(p) + " (" + row.name + "): ";
+    ULE_ASSIGN_OR_RETURN(FileDigest sealed, DigestFile(JoinPath(dir_,
+                                                                row.name)));
+    if (sealed.bytes != row.bytes) {
+      return Status::Corruption(
+          context + "file is " + std::to_string(sealed.bytes) +
+          " bytes, catalog records " + std::to_string(row.bytes));
+    }
+    if (sealed.crc != row.file_crc) {
+      return Status::Corruption(context +
+                                "file CRC disagrees with the catalog");
     }
   }
   return Status::OK();

@@ -67,6 +67,16 @@ struct ShardPolicy {
   uint64_t max_bytes_per_reel = 0;  ///< projected sealed file size cap
 };
 
+/// Size + CRC-32 of a sealed file, streamed in bounded chunks — a reel
+/// can be far larger than RAM, and sealing/verifying/scrubbing it must
+/// not break the bounded-memory story by slurping it whole.
+struct FileDigest {
+  uint64_t bytes = 0;
+  uint32_t crc = 0;
+};
+
+Result<FileDigest> DigestFile(const std::string& path);
+
 /// One reel's row in the catalog: where its records sit in the global
 /// stream and what its sealed file must look like.
 struct CatalogReel {
@@ -82,12 +92,32 @@ struct CatalogReel {
   uint32_t file_crc = 0;       ///< CRC-32 of the sealed file bytes
 };
 
+/// One parity reel's row in the catalog's ULE-P1 section: its file name
+/// and what the encoded file must look like (docs/FORMAT.md §10.1).
+struct CatalogParityReel {
+  std::string name;       ///< file name, relative to the catalog
+  uint64_t bytes = 0;     ///< encoded file size (header + stripe)
+  uint32_t file_crc = 0;  ///< CRC-32 of the encoded file bytes
+};
+
+/// \brief The catalog's optional ULE-P1 parity section: m RS(n+m, n)
+/// parity reels striped across the data reels' sealed file bytes, so
+/// any n of the n+m files reconstruct the set (docs/FORMAT.md §10.1).
+struct ParityInfo {
+  uint8_t parity_reels = 0;   ///< m; 0 = no parity section
+  uint64_t stripe_bytes = 0;  ///< per-stream length (longest data reel)
+  std::vector<CatalogParityReel> reels;
+
+  bool present() const { return parity_reels > 0; }
+};
+
 /// \brief The ULE-R1 catalog: one archive's identity, geometry, and the
 /// reels it was sharded across (docs/FORMAT.md §10).
 struct ReelCatalog {
   uint64_t archive_id = 0;          ///< caller-chosen archive identity
   mocoder::Options emblem_options;  ///< recorded geometry (threads = 0)
   std::vector<CatalogReel> reels;
+  ParityInfo parity;                ///< optional ULE-P1 section
 
   size_t frame_count(mocoder::StreamId id) const;
 
@@ -115,6 +145,10 @@ class ReelSetWriter final : public ArchiveWriter {
     ShardPolicy shard;
     ContainerWriter::Options container;  ///< per-reel options (bitonal)
     uint64_t archive_id = 0;             ///< recorded in the catalog
+    /// ULE-P1 parity reels to encode on Finish (0 = none). Any
+    /// `parity_reels` whole reels of the finished set can then be lost
+    /// and reconstructed byte-identically.
+    int parity_reels = 0;
   };
 
   /// Prepares a set whose catalog will live at `catalog_path`; reels are
@@ -192,15 +226,38 @@ class ReelSetWriter final : public ArchiveWriter {
 /// still serves its frame ranges.
 class ReelSetReader final : public ReelReader, public SeekableSource {
  public:
+  struct OpenOptions {
+    /// When the catalog carries a ULE-P1 section, digest every reel on
+    /// open and transparently reconstruct up to m damaged data reels
+    /// from parity (into temp files removed when the reader closes)
+    /// before the per-emblem recovery ever sees a loss. Off: damage
+    /// stays per-reel, as in a parity-less set.
+    bool reconstruct = true;
+  };
+
   /// Opens the catalog at `path`. Fails only when the catalog itself is
   /// unreadable/corrupt; per-reel damage is reported via reel_status().
   static Result<std::unique_ptr<ReelSetReader>> Open(const std::string& path);
+  static Result<std::unique_ptr<ReelSetReader>> Open(const std::string& path,
+                                                     const OpenOptions& opt);
+  ~ReelSetReader() override;
 
   const std::string& path() const { return path_; }
   const ReelCatalog& catalog() const { return catalog_; }
-  /// OK when reel `i` opened and matches the catalog; the failure
-  /// Status (naming the reel) otherwise.
+  /// OK when reel `i` is *serviceable* — it opened and matches the
+  /// catalog, possibly after parity reconstruction; the failure Status
+  /// (naming the reel) otherwise.
   const Status& reel_status(size_t i) const { return reel_status_[i]; }
+  /// OK when reel `i`'s file on disk is pristine (matches its catalog
+  /// row byte-for-byte); the damage found otherwise — even when the
+  /// reel was since reconstructed and serves frames again.
+  const Status& reel_damage(size_t i) const { return reel_damage_[i]; }
+  /// True when reel `i` is served from a parity-reconstructed copy.
+  bool reel_reconstructed(size_t i) const { return reconstructed_[i]; }
+  size_t reconstructed_reels() const;
+  /// Per parity reel (ULE-P1 section order): OK when its file matches
+  /// the catalog. Empty when the set has no parity.
+  const Status& parity_status(size_t p) const { return parity_status_[p]; }
   size_t surviving_reels() const;
 
   /// Worker threads for the parallel reel-set source (0 = automatic).
@@ -237,9 +294,13 @@ class ReelSetReader final : public ReelReader, public SeekableSource {
   /// Streaming reads (the set's sources) plus seek reads served by the
   /// individual reels, combined.
   ReadCounters read_counters() const override;
-  /// Validates the whole set: every reel opens, matches its catalog row
-  /// (sealed size + file CRC) and passes the container integrity pass.
-  /// The error names the failing reel (index + file) and record.
+  /// Validates the whole set *as stored*: every data and parity reel
+  /// matches its catalog row (sealed size + file CRC) and every data
+  /// reel passes the container integrity pass. Reconstruction does not
+  /// mask damage here — a reel serving from a parity-rebuilt copy still
+  /// fails Verify with the original damage, because the artifact on
+  /// disk needs repair. The error names the failing reel (index + file)
+  /// and record.
   Status Verify() const override;
 
  private:
@@ -250,6 +311,10 @@ class ReelSetReader final : public ReelReader, public SeekableSource {
   ReelCatalog catalog_;
   std::vector<std::unique_ptr<ContainerReader>> reels_;  ///< null when dead
   std::vector<Status> reel_status_;
+  std::vector<Status> reel_damage_;    ///< pre-reconstruction, per data reel
+  std::vector<Status> parity_status_;  ///< per parity reel
+  std::vector<bool> reconstructed_;    ///< reel i serves a rebuilt copy
+  std::vector<std::string> temp_files_;  ///< rebuilt copies, removed on close
   int restore_threads_ = 0;
   std::shared_ptr<ReadCounterCell> counters_ =
       std::make_shared<ReadCounterCell>();

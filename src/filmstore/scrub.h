@@ -1,0 +1,112 @@
+/// \file scrub.h
+/// \brief Fleet-scale integrity sweep: walk a directory tree of
+/// archives, verify each against its own checksums, repair what ULE-P1
+/// parity allows, and emit a machine-readable health report.
+///
+/// Long-term archival is mostly scrubbing: decades of custody are
+/// decades of silent decay, and the write was the easy part. This is
+/// the engine behind `ulectl scrub` (and the job every future `uled`
+/// daemon schedules): it discovers every ULE-R1 reel set and standalone
+/// ULE-C1 reel under a root, scrubs archives in parallel on the shared
+/// pool, and classifies each as
+///
+///   healthy     every file matches its checksums
+///   repaired    damage found and rewritten from parity (--repair)
+///   repairable  damage found, parity covers it, repair not requested
+///   data-loss   damage beyond what parity can rebuild (the report
+///               names the reels and the record ranges they owned)
+///
+/// A sweep over thousands of archives must survive interruption, so the
+/// scrub is checkpointed: every finished archive appends one line to a
+/// journal, and a re-run with the same journal skips straight past the
+/// archives already scrubbed — the resumed fleet report is identical to
+/// an uninterrupted run's.
+
+#ifndef ULE_FILMSTORE_SCRUB_H_
+#define ULE_FILMSTORE_SCRUB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace ule {
+namespace filmstore {
+
+enum class ArchiveState {
+  kHealthy = 0,
+  kRepaired = 1,
+  kRepairable = 2,
+  kDataLoss = 3,
+  kError = 4,  ///< the scrub itself faulted (not a verdict on the data)
+};
+
+const char* ArchiveStateName(ArchiveState state);
+
+/// One archive's scrub verdict.
+struct ArchiveHealth {
+  std::string path;  ///< relative to the scrub root
+  std::string kind;  ///< "reel-set" or "container"
+  ArchiveState state = ArchiveState::kError;
+  uint64_t records = 0;               ///< records the catalog/index claims
+  std::vector<std::string> damaged;   ///< file names that failed their CRCs
+  std::vector<std::string> repaired;  ///< file names rewritten from parity
+  uint64_t repaired_bytes = 0;
+  std::string detail;  ///< what was lost / why the scrub faulted
+
+  std::string ToJson() const;
+};
+
+/// The whole sweep's outcome: per-archive verdicts (sorted by path) and
+/// the fleet tallies.
+struct FleetReport {
+  std::vector<ArchiveHealth> archives;
+  size_t healthy = 0;
+  size_t repaired = 0;
+  size_t repairable = 0;
+  size_t data_loss = 0;
+  size_t errors = 0;
+  uint64_t repaired_bytes = 0;
+  size_t resumed = 0;  ///< archives taken from the checkpoint, not re-scrubbed
+
+  /// Shell contract (shared with `ulectl verify`): 0 = every archive
+  /// healthy (or repaired), 1 = repairable damage remains, 2 = data
+  /// loss or scrub faults.
+  int ExitCode() const;
+  /// Deterministic JSON: fleet summary + one object per archive. The
+  /// `resumed` counter is deliberately excluded — a resumed sweep must
+  /// report byte-identically to an uninterrupted one.
+  std::string ToJson() const;
+};
+
+struct ScrubOptions {
+  bool repair = false;  ///< rewrite what parity can rebuild
+  int threads = 0;      ///< workers across archives (0 = automatic)
+  /// Append-only journal of finished archives; a re-run with the same
+  /// path resumes past them. Empty: no checkpointing.
+  std::string checkpoint_path;
+  /// Stop after scrubbing this many *new* archives (0 = no limit) —
+  /// an interrupted sweep, on demand, for tests and bounded batches.
+  size_t max_archives = 0;
+};
+
+/// Finds every archive under `root`: `.uler` catalogs (each owning its
+/// member reels and parity files) and standalone `.ulec` reels that no
+/// catalog claims. Returns root-relative paths, sorted.
+Result<std::vector<std::string>> DiscoverArchives(const std::string& root);
+
+/// Scrubs one archive (absolute or cwd-relative `path`); `path` is also
+/// recorded verbatim in the verdict. Never fails for damage — damage is
+/// the verdict; only a malformed call is an error.
+Result<ArchiveHealth> ScrubArchive(const std::string& path, bool repair);
+
+/// Sweeps every archive under `root` (parallel across archives on the
+/// shared pool), honoring the checkpoint journal when one is named.
+Result<FleetReport> ScrubFleet(const std::string& root,
+                               const ScrubOptions& options);
+
+}  // namespace filmstore
+}  // namespace ule
+
+#endif  // ULE_FILMSTORE_SCRUB_H_

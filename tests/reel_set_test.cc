@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <filesystem>
 #include <string>
@@ -15,6 +16,7 @@
 
 #include "core/micr_olonys.h"
 #include "filmstore/container.h"
+#include "filmstore/parity.h"
 #include "filmstore/reel_reader.h"
 #include "filmstore/reel_set.h"
 #include "filmstore/scanner_source.h"
@@ -23,96 +25,27 @@
 #include "support/crc32.h"
 #include "support/io.h"
 #include "support/random.h"
+#include "tests/filmstore_testutil.h"
 
 namespace ule {
 namespace filmstore {
 namespace {
 
-mocoder::Options SmallOptions() {
-  mocoder::Options opt;
-  opt.data_side = 65;  // smallest geometry: fast encodes
-  opt.dots_per_cell = 2;
-  return opt;
-}
-
-/// A small deterministic payload encoded + rendered into frames of one
-/// stream (the shape ArchiveDumpStreaming hands a sink).
-struct EncodedStream {
-  Bytes payload;
-  std::vector<mocoder::EncodedEmblem> emblems;
-  std::vector<media::Image> frames;
-};
-
-EncodedStream MakeStream(mocoder::StreamId id, size_t payload_bytes,
-                         uint32_t seed) {
-  EncodedStream out;
-  out.payload = RandomBytes(seed, payload_bytes);
-  Status st = mocoder::EncodeToSink(
-      out.payload, id, SmallOptions(), /*render=*/true,
-      [&](mocoder::EncodedEmblem&& emblem, media::Image&& frame) -> Status {
-        out.emblems.push_back(std::move(emblem));
-        out.frames.push_back(std::move(frame));
-        return Status::OK();
-      });
-  EXPECT_TRUE(st.ok()) << st.ToString();
-  return out;
-}
-
-/// Drains a source into a vector, failing the test on any error.
-std::vector<media::Image> Drain(FrameSource& source) {
-  std::vector<media::Image> frames;
-  for (;;) {
-    auto next = source.Next();
-    EXPECT_TRUE(next.ok()) << next.status().ToString();
-    if (!next.ok() || !next.value().has_value()) break;
-    frames.push_back(std::move(*next.value()));
-  }
-  return frames;
-}
-
-void ExpectSameFrames(const std::vector<media::Image>& a,
-                      const std::vector<media::Image>& b) {
-  ASSERT_EQ(a.size(), b.size());
-  for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a[i].pixels(), b[i].pixels()) << "frame " << i;
-  }
-}
-
-void FillSink(FrameSink& sink, const EncodedStream& data,
-              const EncodedStream& system) {
-  for (size_t i = 0; i < data.frames.size(); ++i) {
-    media::Image frame = data.frames[i];
-    ASSERT_TRUE(sink.Append(mocoder::StreamId::kData, data.emblems[i],
-                            std::move(frame))
-                    .ok());
-  }
-  for (size_t i = 0; i < system.frames.size(); ++i) {
-    media::Image frame = system.frames[i];
-    ASSERT_TRUE(sink.Append(mocoder::StreamId::kSystem, system.emblems[i],
-                            std::move(frame))
-                    .ok());
-  }
-}
+using testutil::ByFrames;
+using testutil::Drain;
+using testutil::EncodedStream;
+using testutil::ExpectSameFrames;
+using testutil::FillSink;
+using testutil::MakeStream;
+using testutil::SmallOptions;
 
 /// Builds a sharded reel set on disk and returns its catalog path.
 std::string WriteSet(const std::string& name, const EncodedStream& data,
-                     const EncodedStream& system, const ShardPolicy& shard) {
+                     const EncodedStream& system, const ShardPolicy& shard,
+                     int parity_reels = 0) {
   const std::string path = testing::TempDir() + name;
-  ReelSetWriter::Options opt;
-  opt.shard = shard;
-  opt.archive_id = 0x1DB2026;
-  auto writer = ReelSetWriter::Create(path, SmallOptions(), opt);
-  EXPECT_TRUE(writer.ok()) << writer.status().ToString();
-  FillSink(*writer.value(), data, system);
-  EXPECT_TRUE(writer.value()->AppendBootstrap("THE BOOTSTRAP\n").ok());
-  EXPECT_TRUE(writer.value()->Finish().ok());
+  testutil::WriteSetAt(path, data, system, shard, parity_reels);
   return path;
-}
-
-ShardPolicy ByFrames(size_t n) {
-  ShardPolicy p;
-  p.max_frames_per_reel = n;
-  return p;
 }
 
 TEST(ReelSetTest, ShardsByFramesAndRoundTripsAtAnyThreadCount) {
@@ -473,6 +406,198 @@ TEST(ReelSetTest, CurrentReelStatsIsSafeDuringAppendsAndRollovers) {
     final_total += s.frames;
   }
   EXPECT_GE(final_total, data.frames.size());
+}
+
+// ---------------------------------------------------------------------------
+// ULE-P1 parity: catalog section round trip, rejection of a corrupted
+// section, and transparent whole-reel reconstruction on open.
+
+TEST(ReelSetParityTest, ParityCatalogSectionRoundTripsThroughSerializeParse) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 2200, 60);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 400, 61);
+  const std::string path = WriteSet("parity_catalog.uler", data, system,
+                                    ByFrames(4), /*parity_reels=*/2);
+  auto catalog = LoadCatalog(path);
+  ASSERT_TRUE(catalog.ok()) << catalog.status().ToString();
+  ASSERT_TRUE(catalog.value().parity.present());
+  EXPECT_EQ(catalog.value().parity.parity_reels, 2u);
+  ASSERT_EQ(catalog.value().parity.reels.size(), 2u);
+  // The stripe spans the longest data reel; every parity file adds its
+  // 16-byte header on top and really exists with those exact bytes.
+  uint64_t longest = 0;
+  for (const CatalogReel& row : catalog.value().reels) {
+    longest = std::max(longest, row.bytes);
+  }
+  EXPECT_EQ(catalog.value().parity.stripe_bytes, longest);
+  for (size_t p = 0; p < 2; ++p) {
+    const CatalogParityReel& row = catalog.value().parity.reels[p];
+    EXPECT_EQ(row.name, std::filesystem::path(ParityReelFileName(path, p))
+                            .filename()
+                            .string());
+    EXPECT_EQ(row.bytes, kParityReelHeaderBytes + longest);
+    auto digest = DigestFile(testing::TempDir() + row.name);
+    ASSERT_TRUE(digest.ok()) << digest.status().ToString();
+    EXPECT_EQ(digest.value().bytes, row.bytes);
+    EXPECT_EQ(digest.value().crc, row.file_crc);
+  }
+
+  auto reparsed = ReelCatalog::Parse(catalog.value().Serialize());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed.value().parity.parity_reels,
+            catalog.value().parity.parity_reels);
+  EXPECT_EQ(reparsed.value().parity.stripe_bytes,
+            catalog.value().parity.stripe_bytes);
+  ASSERT_EQ(reparsed.value().parity.reels.size(), 2u);
+  for (size_t p = 0; p < 2; ++p) {
+    EXPECT_EQ(reparsed.value().parity.reels[p].name,
+              catalog.value().parity.reels[p].name);
+    EXPECT_EQ(reparsed.value().parity.reels[p].file_crc,
+              catalog.value().parity.reels[p].file_crc);
+  }
+}
+
+TEST(ReelSetParityTest, CorruptedParityCatalogSectionIsRejected) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 1400, 62);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 0, 63);
+  const std::string path = WriteSet("parity_badsection.uler", data, system,
+                                    ByFrames(4), /*parity_reels=*/1);
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  Bytes mutated = std::move(bytes).TakeValue();
+  // Break the parity section's magic (past the header, so the reel rows
+  // still parse) and re-seal the catalog CRC: the section itself must be
+  // rejected as corrupt, not masked by the file checksum.
+  size_t section = 0;
+  for (size_t i = 8; i + 4 <= mutated.size(); ++i) {
+    if (mutated[i] == 'U' && mutated[i + 1] == 'L' && mutated[i + 2] == 'E' &&
+        mutated[i + 3] == 'P') {
+      section = i;
+      break;
+    }
+  }
+  ASSERT_GT(section, 0u) << "catalog carries no ULE-P1 section";
+  mutated[section] = 'X';
+  const uint32_t crc = Crc32(BytesView(mutated).subspan(0, mutated.size() - 8));
+  for (int i = 0; i < 4; ++i) {
+    mutated[mutated.size() - 8 + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  ASSERT_TRUE(WriteFileBytes(path, mutated).ok());
+  auto reader = ReelSetReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kCorruption)
+      << reader.status().ToString();
+  EXPECT_NE(reader.status().message().find("trailing bytes"),
+            std::string::npos)
+      << reader.status().ToString();
+}
+
+TEST(ReelSetParityTest, ParityHealsLostReelsTransparently) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 2200, 64);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 500, 65);
+  const std::string path = WriteSet("parity_heal.uler", data, system,
+                                    ByFrames(4), /*parity_reels=*/2);
+  auto catalog = LoadCatalog(path);
+  ASSERT_TRUE(catalog.ok());
+  const size_t reels = catalog.value().reels.size();
+  ASSERT_GE(reels, 3u);
+  // Lose two whole reels — exactly the parity budget.
+  ASSERT_TRUE(std::filesystem::remove(testing::TempDir() +
+                                      catalog.value().reels[0].name));
+  ASSERT_TRUE(std::filesystem::remove(testing::TempDir() +
+                                      catalog.value().reels[reels - 1].name));
+
+  auto reader = ReelSetReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  // Every reel is serviceable again; the set remembers which two were
+  // rebuilt, and that their files on disk are still damaged.
+  EXPECT_EQ(reader.value()->surviving_reels(), reels);
+  EXPECT_EQ(reader.value()->reconstructed_reels(), 2u);
+  EXPECT_TRUE(reader.value()->reel_reconstructed(0));
+  EXPECT_TRUE(reader.value()->reel_reconstructed(reels - 1));
+  EXPECT_FALSE(reader.value()->reel_reconstructed(1));
+  EXPECT_TRUE(reader.value()->reel_status(0).ok());
+  EXPECT_FALSE(reader.value()->reel_damage(0).ok());
+
+  // Frame delivery is byte-identical to the undamaged archive, and the
+  // Bootstrap (lost with the final reel) is back.
+  auto source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+  ExpectSameFrames(Drain(*source), data.frames);
+  auto sys = reader.value()->OpenFrames(mocoder::StreamId::kSystem);
+  ExpectSameFrames(Drain(*sys), system.frames);
+  auto bootstrap = reader.value()->ReadBootstrap();
+  ASSERT_TRUE(bootstrap.ok()) << bootstrap.status().ToString();
+  EXPECT_EQ(bootstrap.value(), "THE BOOTSTRAP\n");
+
+  // Verify judges the artifact as stored: the reconstruction does not
+  // mask the damage, and the report names a lost reel.
+  Status verify = reader.value()->Verify();
+  ASSERT_FALSE(verify.ok());
+  EXPECT_NE(verify.message().find(catalog.value().reels[0].name),
+            std::string::npos)
+      << verify.ToString();
+
+  // reconstruct=false opens the set as a parity-less reader would: two
+  // reels dead, no recovery temp files written.
+  ReelSetReader::OpenOptions opt;
+  opt.reconstruct = false;
+  auto raw = ReelSetReader::Open(path, opt);
+  ASSERT_TRUE(raw.ok()) << raw.status().ToString();
+  EXPECT_EQ(raw.value()->surviving_reels(), reels - 2);
+  EXPECT_EQ(raw.value()->reconstructed_reels(), 0u);
+}
+
+TEST(ReelSetParityTest, LossBeyondParityBudgetDegradesLikeParityless) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 2200, 66);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 0, 67);
+  const std::string path = WriteSet("parity_beyond.uler", data, system,
+                                    ByFrames(4), /*parity_reels=*/1);
+  auto catalog = LoadCatalog(path);
+  ASSERT_TRUE(catalog.ok());
+  ASSERT_GE(catalog.value().reels.size(), 3u);
+  for (size_t i : {size_t{0}, size_t{1}}) {
+    ASSERT_TRUE(std::filesystem::remove(testing::TempDir() +
+                                        catalog.value().reels[i].name));
+  }
+  auto reader = ReelSetReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  // Two losses, one parity reel: no reconstruction, per-reel degradation
+  // exactly as in a parity-less set.
+  EXPECT_EQ(reader.value()->reconstructed_reels(), 0u);
+  EXPECT_EQ(reader.value()->surviving_reels(),
+            catalog.value().reels.size() - 2);
+  EXPECT_FALSE(reader.value()->reel_status(0).ok());
+  EXPECT_FALSE(reader.value()->Verify().ok());
+}
+
+TEST(ReelSetParityTest, VerifyNamesDamagedParityReel) {
+  const EncodedStream data = MakeStream(mocoder::StreamId::kData, 1400, 68);
+  const EncodedStream system = MakeStream(mocoder::StreamId::kSystem, 300, 69);
+  const std::string path = WriteSet("parity_flip.uler", data, system,
+                                    ByFrames(4), /*parity_reels=*/2);
+  auto catalog = LoadCatalog(path);
+  ASSERT_TRUE(catalog.ok());
+  const std::string parity_name = catalog.value().parity.reels[1].name;
+  const std::string parity_path = testing::TempDir() + parity_name;
+  auto bytes = ReadFileBytes(parity_path);
+  ASSERT_TRUE(bytes.ok());
+  Bytes mutated = std::move(bytes).TakeValue();
+  mutated[kParityReelHeaderBytes + 7] ^= 0x40;
+  ASSERT_TRUE(WriteFileBytes(parity_path, mutated).ok());
+
+  auto reader = ReelSetReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  // Data reels are untouched — nothing to reconstruct, frames intact —
+  // but the silent parity damage is on record and Verify names the file
+  // (this used to be skipped entirely).
+  EXPECT_EQ(reader.value()->reconstructed_reels(), 0u);
+  EXPECT_TRUE(reader.value()->parity_status(0).ok());
+  EXPECT_FALSE(reader.value()->parity_status(1).ok());
+  auto source = reader.value()->OpenFrames(mocoder::StreamId::kData);
+  ExpectSameFrames(Drain(*source), data.frames);
+  Status verify = reader.value()->Verify();
+  ASSERT_FALSE(verify.ok());
+  EXPECT_NE(verify.message().find(parity_name), std::string::npos)
+      << verify.ToString();
 }
 
 // ---------------------------------------------------------------------------

@@ -11,7 +11,9 @@ Fails (exit 1) when:
   * the ULE-R1 reel-set version in docs/FORMAT.md diverges from the
     kUleReelSetFormatVersion constant in src/filmstore/reel_set.h;
   * the ULE-S1 record-index version in docs/FORMAT.md diverges from the
-    kUleIndexFormatVersion constant in src/core/record_index.h.
+    kUleIndexFormatVersion constant in src/core/record_index.h;
+  * the ULE-P1 parity version in docs/FORMAT.md diverges from the
+    kUleParityFormatVersion constant in src/filmstore/parity.h.
 
 Run from anywhere: paths are resolved relative to the repository root
 (the parent of this script's directory). Stdlib only.
@@ -38,6 +40,9 @@ CODE_REELSET_RE = re.compile(
 DOC_INDEX_RE = re.compile(r"\*\*Index version:\s*`([^`]+)`\*\*")
 CODE_INDEX_RE = re.compile(
     r'kUleIndexFormatVersion\[\]\s*=\s*"([^"]+)"')
+DOC_PARITY_RE = re.compile(r"\*\*Parity version:\s*`([^`]+)`\*\*")
+CODE_PARITY_RE = re.compile(
+    r'kUleParityFormatVersion\[\]\s*=\s*"([^"]+)"')
 
 
 def github_slug(heading: str) -> str:
@@ -103,6 +108,9 @@ def check_version() -> list:
         ("index", DOC_INDEX_RE, CODE_INDEX_RE,
          REPO / "src" / "core" / "record_index.h",
          "kUleIndexFormatVersion"),
+        ("parity", DOC_PARITY_RE, CODE_PARITY_RE,
+         REPO / "src" / "filmstore" / "parity.h",
+         "kUleParityFormatVersion"),
     ]:
         doc = doc_re.search(fmt_text)
         code = code_re.search(header.read_text(encoding="utf-8"))

@@ -40,8 +40,10 @@
 #include "filmstore/container.h"
 #include "filmstore/directory_store.h"
 #include "filmstore/frame_store.h"
+#include "filmstore/parity.h"
 #include "filmstore/reel_reader.h"
 #include "filmstore/reel_set.h"
+#include "filmstore/scrub.h"
 #include "minidb/sqldump.h"
 #include "support/crc32.h"
 #include "support/io.h"
@@ -62,8 +64,12 @@ int Usage(const char* argv0) {
       "  restore   restore the SQL dump from a reel or reel set\n"
       "  inspect   describe a reel (geometry, records, sizes, reels)\n"
       "  verify    re-read every record and validate its checksums\n"
+      "            (exit 0 healthy, 1 repairable from parity, 2 data loss)\n"
       "  resume    recover an interrupted ULE-C1 spool: rescan its\n"
       "            complete records and seal it\n"
+      "  scrub     sweep a directory tree of archives: verify each,\n"
+      "            repair what ULE-P1 parity allows, report fleet health\n"
+      "            (exit codes as for verify, over the whole fleet)\n"
       "\n"
       "common options:\n"
       "  --in PATH          input (archive: SQL dump; others: the reel)\n"
@@ -80,6 +86,8 @@ int Usage(const char* argv0) {
       "  --shard-frames N   split the archive across reels of at most N\n"
       "                     frames each (--out names the ULE-R1 catalog)\n"
       "  --shard-bytes N    split across reels of at most N file bytes\n"
+      "  --parity M         also encode M ULE-P1 parity reels: any M whole\n"
+      "                     reels of the set can then be lost and rebuilt\n"
       "  --scheme NAME      dbcoder scheme: store|lzss|lzac|columnar\n"
       "  --data-side N      emblem data-area side (default 128)\n"
       "  --dots-per-cell N  render pitch (default 4)\n"
@@ -97,7 +105,14 @@ int Usage(const char* argv0) {
       "\n"
       "inspect options:\n"
       "  --index            also list the ULE-S1 record index (tables,\n"
-      "                     rows, chunks)\n",
+      "                     rows, chunks)\n"
+      "\n"
+      "scrub options (the bare path argument is the fleet root):\n"
+      "  --repair           rewrite damaged reels from parity in place\n"
+      "  --report PATH      write the JSON fleet health report here\n"
+      "  --checkpoint PATH  journal finished archives; a re-run with the\n"
+      "                     same journal resumes where the sweep stopped\n"
+      "  --max-archives N   scrub at most N new archives this run\n",
       argv0);
   return 2;
 }
@@ -121,6 +136,11 @@ struct Args {
   int dots_per_cell = 4;
   int shard_frames = 0;
   int64_t shard_bytes = 0;
+  int parity = 0;            ///< archive: ULE-P1 parity reels to encode
+  bool repair = false;       ///< scrub: rewrite damaged reels from parity
+  std::string report;        ///< scrub: JSON report path
+  std::string checkpoint;    ///< scrub: resume journal path
+  int max_archives = 0;      ///< scrub: bound on new archives this run
   dbcoder::Scheme scheme = dbcoder::Scheme::kLzac;
   bool no_index = false;    ///< archive: skip the ULE-S1 record index
   bool show_index = false;  ///< inspect: list the record index
@@ -227,6 +247,18 @@ Result<Args> ParseArgs(int argc, char** argv) {
     } else if (arg == "--shard-bytes") {
       ULE_ASSIGN_OR_RETURN(std::string v, value());
       ULE_ASSIGN_OR_RETURN(args.shard_bytes, ParseInt64(arg, v));
+    } else if (arg == "--parity") {
+      ULE_ASSIGN_OR_RETURN(std::string v, value());
+      ULE_ASSIGN_OR_RETURN(args.parity, ParseInt(arg, v));
+    } else if (arg == "--repair") {
+      args.repair = true;
+    } else if (arg == "--report") {
+      ULE_ASSIGN_OR_RETURN(args.report, value());
+    } else if (arg == "--checkpoint") {
+      ULE_ASSIGN_OR_RETURN(args.checkpoint, value());
+    } else if (arg == "--max-archives") {
+      ULE_ASSIGN_OR_RETURN(std::string v, value());
+      ULE_ASSIGN_OR_RETURN(args.max_archives, ParseInt(arg, v));
     } else if (arg == "--data-side") {
       ULE_ASSIGN_OR_RETURN(std::string v, value());
       ULE_ASSIGN_OR_RETURN(args.data_side, ParseInt(arg, v));
@@ -321,6 +353,11 @@ int RunArchive(const Args& args) {
         "--shard-frames/--shard-bytes shard across ULE-C1 reels; they do "
         "not combine with --dir"));
   }
+  if (args.parity > 0 && !sharded) {
+    return Fail(Status::InvalidArgument(
+        "--parity protects a sharded reel set; combine it with "
+        "--shard-frames or --shard-bytes"));
+  }
 
   // Every backend spools frame-at-a-time: nothing is materialized even
   // when the archive is far larger than RAM. All three writers speak
@@ -338,6 +375,7 @@ int RunArchive(const Args& args) {
     filmstore::ReelSetWriter::Options sopt;
     sopt.shard.max_frames_per_reel = static_cast<size_t>(args.shard_frames);
     sopt.shard.max_bytes_per_reel = static_cast<uint64_t>(args.shard_bytes);
+    sopt.parity_reels = args.parity;
     sopt.container.bitonal = args.pbm;
     // The archive's identity in the catalog: content-derived, so
     // re-archiving the same dump is recognizably the same archive.
@@ -388,6 +426,16 @@ int RunArchive(const Args& args) {
     for (const filmstore::ReelStats& reel : reelset->CurrentReelStats()) {
       std::printf("    %-18s %6zu frames %12llu bytes\n", reel.name.c_str(),
                   reel.frames, static_cast<unsigned long long>(reel.bytes));
+    }
+    const filmstore::ParityInfo& parity = reelset->catalog().parity;
+    if (parity.present()) {
+      std::printf("  parity reels      %u (%s; survives any %u lost reels)\n",
+                  parity.parity_reels, filmstore::kUleParityFormatVersion,
+                  parity.parity_reels);
+      for (const filmstore::CatalogParityReel& reel : parity.reels) {
+        std::printf("    %-18s %12llu bytes\n", reel.name.c_str(),
+                    static_cast<unsigned long long>(reel.bytes));
+      }
     }
   }
   return 0;
@@ -535,9 +583,24 @@ int RunInspect(const Args& args) {
       std::printf("    %-18s %6u frames %12llu bytes  %s\n",
                   row.name.c_str(), row.data_frames + row.system_frames,
                   static_cast<unsigned long long>(row.bytes),
-                  set->reel_status(i).ok()
-                      ? "ok"
-                      : set->reel_status(i).ToString().c_str());
+                  set->reel_reconstructed(i)
+                      ? "reconstructed from parity"
+                      : set->reel_status(i).ok()
+                            ? "ok"
+                            : set->reel_status(i).ToString().c_str());
+    }
+    if (catalog.parity.present()) {
+      std::printf("  parity version    %s (%u reels)\n",
+                  filmstore::kUleParityFormatVersion,
+                  catalog.parity.parity_reels);
+      for (size_t p = 0; p < catalog.parity.reels.size(); ++p) {
+        const filmstore::CatalogParityReel& row = catalog.parity.reels[p];
+        std::printf("    %-18s %12llu bytes  %s\n", row.name.c_str(),
+                    static_cast<unsigned long long>(row.bytes),
+                    set->parity_status(p).ok()
+                        ? "ok"
+                        : set->parity_status(p).ToString().c_str());
+      }
     }
   }
   std::printf("  emblem geometry   data_side %d, dots_per_cell %d, "
@@ -586,10 +649,35 @@ int RunVerify(const Args& args) {
   if (args.in.empty()) {
     return Fail(Status::InvalidArgument("verify needs a reel path"));
   }
-  auto reel = filmstore::OpenReel(args.in);
-  if (!reel.ok()) return Fail(reel.status());
+  // Exit contract (shared with scrub): 0 healthy, 1 damaged but
+  // repairable from ULE-P1 parity, 2 data loss / unreadable. Opened
+  // without transparent reconstruction: verify judges the artifact as
+  // stored and never writes into the archive directory.
+  filmstore::ReelOpenOptions ropt;
+  ropt.reconstruct = false;
+  auto reel = filmstore::OpenReel(args.in, ropt);
+  if (!reel.ok()) {
+    Fail(reel.status());
+    return 2;
+  }
   Status s = reel.value()->Verify();
-  if (!s.ok()) return Fail(s);
+  if (!s.ok()) {
+    Fail(s);
+    if (const auto* set = dynamic_cast<const filmstore::ReelSetReader*>(
+            reel.value().get())) {
+      const std::string dir =
+          std::filesystem::path(args.in).parent_path().string();
+      auto health = filmstore::AssessSet(set->catalog(), dir);
+      if (health.ok() && !health.value().clean() &&
+          filmstore::Recoverable(set->catalog(), health.value())) {
+        std::fprintf(stderr,
+                     "ulectl: repairable from parity — run `ulectl scrub "
+                     "--repair` on the archive's directory\n");
+        return 1;
+      }
+    }
+    return 2;
+  }
   const size_t records =
       reel.value()->frame_count(mocoder::StreamId::kData) +
       reel.value()->frame_count(mocoder::StreamId::kSystem) +
@@ -603,6 +691,45 @@ int RunVerify(const Args& args) {
               checksummed ? "every checksum valid"
                           : "every frame file parses");
   return 0;
+}
+
+int RunScrub(const Args& args) {
+  if (args.in.empty()) {
+    return Fail(Status::InvalidArgument(
+        "scrub needs the fleet root directory (bare path or --in)"));
+  }
+  filmstore::ScrubOptions options;
+  options.repair = args.repair;
+  options.threads = args.threads;
+  options.checkpoint_path = args.checkpoint;
+  options.max_archives = static_cast<size_t>(args.max_archives);
+  auto report = filmstore::ScrubFleet(args.in, options);
+  if (!report.ok()) return Fail(report.status());
+  const filmstore::FleetReport& fleet = report.value();
+
+  std::printf("%s: scrubbed %zu archives (%zu resumed from checkpoint)\n",
+              args.in.c_str(), fleet.archives.size(), fleet.resumed);
+  std::printf("  healthy           %zu\n", fleet.healthy);
+  std::printf("  repaired          %zu (%llu bytes rewritten)\n",
+              fleet.repaired,
+              static_cast<unsigned long long>(fleet.repaired_bytes));
+  std::printf("  repairable        %zu%s\n", fleet.repairable,
+              fleet.repairable > 0 ? " (re-run with --repair)" : "");
+  std::printf("  data loss         %zu\n", fleet.data_loss);
+  std::printf("  errors            %zu\n", fleet.errors);
+  for (const filmstore::ArchiveHealth& health : fleet.archives) {
+    if (health.state == filmstore::ArchiveState::kHealthy) continue;
+    std::printf("    %-10s %s%s%s\n",
+                filmstore::ArchiveStateName(health.state),
+                health.path.c_str(), health.detail.empty() ? "" : ": ",
+                health.detail.c_str());
+  }
+  if (!args.report.empty()) {
+    Status written = WriteFileText(args.report, fleet.ToJson());
+    if (!written.ok()) return Fail(written);
+    std::printf("  report            %s\n", args.report.c_str());
+  }
+  return fleet.ExitCode();
 }
 
 int RunResume(const Args& args) {
@@ -647,6 +774,7 @@ int main(int argc, char** argv) {
   if (command == "restore") return RunRestore(args.value());
   if (command == "inspect") return RunInspect(args.value());
   if (command == "verify") return RunVerify(args.value());
+  if (command == "scrub") return RunScrub(args.value());
   if (command == "resume") return RunResume(args.value());
   std::fprintf(stderr, "ulectl: unknown command: %s\n", command.c_str());
   return Usage(argv[0]);

@@ -13,11 +13,21 @@ ULE-C1 reels under a ULE-R1 catalog at --threads 4, inspect/verify the
 catalog, restore in parallel, and check a deleted reel is reported by
 name.
 
-Usage: ulectl_smoke.py [--sharded] /path/to/ulectl
+With --scrub, runs the fleet loop: 20 mixed archives (ULE-P1 parity
+reel sets and standalone containers) with injected whole-reel damage,
+swept by `ulectl scrub` with a checkpointed, resumable journal. Checks
+the verify/scrub exit-code contract (0 healthy, 1 repairable, 2 data
+loss), that --repair restores a damaged archive to a byte-identical
+round trip, and that the JSON health report matches the injected
+faults.
+
+Usage: ulectl_smoke.py [--sharded | --scrub] /path/to/ulectl
 """
 
 import filecmp
+import json
 import os
+import shutil
 import struct
 import subprocess
 import sys
@@ -143,19 +153,159 @@ def smoke_sharded(ulectl, td):
                        ["reel 1", "set-001.ulec"])
 
 
+def run_expect_exit(argv, code, needles=()):
+    """The command must exit with exactly `code` (the 0/1/2 contract)."""
+    print("+", " ".join(argv), flush=True)
+    proc = subprocess.run(argv, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    print(proc.stdout, end="", flush=True)
+    if proc.returncode != code:
+        sys.exit(f"expected exit {code}, got {proc.returncode}: "
+                 f"{' '.join(argv)}")
+    for needle in needles:
+        if needle not in proc.stdout:
+            sys.exit(f"output missing {needle!r} in: {proc.stdout}")
+    return proc.stdout
+
+
+def flip_byte(path, offset):
+    with open(path, "r+b") as f:
+        f.seek(offset)
+        byte = f.read(1)
+        f.seek(offset)
+        f.write(bytes([byte[0] ^ 0xFF]))
+
+
+def smoke_scrub(ulectl, td):
+    work = os.path.join(td, "work")
+    fleet = os.path.join(td, "fleet")
+    os.makedirs(work)
+    os.makedirs(fleet)
+    dump = os.path.join(td, "dump.sql")
+
+    # One real parity reel set and one standalone container, then a fleet
+    # of copies — 20 archives without 20 TPC-H runs.
+    base_set = os.path.join(work, "base")
+    os.makedirs(base_set)
+    run([ulectl, "archive", "--tpch", "0.0002", "--out",
+         os.path.join(base_set, "arch.uler"), "--dump-out", dump,
+         "--threads", "4", "--shard-frames", "32", "--parity", "2"])
+    out = run([ulectl, "inspect", os.path.join(base_set, "arch.uler")])
+    for needle in ("ULE-P1", "parity version", "arch-p00.ulep"):
+        if needle not in out:
+            sys.exit(f"inspect output missing {needle!r}")
+    base_box = os.path.join(work, "base.ulec")
+    run([ulectl, "archive", "--in", dump, "--out", base_box,
+         "--threads", "4"])
+
+    reels = sorted(f for f in os.listdir(base_set)
+                   if f.endswith(".ulec"))
+    if len(reels) < 4:
+        sys.exit(f"expected >= 4 data reels for the fault matrix, "
+                 f"got {len(reels)}")
+    for i in range(12):
+        shutil.copytree(base_set, os.path.join(fleet, f"set{i:02d}"))
+    for i in range(8):
+        shutil.copy(base_box, os.path.join(fleet, f"box{i}.ulec"))
+
+    # Injected faults (m = 2 parity reels per set):
+    #   set00..set03  one reel deleted            -> repairable
+    #   set04..set05  two reels deleted           -> repairable
+    #   set06         silent payload flip         -> repairable
+    #   set07         reel truncated to half      -> repairable
+    #   set08         three reels deleted         -> data loss
+    #   box0          silent payload flip         -> data loss (no parity)
+    #   set09..set11, box1..box7                  -> healthy
+    for i in range(4):
+        os.remove(os.path.join(fleet, f"set{i:02d}", reels[0]))
+    for i in (4, 5):
+        os.remove(os.path.join(fleet, f"set{i:02d}", reels[0]))
+        os.remove(os.path.join(fleet, f"set{i:02d}", reels[2]))
+    flip_byte(os.path.join(fleet, "set06", reels[1]), 4000)
+    trunc = os.path.join(fleet, "set07", reels[1])
+    os.truncate(trunc, os.path.getsize(trunc) // 2)
+    for name in reels[:3]:
+        os.remove(os.path.join(fleet, "set08", name))
+    flip_byte(os.path.join(fleet, "box0.ulec"), 4000)
+
+    # The verify exit-code contract, one archive of each class. A damaged
+    # archive must never report success (this used to be a silent skip).
+    run([ulectl, "verify", os.path.join(fleet, "set09", "arch.uler")])
+    run_expect_exit([ulectl, "verify",
+                     os.path.join(fleet, "set00", "arch.uler")], 1,
+                    ["repairable from parity"])
+    run_expect_exit([ulectl, "verify",
+                     os.path.join(fleet, "set08", "arch.uler")], 2)
+    run_expect_exit([ulectl, "verify", os.path.join(fleet, "box0.ulec")], 2)
+
+    # Dry sweep, interrupted after 7 archives and resumed: the final
+    # report must equal an uninterrupted sweep's, archive for archive.
+    ck = os.path.join(td, "checkpoint.tsv")
+    rep_resumed = os.path.join(td, "resumed.json")
+    rep_plain = os.path.join(td, "plain.json")
+    run_expect_exit([ulectl, "scrub", fleet, "--checkpoint", ck,
+                     "--max-archives", "7"], 2)
+    run_expect_exit([ulectl, "scrub", fleet, "--checkpoint", ck,
+                     "--report", rep_resumed], 2, ["resumed from checkpoint"])
+    run_expect_exit([ulectl, "scrub", fleet, "--report", rep_plain], 2)
+    with open(rep_resumed) as f:
+        resumed = json.load(f)
+    with open(rep_plain) as f:
+        plain = json.load(f)
+    if resumed != plain:
+        sys.exit("resumed fleet report differs from uninterrupted sweep")
+    if resumed["fleet"] != {"archives": 20, "healthy": 10, "repaired": 0,
+                            "repairable": 8, "data_loss": 2, "errors": 0,
+                            "repaired_bytes": 0}:
+        sys.exit(f"dry-sweep tallies wrong: {resumed['fleet']}")
+
+    # Repair sweep: every repairable archive is rewritten from parity;
+    # the two lost ones stay lost (exit 2).
+    rep_fix = os.path.join(td, "repair.json")
+    run_expect_exit([ulectl, "scrub", fleet, "--repair",
+                     "--report", rep_fix], 2)
+    with open(rep_fix) as f:
+        fixed = json.load(f)
+    tallies = fixed["fleet"]
+    if (tallies["repaired"], tallies["repairable"], tallies["healthy"],
+            tallies["data_loss"]) != (8, 0, 10, 2):
+        sys.exit(f"repair-sweep tallies wrong: {tallies}")
+    if tallies["repaired_bytes"] <= 0:
+        sys.exit("repair reported no bytes rewritten")
+
+    # Repaired archives verify clean and round-trip byte-identically.
+    run([ulectl, "verify", os.path.join(fleet, "set04", "arch.uler")])
+    restored = os.path.join(td, "restored.sql")
+    run([ulectl, "restore", "--in",
+         os.path.join(fleet, "set04", "arch.uler"), "--out", restored,
+         "--threads", "4"])
+    if not filecmp.cmp(dump, restored, shallow=False):
+        sys.exit("repaired archive: restored dump differs")
+
+    # A follow-up sweep finds nothing left to repair.
+    out = run_expect_exit([ulectl, "scrub", fleet], 2)
+    if "repairable        0" not in out:
+        sys.exit("repairable damage survived the repair sweep")
+
+
 def main():
     args = sys.argv[1:]
     sharded = "--sharded" in args
-    args = [a for a in args if a != "--sharded"]
-    if len(args) != 1:
-        sys.exit(f"usage: {sys.argv[0]} [--sharded] /path/to/ulectl")
+    scrub = "--scrub" in args
+    args = [a for a in args if a not in ("--sharded", "--scrub")]
+    if len(args) != 1 or (sharded and scrub):
+        sys.exit(f"usage: {sys.argv[0]} [--sharded | --scrub] "
+                 "/path/to/ulectl")
     ulectl = args[0]
     with tempfile.TemporaryDirectory(prefix="ulectl_smoke_") as td:
-        if sharded:
+        if scrub:
+            smoke_scrub(ulectl, td)
+        elif sharded:
             smoke_sharded(ulectl, td)
         else:
             smoke_single(ulectl, td)
-    print(f"ulectl {'sharded ' if sharded else ''}smoke test OK")
+    mode = "scrub " if scrub else "sharded " if sharded else ""
+    print(f"ulectl {mode}smoke test OK")
 
 
 if __name__ == "__main__":
