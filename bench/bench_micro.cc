@@ -12,12 +12,68 @@
 #include "dynarisc/machine.h"
 #include "mocoder/emblem.h"
 #include "olonys/dynarisc_in_verisc.h"
+#include "rs/gf256.h"
 #include "rs/reed_solomon.h"
 #include "support/crc32.h"
+#include "support/kernels.h"
 #include "support/random.h"
 
 namespace ule {
 namespace {
+
+// ---- Hot kernels: every compiled variant side by side -----------------
+
+void KernelArgs(benchmark::internal::Benchmark* b) {
+  const int variants = static_cast<int>(kernels::Available().size());
+  for (int v = 0; v < variants; ++v) {
+    for (int64_t len : {int64_t{64}, int64_t{4096}, int64_t{1} << 20}) {
+      b->Args({v, len});
+    }
+  }
+}
+
+void BM_Crc32(benchmark::State& state) {
+  const kernels::KernelSet& k =
+      *kernels::Available()[static_cast<size_t>(state.range(0))];
+  const size_t len = static_cast<size_t>(state.range(1));
+  const Bytes data = RandomBytes(11, len);
+  // Byte-identity asserted in-run: the measured variant must agree with
+  // scalar on the exact buffer being timed.
+  if (k.crc32_update(0xFFFFFFFFu, data.data(), len) !=
+      kernels::Scalar().crc32_update(0xFFFFFFFFu, data.data(), len)) {
+    state.SkipWithError("kernel disagrees with scalar");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.crc32_update(0xFFFFFFFFu, data.data(), len));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+  state.SetLabel(k.name);
+}
+BENCHMARK(BM_Crc32)->Apply(KernelArgs);
+
+void BM_Gf256MulAccum(benchmark::State& state) {
+  const kernels::KernelSet& k =
+      *kernels::Available()[static_cast<size_t>(state.range(0))];
+  const size_t len = static_cast<size_t>(state.range(1));
+  const Bytes src = RandomBytes(12, len);
+  Bytes dst(len, 0), ref(len, 0);
+  k.gf256_mul_accum(dst.data(), src.data(), 0x8E, len);
+  kernels::Scalar().gf256_mul_accum(ref.data(), src.data(), 0x8E, len);
+  if (dst != ref) {
+    state.SkipWithError("kernel disagrees with scalar");
+    return;
+  }
+  for (auto _ : state) {
+    k.gf256_mul_accum(dst.data(), src.data(), 0x8E, len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+  state.SetLabel(k.name);
+}
+BENCHMARK(BM_Gf256MulAccum)->Apply(KernelArgs);
 
 void BM_RsEncode255(benchmark::State& state) {
   static const rs::Codec codec(255, 223);

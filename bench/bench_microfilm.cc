@@ -24,6 +24,9 @@
 #include "media/scanner.h"
 #include "minidb/sqldump.h"
 #include "mocoder/outer.h"
+#include "rs/gf256.h"
+#include "support/crc32.h"
+#include "support/kernels.h"
 #include "support/parallel.h"
 #include "support/random.h"
 #include "tpch/tpch.h"
@@ -701,9 +704,80 @@ int main() {
   report.Add("microfilm_restore_native", 1, mf.restore_s, bytes);
   report.Add("cinema_archive", 1, cf.archive_s, bytes);
   report.Add("cinema_restore_native", 1, cf.restore_s, bytes);
+
+  // ---- Hot kernels: scalar baseline vs the dispatched tier, over a
+  // scrub-shaped buffer (bigger than any cache level). Byte-identity of
+  // the measured variant is asserted in-run and folded into the exit
+  // code — a fast-but-wrong kernel fails the bench, not just the gate.
+  // Placed last so the earlier peak-RSS gauges are undisturbed.
+  bool kernels_ok = true;
+  {
+    constexpr size_t kKernelBufBytes = size_t{8} << 20;
+    Rng krng(0xC0DEC);
+    const Bytes kbuf = RandomBytes(&krng, kKernelBufBytes);
+    const kernels::KernelSet& scalar = kernels::Scalar();
+    const kernels::KernelSet& active = kernels::Active();
+
+    constexpr int kCrcIters = 24;
+    auto time_crc = [&](const kernels::KernelSet& k, uint32_t* out) {
+      uint32_t acc = 0xFFFFFFFFu;
+      const auto t0 = Clock::now();
+      for (int i = 0; i < kCrcIters; ++i) {
+        acc = k.crc32_update(acc, kbuf.data(), kbuf.size());
+      }
+      *out = acc;
+      return std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+    uint32_t crc_scalar = 0, crc_active = 0;
+    const double crc_scalar_s = time_crc(scalar, &crc_scalar);
+    const double crc_active_s = time_crc(active, &crc_active);
+    kernels_ok = kernels_ok && crc_scalar == crc_active;
+
+    constexpr int kGfIters = 24;
+    auto time_gf = [&](const kernels::KernelSet& k, Bytes* acc) {
+      acc->assign(kKernelBufBytes, 0);
+      const auto t0 = Clock::now();
+      for (int i = 0; i < kGfIters; ++i) {
+        k.gf256_mul_accum(acc->data(), kbuf.data(),
+                          static_cast<uint8_t>(2 + i), kKernelBufBytes);
+      }
+      return std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+    Bytes gf_scalar, gf_active;
+    const double gf_scalar_s = time_gf(scalar, &gf_scalar);
+    const double gf_active_s = time_gf(active, &gf_active);
+    kernels_ok = kernels_ok && gf_scalar == gf_active;
+
+    const double kb = static_cast<double>(kKernelBufBytes);
+    const double crc_mb_s = kCrcIters * kb / crc_active_s / 1e6;
+    const double gf_mb_s = kGfIters * kb / gf_active_s / 1e6;
+    std::printf("\nhot kernels (%s):\n", kernels::Describe().c_str());
+    std::printf("  %-28s %10.0f MB/s   scalar %8.0f MB/s   %5.1fx\n",
+                "crc32 digest", crc_mb_s,
+                kCrcIters * kb / crc_scalar_s / 1e6,
+                crc_scalar_s / crc_active_s);
+    std::printf("  %-28s %10.0f MB/s   scalar %8.0f MB/s   %5.1fx\n",
+                "gf256 multiply-accumulate", gf_mb_s,
+                kGfIters * kb / gf_scalar_s / 1e6,
+                gf_scalar_s / gf_active_s);
+    std::printf("  byte-identical to scalar: %s\n",
+                kernels_ok ? "yes" : "NO");
+
+    report.Add("crc32_digest_scalar", kCrcIters, crc_scalar_s,
+               kCrcIters * kb);
+    report.Add("crc32_digest_active", kCrcIters, crc_active_s,
+               kCrcIters * kb);
+    report.Add("gf256_accum_scalar", kGfIters, gf_scalar_s, kGfIters * kb);
+    report.Add("gf256_accum_active", kGfIters, gf_active_s, kGfIters * kb);
+    report.AddGauge("crc32_kernel_speedup", crc_scalar_s / crc_active_s,
+                    "x");
+    report.AddGauge("gf256_kernel_speedup", gf_scalar_s / gf_active_s,
+                    "x");
+  }
+
   report.Write("microfilm");
   return (mf.exact && cf.exact && st.exact && sp.exact && sharded_exact &&
-          ps.ok && big_mat.exact && memstore_exact && sel.ok)
+          ps.ok && big_mat.exact && memstore_exact && sel.ok && kernels_ok)
              ? 0
              : 1;
 }

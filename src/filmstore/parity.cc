@@ -1,7 +1,6 @@
 #include "filmstore/parity.h"
 
 #include <algorithm>
-#include <array>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -11,6 +10,7 @@
 #include "rs/reed_solomon.h"
 #include "support/crc32.h"
 #include "support/io.h"
+#include "support/parallel.h"
 
 namespace ule {
 namespace filmstore {
@@ -78,18 +78,6 @@ Result<std::vector<std::vector<uint8_t>>> ParityCoefficients(size_t n,
   return coeff;
 }
 
-/// 256-entry multiply table for a fixed factor: the hot per-byte loops
-/// become one lookup per (stream, byte).
-std::array<uint8_t, 256> MulTable(uint8_t c) {
-  std::array<uint8_t, 256> table{};
-  if (c != 0) {
-    for (int x = 1; x < 256; ++x) {
-      table[x] = rs::Gf256::Mul(c, static_cast<uint8_t>(x));
-    }
-  }
-  return table;
-}
-
 /// One input stream of a striped pass: `payload_bytes` real bytes at
 /// `offset` in the file, zero-padded (implicitly — zeros contribute
 /// nothing to a GF(256) linear combination) to the stripe.
@@ -137,7 +125,6 @@ Status StripeTransform(const std::vector<StripeInput>& inputs,
     uint32_t crc = 0;
   };
   std::vector<OpenOutput> out(outputs.size());
-  std::vector<std::vector<std::array<uint8_t, 256>>> tables(outputs.size());
   for (size_t o = 0; o < outputs.size(); ++o) {
     out[o].tmp_path = outputs[o].path + ".ule-tmp";
     out[o].file.open(out[o].tmp_path,
@@ -153,10 +140,6 @@ Status StripeTransform(const std::vector<StripeInput>& inputs,
       out[o].bytes = outputs[o].head.size();
     }
     out[o].remaining = outputs[o].payload_bytes;
-    tables[o].reserve(inputs.size());
-    for (size_t r = 0; r < inputs.size(); ++r) {
-      tables[o].push_back(MulTable(weights[o][r]));
-    }
   }
 
   std::vector<uint64_t> in_remaining(inputs.size());
@@ -182,10 +165,10 @@ Status StripeTransform(const std::vector<StripeInput>& inputs,
       }
       in_remaining[r] -= want;
       for (size_t o = 0; o < outputs.size(); ++o) {
-        const std::array<uint8_t, 256>& table = tables[o][r];
-        uint8_t* dst = acc[o].data();
-        const uint8_t* src = buf.data();
-        for (size_t j = 0; j < want; ++j) dst[j] ^= table[src[j]];
+        // acc_o ^= weights[o][r] * chunk — the SIMD-dispatched GF(256)
+        // kernel (support/kernels.h), byte-identical to the old lookup.
+        rs::Gf256::MulSliceAccum(acc[o].data(), buf.data(), weights[o][r],
+                                 want);
       }
     }
     for (size_t o = 0; o < outputs.size(); ++o) {
@@ -223,42 +206,6 @@ Status StripeTransform(const std::vector<StripeInput>& inputs,
     }
   }
   return Status::OK();
-}
-
-/// Inverts an n×n GF(256) matrix by Gauss–Jordan elimination. RS is
-/// MDS, so every matrix this file builds from surviving streams is
-/// invertible; a singular one means the caller's bookkeeping is wrong.
-Result<std::vector<std::vector<uint8_t>>> InvertMatrix(
-    std::vector<std::vector<uint8_t>> a) {
-  const size_t n = a.size();
-  std::vector<std::vector<uint8_t>> inv(n, std::vector<uint8_t>(n, 0));
-  for (size_t i = 0; i < n; ++i) inv[i][i] = 1;
-  for (size_t col = 0; col < n; ++col) {
-    size_t pivot = col;
-    while (pivot < n && a[pivot][col] == 0) ++pivot;
-    if (pivot == n) {
-      return Status::ExecutionFault(
-          "singular reconstruction matrix (RS code is MDS; this is a bug)");
-    }
-    std::swap(a[pivot], a[col]);
-    std::swap(inv[pivot], inv[col]);
-    const uint8_t inv_pivot = rs::Gf256::Inv(a[col][col]);
-    for (size_t j = 0; j < n; ++j) {
-      a[col][j] = rs::Gf256::Mul(a[col][j], inv_pivot);
-      inv[col][j] = rs::Gf256::Mul(inv[col][j], inv_pivot);
-    }
-    for (size_t row = 0; row < n; ++row) {
-      if (row == col || a[row][col] == 0) continue;
-      const uint8_t factor = a[row][col];
-      for (size_t j = 0; j < n; ++j) {
-        a[row][j] = static_cast<uint8_t>(
-            a[row][j] ^ rs::Gf256::Mul(factor, a[col][j]));
-        inv[row][j] = static_cast<uint8_t>(
-            inv[row][j] ^ rs::Gf256::Mul(factor, inv[col][j]));
-      }
-    }
-  }
-  return inv;
 }
 
 uint64_t StripeLength(const ReelCatalog& catalog) {
@@ -354,22 +301,43 @@ Result<ReelCatalog> ParityReelWriter::Build(const std::string& catalog_path,
 
 Result<SetHealth> AssessSet(const ReelCatalog& catalog,
                             const std::string& dir) {
+  // Digest every reel of the set in parallel on the shared pool — the
+  // whole-file CRC pass dominates assessment, and the files are
+  // independent. Each index writes only its own flag slot, and the
+  // health rows are assembled serially afterwards, so the report is
+  // byte-identical to the old serial sweep regardless of thread count.
+  const size_t n = catalog.reels.size();
+  const size_t total = n + catalog.parity.reels.size();
+  std::vector<uint8_t> damaged(total, 0);
+  const Status digest_sweep = ParallelFor(0, total, [&](size_t i) {
+    uint64_t want_bytes = 0;
+    uint32_t want_crc = 0;
+    std::string path;
+    if (i < n) {
+      const CatalogReel& row = catalog.reels[i];
+      path = JoinPath(dir, row.name);
+      want_bytes = row.bytes;
+      want_crc = row.file_crc;
+    } else {
+      const CatalogParityReel& row = catalog.parity.reels[i - n];
+      path = JoinPath(dir, row.name);
+      want_bytes = row.bytes;
+      want_crc = row.file_crc;
+    }
+    auto digest = DigestFile(path);
+    if (!digest.ok() || digest.value().bytes != want_bytes ||
+        digest.value().crc != want_crc) {
+      damaged[i] = 1;
+    }
+    return Status::OK();  // an unreadable reel is damage, not an error
+  });
+  ULE_RETURN_IF_ERROR(digest_sweep);
   SetHealth health;
-  for (size_t i = 0; i < catalog.reels.size(); ++i) {
-    const CatalogReel& row = catalog.reels[i];
-    auto digest = DigestFile(JoinPath(dir, row.name));
-    if (!digest.ok() || digest.value().bytes != row.bytes ||
-        digest.value().crc != row.file_crc) {
-      health.damaged_data.push_back(i);
-    }
+  for (size_t i = 0; i < n; ++i) {
+    if (damaged[i]) health.damaged_data.push_back(i);
   }
-  for (size_t p = 0; p < catalog.parity.reels.size(); ++p) {
-    const CatalogParityReel& row = catalog.parity.reels[p];
-    auto digest = DigestFile(JoinPath(dir, row.name));
-    if (!digest.ok() || digest.value().bytes != row.bytes ||
-        digest.value().crc != row.file_crc) {
-      health.damaged_parity.push_back(p);
-    }
+  for (size_t p = n; p < total; ++p) {
+    if (damaged[p]) health.damaged_parity.push_back(p - n);
   }
   return health;
 }
@@ -425,7 +393,7 @@ Result<uint64_t> ReconstructDamaged(const ReelCatalog& catalog,
     }
   }
   ULE_ASSIGN_OR_RETURN(std::vector<std::vector<uint8_t>> inv,
-                       InvertMatrix(std::move(a)));
+                       rs::InvertGf256Matrix(std::move(a)));
 
   std::vector<StripeInput> inputs(n);
   for (size_t r = 0; r < n; ++r) {

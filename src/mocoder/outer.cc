@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "rs/gf256.h"
 #include "rs/reed_solomon.h"
 
 namespace ule {
@@ -62,18 +63,21 @@ std::vector<std::optional<Bytes>> BuildGroupPayloads(BytesView stream,
       out[static_cast<size_t>(g) * kGroupSize + s] =
           data[static_cast<size_t>(s)];
     }
-    // Column-wise RS(20,17): three parity bytes per byte position.
+    // RS(20,17), one codeword per byte position — but computed as whole
+    // rows: parity row p is the GF(256) linear combination
+    // `XOR_s weights[s][p] * data_row_s` (parity is linear in the data),
+    // which the SIMD MulSliceAccum kernel walks 16/32 bytes at a time.
+    // Byte-identical to the old per-column Encode loop.
+    static const std::vector<Bytes> weights = outer.ParityWeights();
     std::vector<Bytes> parity(kGroupParity,
                               Bytes(static_cast<size_t>(capacity), 0));
-    Bytes column(kGroupData);
-    for (int j = 0; j < capacity; ++j) {
-      for (int s = 0; s < kGroupData; ++s) {
-        column[static_cast<size_t>(s)] = data[static_cast<size_t>(s)][static_cast<size_t>(j)];
-      }
-      Bytes cw = outer.Encode(column).TakeValue();
+    for (int s = 0; s < kGroupData; ++s) {
       for (int p = 0; p < kGroupParity; ++p) {
-        parity[static_cast<size_t>(p)][static_cast<size_t>(j)] =
-            cw[static_cast<size_t>(kGroupData + p)];
+        rs::Gf256::MulSliceAccum(
+            parity[static_cast<size_t>(p)].data(),
+            data[static_cast<size_t>(s)].data(),
+            weights[static_cast<size_t>(s)][static_cast<size_t>(p)],
+            static_cast<size_t>(capacity));
       }
     }
     for (int p = 0; p < kGroupParity; ++p) {
@@ -117,8 +121,64 @@ Result<std::vector<Bytes>> RecoverGroupData(
   std::vector<Bytes> recovered(missing_real.size(),
                                Bytes(static_cast<size_t>(capacity), 0));
   if (!missing_real.empty()) {
+    // Bulk erasure repair, whole rows at a time. Per byte column the
+    // received word (zeros at the missing slots) is codeword + e with e
+    // supported on the missing positions, so its syndromes reduce to
+    // `S_i = XOR_m e_m * SyndromeFactor(i, pos_m)` — a rho×rho linear
+    // system whose matrix depends only on the erasure *positions*.
+    // Accumulate syndrome rows with one MulSliceAccum per present slot,
+    // solve the little system once, and every missing row is a linear
+    // combination of syndrome rows.
+    const size_t rho = missing_real.size();
+    std::vector<Bytes> synd(kGroupParity,
+                            Bytes(static_cast<size_t>(capacity), 0));
+    for (int i = 0; i < kGroupParity; ++i) {
+      for (int s = 0; s < kGroupSize; ++s) {
+        if (!slot[static_cast<size_t>(s)]) continue;  // zero row
+        rs::Gf256::MulSliceAccum(synd[static_cast<size_t>(i)].data(),
+                                 slot[static_cast<size_t>(s)]->data(),
+                                 outer.SyndromeFactor(i, s),
+                                 static_cast<size_t>(capacity));
+      }
+    }
+    std::vector<std::vector<uint8_t>> a(rho, std::vector<uint8_t>(rho, 0));
+    for (size_t i = 0; i < rho; ++i) {
+      for (size_t m = 0; m < rho; ++m) {
+        a[i][m] = outer.SyndromeFactor(static_cast<int>(i), missing_real[m]);
+      }
+    }
+    ULE_ASSIGN_OR_RETURN(std::vector<std::vector<uint8_t>> inv,
+                         rs::InvertGf256Matrix(std::move(a)));
+    for (size_t m = 0; m < rho; ++m) {
+      for (size_t i = 0; i < rho; ++i) {
+        rs::Gf256::MulSliceAccum(recovered[m].data(),
+                                 synd[static_cast<size_t>(i)].data(),
+                                 inv[m][i], static_cast<size_t>(capacity));
+      }
+    }
+
+    // The solve consumes rho of the 3 syndromes; when rho < 3 the spare
+    // ones must also vanish for the repaired word to be a codeword.
+    // Columns where they don't hold a byte *error* on top of the
+    // erasures — exactly what the full decoder can still fix (or
+    // reject) — so those fall back to the per-column path, ascending,
+    // which keeps results and first-failure statuses identical to the
+    // old all-columns Decode loop.
+    Bytes residual(static_cast<size_t>(capacity), 0);
+    for (int i = static_cast<int>(rho); i < kGroupParity; ++i) {
+      Bytes check = synd[static_cast<size_t>(i)];
+      for (size_t m = 0; m < rho; ++m) {
+        rs::Gf256::MulSliceAccum(check.data(), recovered[m].data(),
+                                 outer.SyndromeFactor(i, missing_real[m]),
+                                 static_cast<size_t>(capacity));
+      }
+      for (int j = 0; j < capacity; ++j) {
+        residual[static_cast<size_t>(j)] |= check[static_cast<size_t>(j)];
+      }
+    }
     Bytes column(kGroupSize, 0);
     for (int j = 0; j < capacity; ++j) {
+      if (residual[static_cast<size_t>(j)] == 0) continue;
       for (int s = 0; s < kGroupSize; ++s) {
         column[static_cast<size_t>(s)] =
             slot[static_cast<size_t>(s)]
@@ -127,9 +187,11 @@ Result<std::vector<Bytes>> RecoverGroupData(
       }
       auto fixed = outer.Decode(column, missing_real);
       if (!fixed.ok()) return fixed.status();
-      for (size_t m = 0; m < missing_real.size(); ++m) {
-        recovered[m][static_cast<size_t>(j)] =
-            fixed.value()[static_cast<size_t>(missing_real[m])];
+      for (size_t m = 0; m < rho; ++m) {
+        if (missing_real[m] < kGroupData) {
+          recovered[m][static_cast<size_t>(j)] =
+              fixed.value()[static_cast<size_t>(missing_real[m])];
+        }
       }
     }
   }

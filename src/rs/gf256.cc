@@ -3,6 +3,8 @@
 #include <array>
 #include <cassert>
 
+#include "support/kernels.h"
+
 namespace ule {
 namespace rs {
 namespace {
@@ -62,6 +64,11 @@ uint8_t Gf256::Pow(uint8_t x, int power) {
 uint8_t Gf256::Inv(uint8_t x) {
   assert(x != 0 && "inverse of zero");
   return T().exp[255 - T().log[x]];
+}
+
+void Gf256::MulSliceAccum(uint8_t* dst, const uint8_t* src, uint8_t factor,
+                          size_t n) {
+  kernels::Gf256MulAccum(dst, src, factor, n);
 }
 
 }  // namespace rs

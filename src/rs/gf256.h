@@ -8,6 +8,7 @@
 #ifndef ULE_RS_GF256_H_
 #define ULE_RS_GF256_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace ule {
@@ -26,6 +27,15 @@ class Gf256 {
   static uint8_t Div(uint8_t a, uint8_t b);
   static uint8_t Pow(uint8_t x, int power);
   static uint8_t Inv(uint8_t x);
+
+  /// Bulk multiply-accumulate: `dst[i] ^= factor * src[i]` for i in
+  /// [0, n). `dst` and `src` must not overlap. This is the one GF
+  /// primitive worth vectorizing — RS encode, parity striping, and
+  /// erasure reconstruction are all linear combinations of byte rows —
+  /// and it routes through the runtime-dispatched SIMD kernel layer
+  /// (support/kernels.h), byte-identical to `Mul` per element.
+  static void MulSliceAccum(uint8_t* dst, const uint8_t* src, uint8_t factor,
+                            size_t n);
 };
 
 }  // namespace rs

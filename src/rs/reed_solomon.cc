@@ -93,13 +93,64 @@ Result<Bytes> Codec::Encode(BytesView data) const {
   for (int i = 0; i < k_; ++i) {
     const uint8_t coef = work[i];
     if (coef == 0) continue;
-    for (size_t j = 1; j < generator_.size(); ++j) {
-      work[i + j] ^= G::Mul(generator_[j], coef);
-    }
+    // work[i + j] ^= generator_[j] * coef for j in [1, r] — one bulk
+    // multiply-accumulate over the generator tail per data symbol.
+    G::MulSliceAccum(&work[static_cast<size_t>(i) + 1], generator_.data() + 1,
+                     coef, generator_.size() - 1);
   }
   Bytes codeword(data.begin(), data.end());
   codeword.insert(codeword.end(), work.begin() + k_, work.end());
   return codeword;
+}
+
+std::vector<Bytes> Codec::ParityWeights() const {
+  std::vector<Bytes> rows(static_cast<size_t>(k_));
+  Bytes unit(static_cast<size_t>(k_), 0);
+  for (int i = 0; i < k_; ++i) {
+    unit[static_cast<size_t>(i)] = 1;
+    Bytes cw = Encode(unit).TakeValue();  // size == k_: cannot fail
+    rows[static_cast<size_t>(i)] = Bytes(cw.begin() + k_, cw.end());
+    unit[static_cast<size_t>(i)] = 0;
+  }
+  return rows;
+}
+
+uint8_t Codec::SyndromeFactor(int i, int pos) const {
+  assert(i >= 0 && i < n_ - k_ && pos >= 0 && pos < n_);
+  return G::Exp(((kFcr + i) * (n_ - 1 - pos)) % 255);
+}
+
+Result<std::vector<std::vector<uint8_t>>> InvertGf256Matrix(
+    std::vector<std::vector<uint8_t>> a) {
+  const size_t n = a.size();
+  std::vector<std::vector<uint8_t>> inv(n, std::vector<uint8_t>(n, 0));
+  for (size_t i = 0; i < n; ++i) inv[i][i] = 1;
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    while (pivot < n && a[pivot][col] == 0) ++pivot;
+    if (pivot == n) {
+      return Status::ExecutionFault(
+          "singular reconstruction matrix (RS code is MDS; this is a bug)");
+    }
+    std::swap(a[pivot], a[col]);
+    std::swap(inv[pivot], inv[col]);
+    const uint8_t inv_pivot = G::Inv(a[col][col]);
+    for (size_t j = 0; j < n; ++j) {
+      a[col][j] = G::Mul(a[col][j], inv_pivot);
+      inv[col][j] = G::Mul(inv[col][j], inv_pivot);
+    }
+    for (size_t row = 0; row < n; ++row) {
+      if (row == col || a[row][col] == 0) continue;
+      const uint8_t factor = a[row][col];
+      for (size_t j = 0; j < n; ++j) {
+        a[row][j] =
+            static_cast<uint8_t>(a[row][j] ^ G::Mul(factor, a[col][j]));
+        inv[row][j] =
+            static_cast<uint8_t>(inv[row][j] ^ G::Mul(factor, inv[col][j]));
+      }
+    }
+  }
+  return inv;
 }
 
 Result<Bytes> Codec::Decode(BytesView codeword, const std::vector<int>& erasures,

@@ -57,11 +57,37 @@ class Codec {
   Result<Bytes> Decode(BytesView codeword, const std::vector<int>& erasures = {},
                        DecodeInfo* info = nullptr) const;
 
+  /// \brief Parity weight rows of the systematic code.
+  ///
+  /// Row i (k rows of parity() bytes each) is the parity of the i-th
+  /// unit data vector; parity is linear in the data, so the parity of
+  /// any word is `XOR_i data[i] * row_i`. Callers encoding many
+  /// codewords that share byte positions (one codeword per byte column
+  /// across a group of streams) can therefore produce whole parity
+  /// *rows* with `Gf256::MulSliceAccum` — byte-identical to per-column
+  /// Encode, k*parity() multiplies per row instead of per byte.
+  std::vector<Bytes> ParityWeights() const;
+
+  /// \brief The GF(256) weight of codeword byte `pos` in syndrome S_i,
+  /// i.e. alpha^((fcr + i) * (n-1-pos)) for i in [0, parity()).
+  ///
+  /// Lets callers accumulate the syndromes of whole byte rows (one
+  /// MulSliceAccum per present row) for bulk erasure reconstruction;
+  /// matches exactly what Decode computes per codeword.
+  uint8_t SyndromeFactor(int i, int pos) const;
+
  private:
   int n_;
   int k_;
   Bytes generator_;  // monic generator polynomial, descending powers
 };
+
+/// Inverts a square GF(256) matrix by Gauss–Jordan elimination. Every
+/// matrix the erasure paths build from surviving streams of an MDS code
+/// is invertible; a singular input fails with ExecutionFault (caller
+/// bookkeeping bug, not data damage).
+Result<std::vector<std::vector<uint8_t>>> InvertGf256Matrix(
+    std::vector<std::vector<uint8_t>> a);
 
 }  // namespace rs
 }  // namespace ule

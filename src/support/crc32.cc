@@ -1,31 +1,15 @@
 #include "support/crc32.h"
 
-#include <array>
+#include "support/kernels.h"
 
 namespace ule {
-namespace {
-
-std::array<uint32_t, 256> BuildTable() {
-  std::array<uint32_t, 256> table{};
-  for (uint32_t i = 0; i < 256; ++i) {
-    uint32_t c = i;
-    for (int k = 0; k < 8; ++k) {
-      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
-    }
-    table[i] = c;
-  }
-  return table;
-}
-
-}  // namespace
 
 uint32_t Crc32(BytesView data, uint32_t seed) {
-  static const std::array<uint32_t, 256> kTable = BuildTable();
-  uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (uint8_t byte : data) {
-    c = kTable[(c ^ byte) & 0xFF] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
+  // The wrapper owns the inversion convention; the kernel updates the
+  // raw register. Tables are constexpr inside the kernel layer, so a
+  // cold first call does no table build.
+  return kernels::Crc32Update(seed ^ 0xFFFFFFFFu, data.data(), data.size()) ^
+         0xFFFFFFFFu;
 }
 
 }  // namespace ule

@@ -1,0 +1,188 @@
+/// \file kernels_ssse3.cc
+/// \brief SSE-tier kernels: PSHUFB split-nibble GF(256) multiply and
+/// PCLMULQDQ CRC-32 folding.
+///
+/// Compiled with `-mssse3 -msse4.1 -mpclmul` on x86 (src/CMakeLists.txt);
+/// elsewhere the guards compile this file down to null pointers and the
+/// dispatcher never offers the tier. Bodies run only after kernels.cc
+/// has confirmed the matching CPUID bits.
+
+#include "support/kernels_internal.h"
+
+#if defined(__SSSE3__)
+#include <tmmintrin.h>
+#endif
+#if defined(__PCLMUL__) && defined(__SSE4_1__)
+#include <smmintrin.h>
+#include <wmmintrin.h>
+#endif
+
+namespace ule {
+namespace kernels {
+namespace internal {
+namespace {
+
+#if defined(__SSSE3__)
+
+// dst[i] ^= factor * src[i], 16 bytes per PSHUFB pair. The two 16-entry
+// nibble rows for `factor` come from the shared constexpr kGfNib blob,
+// so this computes exactly what the scalar kernel computes.
+void Gf256MulAccumSsse3(uint8_t* dst, const uint8_t* src, uint8_t factor,
+                        size_t n) {
+  if (factor == 0) return;
+  const uint8_t* lo_row = kGfNib.lo[factor];
+  const uint8_t* hi_row = kGfNib.hi[factor];
+  const __m128i lo = _mm_load_si128(reinterpret_cast<const __m128i*>(lo_row));
+  const __m128i hi = _mm_load_si128(reinterpret_cast<const __m128i*>(hi_row));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i d = _mm_loadu_si128(reinterpret_cast<__m128i*>(dst + i));
+    const __m128i l = _mm_shuffle_epi8(lo, _mm_and_si128(s, mask));
+    const __m128i h =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(s, 4), mask));
+    d = _mm_xor_si128(d, _mm_xor_si128(l, h));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), d);
+  }
+  for (; i < n; ++i) {
+    const uint8_t s = src[i];
+    dst[i] ^= static_cast<uint8_t>(lo_row[s & 0x0F] ^ hi_row[s >> 4]);
+  }
+}
+
+#endif  // __SSSE3__
+
+#if defined(__PCLMUL__) && defined(__SSE4_1__)
+
+// CRC-32 (IEEE, reflected 0xEDB88320) by carry-less-multiply folding,
+// after Gopal et al., "Fast CRC Computation for Generic Polynomials
+// Using PCLMULQDQ" (Intel whitepaper, 2009) — the same constants and
+// schedule zlib's crc32_simd uses. Folds 64 bytes per iteration into
+// four 128-bit accumulators, reduces to one, then Barrett-reduces to
+// the 32-bit register. Requires n >= 64 and n % 16 == 0; the exported
+// wrapper below stitches arbitrary head/tail bytes with Crc32Slice8
+// (same polynomial, so the composition is bit-exact).
+alignas(16) const uint64_t kK1K2[2] = {0x0154442bd4, 0x01c6e41596};
+alignas(16) const uint64_t kK3K4[2] = {0x01751997d0, 0x00ccaa009e};
+alignas(16) const uint64_t kK5K0[2] = {0x0163cd6124, 0x0000000000};
+alignas(16) const uint64_t kPoly[2] = {0x01db710641, 0x01f7011641};
+
+uint32_t Crc32PclmulBlock(uint32_t crc, const uint8_t* buf, size_t len) {
+  __m128i x0, x1, x2, x3, x4, x5, x6, x7, x8, y5, y6, y7, y8;
+
+  x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x00));
+  x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x10));
+  x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x20));
+  x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x30));
+
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(crc)));
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(kK1K2));
+
+  buf += 64;
+  len -= 64;
+
+  while (len >= 64) {
+    x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+    x6 = _mm_clmulepi64_si128(x2, x0, 0x00);
+    x7 = _mm_clmulepi64_si128(x3, x0, 0x00);
+    x8 = _mm_clmulepi64_si128(x4, x0, 0x00);
+
+    x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+    x2 = _mm_clmulepi64_si128(x2, x0, 0x11);
+    x3 = _mm_clmulepi64_si128(x3, x0, 0x11);
+    x4 = _mm_clmulepi64_si128(x4, x0, 0x11);
+
+    y5 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x00));
+    y6 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x10));
+    y7 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x20));
+    y8 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 0x30));
+
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x5), y5);
+    x2 = _mm_xor_si128(_mm_xor_si128(x2, x6), y6);
+    x3 = _mm_xor_si128(_mm_xor_si128(x3, x7), y7);
+    x4 = _mm_xor_si128(_mm_xor_si128(x4, x8), y8);
+
+    buf += 64;
+    len -= 64;
+  }
+
+  // Fold the four accumulators into one.
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(kK3K4));
+
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x2), x5);
+
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x3), x5);
+
+  x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, x4), x5);
+
+  // Single 16-byte folds for the remainder.
+  while (len >= 16) {
+    x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf));
+    x5 = _mm_clmulepi64_si128(x1, x0, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, x0, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, x2), x5);
+    buf += 16;
+    len -= 16;
+  }
+
+  // 128 -> 64 bits.
+  x2 = _mm_clmulepi64_si128(x1, x0, 0x10);
+  x3 = _mm_setr_epi32(~0, 0, ~0, 0);
+  x1 = _mm_srli_si128(x1, 8);
+  x1 = _mm_xor_si128(x1, x2);
+
+  x0 = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(kK5K0));
+
+  x2 = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, x3);
+  x1 = _mm_clmulepi64_si128(x1, x0, 0x00);
+  x1 = _mm_xor_si128(x1, x2);
+
+  // Barrett reduction to 32 bits.
+  x0 = _mm_load_si128(reinterpret_cast<const __m128i*>(kPoly));
+
+  x2 = _mm_and_si128(x1, x3);
+  x2 = _mm_clmulepi64_si128(x2, x0, 0x10);
+  x2 = _mm_and_si128(x2, x3);
+  x2 = _mm_clmulepi64_si128(x2, x0, 0x00);
+  x1 = _mm_xor_si128(x1, x2);
+
+  return static_cast<uint32_t>(_mm_extract_epi32(x1, 1));
+}
+
+uint32_t Crc32Pclmul(uint32_t crc, const uint8_t* data, size_t n) {
+  if (n < 64) return Crc32Slice8(crc, data, n);
+  const size_t main = n & ~static_cast<size_t>(15);
+  crc = Crc32PclmulBlock(crc, data, main);
+  return Crc32Slice8(crc, data + main, n - main);
+}
+
+#endif  // __PCLMUL__ && __SSE4_1__
+
+}  // namespace
+
+const IsaKernels& Ssse3Raw() {
+  static const IsaKernels kernels = [] {
+    IsaKernels k;
+#if defined(__SSSE3__)
+    k.gf256_mul_accum = &Gf256MulAccumSsse3;
+#endif
+#if defined(__PCLMUL__) && defined(__SSE4_1__)
+    k.crc32_pclmul = &Crc32Pclmul;
+#endif
+    return k;
+  }();
+  return kernels;
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace ule

@@ -15,7 +15,10 @@ history entry and fails (exit 1) on large regressions:
     deterministic I/O budgets, so even a small growth is a real
     regression); gauges with "rss" in the name use the timing
     threshold instead, since peak RSS scales with the machine's
-    worker count.
+    worker count; gauges with "speedup" in the name (the SIMD kernel
+    wins, e.g. `crc32_kernel_speedup`) regress by *shrinking*, so the
+    comparison is inverted for them and uses the timing threshold
+    (machine-dependent ratio).
 
 Records present on only one side are reported but never fail (benches
 gain and lose records across PRs); shrinking values are improvements. A
@@ -80,6 +83,12 @@ def compare_file(current: Path, baseline: Path, timing_threshold: float,
             old, new = b.get("value", 0.0), c.get("value", 0.0)
             threshold = timing_threshold if "rss" in name else gauge_threshold
             what = "value"
+            if "speedup" in name:
+                # A speedup gauge regresses by shrinking: invert so the
+                # growth check below fires when the win evaporates.
+                old, new = new, old
+                threshold = timing_threshold
+                what = "value (speedup, inverted)"
         if old <= 0:
             continue
         ratio = new / old

@@ -47,6 +47,7 @@
 #include "minidb/sqldump.h"
 #include "support/crc32.h"
 #include "support/io.h"
+#include "support/kernels.h"
 #include "tpch/tpch.h"
 
 using namespace ule;
@@ -70,6 +71,8 @@ int Usage(const char* argv0) {
       "  scrub     sweep a directory tree of archives: verify each,\n"
       "            repair what ULE-P1 parity allows, report fleet health\n"
       "            (exit codes as for verify, over the whole fleet)\n"
+      "  version   print format versions and the resolved CPU kernel set\n"
+      "            (include this in bug reports)\n"
       "\n"
       "common options:\n"
       "  --in PATH          input (archive: SQL dump; others: the reel)\n"
@@ -761,6 +764,20 @@ int RunResume(const Args& args) {
   return 0;
 }
 
+int RunVersion() {
+  std::printf("ulectl — Universal Layout Emulation archival toolchain\n");
+  std::printf("  formats   %s film, %s container, %s reel set, %s parity, "
+              "%s record index\n",
+              core::kUleFormatVersion, filmstore::kUleContainerFormatVersion,
+              filmstore::kUleReelSetFormatVersion,
+              filmstore::kUleParityFormatVersion,
+              core::kUleIndexFormatVersion);
+  std::printf("  kernels   %s\n", kernels::Describe().c_str());
+  std::printf("  knobs     ULE_THREADS (worker threads), "
+              "ULE_KERNELS=scalar|ssse3|avx2|auto\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -776,6 +793,7 @@ int main(int argc, char** argv) {
   if (command == "verify") return RunVerify(args.value());
   if (command == "scrub") return RunScrub(args.value());
   if (command == "resume") return RunResume(args.value());
+  if (command == "version") return RunVersion();
   std::fprintf(stderr, "ulectl: unknown command: %s\n", command.c_str());
   return Usage(argv[0]);
 }
